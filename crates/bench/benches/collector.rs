@@ -1,0 +1,76 @@
+//! Micro-benchmarks for the copying collector and the oracle: cost of
+//! collecting a garbage-heavy vs live-heavy partition, and of one full
+//! reachability analysis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pgc_odb::{oracle, Database};
+use pgc_types::{Bytes, DbConfig, SlotId};
+use std::hint::black_box;
+
+/// Builds a database whose first partition holds a chain of `n` objects;
+/// if `kill` is true the chain is unlinked (all garbage except the root).
+fn chain_db(n: usize, kill: bool) -> Database {
+    let mut db = Database::new(
+        DbConfig::default()
+            .with_page_size(1024)
+            .with_partition_pages(64),
+    )
+    .unwrap();
+    let root = db.create_root(Bytes(100), 2).unwrap();
+    let mut prev = root;
+    for _ in 0..n {
+        let (c, _) = db.create_object(Bytes(100), 2, prev, SlotId(0)).unwrap();
+        prev = c;
+    }
+    if kill {
+        db.write_slot(root, SlotId(0), None).unwrap();
+    }
+    db
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector/collect_partition_500_objects");
+    group.bench_function("all_live", |b| {
+        b.iter_batched(
+            || chain_db(500, false),
+            |mut db| {
+                let victim = pgc_types::PartitionId(1);
+                black_box(db.collect_partition(victim).unwrap())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("all_garbage", |b| {
+        b.iter_batched(
+            || chain_db(500, true),
+            |mut db| {
+                let victim = pgc_types::PartitionId(1);
+                black_box(db.collect_partition(victim).unwrap())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let db = chain_db(2000, false);
+    c.bench_function("oracle/analyze_2000_objects", |b| {
+        b.iter(|| black_box(oracle::analyze(&db)));
+    });
+}
+
+/// Complete (whole-database) collection vs a single-partition pass over
+/// the same population.
+fn bench_full_collection(c: &mut Criterion) {
+    c.bench_function("collector/collect_full_2000_objects", |b| {
+        b.iter_batched(
+            || chain_db(2000, true),
+            |mut db| black_box(db.collect_full().unwrap()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_collect, bench_oracle, bench_full_collection);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks for the selection policies: the per-barrier-event cost
+//! (the paper argues these are cheap — verify it) and the selection cost,
+//! including the oracle-backed `MostGarbage` for contrast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgc_core::{build_policy, PolicyKind};
+use pgc_odb::{Database, PointerTarget, PointerWriteInfo};
+use pgc_types::{Bytes, DbConfig, Oid, PartitionId, SlotId};
+use std::hint::black_box;
+
+fn overwrite_event(p: u32) -> PointerWriteInfo {
+    PointerWriteInfo {
+        owner: Oid(1),
+        owner_partition: PartitionId(p),
+        slot: SlotId(0),
+        old: Some(PointerTarget {
+            oid: Oid(2),
+            partition: PartitionId((p + 1) % 8),
+            weight: 4,
+        }),
+        new: None,
+        during_creation: false,
+    }
+}
+
+/// A populated small database for selection benchmarks.
+fn populated_db() -> Database {
+    let mut db = Database::new(
+        DbConfig::default()
+            .with_page_size(1024)
+            .with_partition_pages(16)
+            .with_gc_overwrite_threshold(50),
+    )
+    .unwrap();
+    let root = db.create_root(Bytes(100), 2).unwrap();
+    let mut prev = root;
+    for i in 0..2000u64 {
+        let (c, _) = db
+            .create_object(Bytes(100), 2, prev, SlotId((i % 2) as u16))
+            .unwrap();
+        if i % 3 == 0 {
+            prev = c;
+        }
+    }
+    db
+}
+
+fn bench_barrier_observation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy/on_pointer_write");
+    for kind in [
+        PolicyKind::MutatedPartition,
+        PolicyKind::UpdatedPointer,
+        PolicyKind::WeightedPointer,
+        PolicyKind::MostGarbage,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            let mut policy = build_policy(kind, 7, 16);
+            let mut i = 0u32;
+            b.iter(|| {
+                policy.on_pointer_write(black_box(&overwrite_event(i % 8)));
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let db = populated_db();
+    let mut group = c.benchmark_group("policy/select");
+    for kind in [
+        PolicyKind::UpdatedPointer,
+        PolicyKind::Random,
+        PolicyKind::MostGarbage, // runs the full oracle: orders of magnitude dearer
+    ] {
+        group.bench_function(kind.name(), |b| {
+            let mut policy = build_policy(kind, 7, 16);
+            for i in 0..100 {
+                policy.on_pointer_write(&overwrite_event(i % 8));
+            }
+            b.iter(|| black_box(policy.select(&db)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barrier_observation, bench_selection);
+criterion_main!(benches);

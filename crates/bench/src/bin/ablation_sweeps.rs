@@ -1,0 +1,270 @@
+//! Ablation sweeps over the design axes the paper holds fixed (its
+//! Table 1 lists them as open policy decisions):
+//!
+//! 1. **GC trigger threshold** — overwrites between collections (the paper
+//!    uses 150–300; when to collect).
+//! 2. **Partition size** — pages per partition at fixed database size
+//!    (how database partitions relate to GC partitions).
+//! 3. **Buffer : partition ratio** — the paper always uses 1:1 and argues
+//!    why; this quantifies it.
+//! 4. **Extension policies** — `RoundRobin` and `Occupancy` against the
+//!    paper's six.
+//! 5. **Complete collection** — the stop-the-world global mark-and-collect
+//!    (the paper's future work) versus partitioned collection, including
+//!    the distributed garbage left behind.
+//! 6. **Trigger kind** — the paper's overwrite trigger vs allocation-paced
+//!    and space-pressure triggers (when to perform collection).
+//! 7. **Partitions per activation** — the paper collects one; Sec. 3.1
+//!    floats collecting several.
+//! 8. **Related-work baselines** — the unenhanced Yong/Naughton/Yu policy
+//!    (data writes count) and the generational transplant, against the
+//!    paper's policies.
+//! 9. **Object placement** — the paper's near-parent clustering vs
+//!    first-fit and deliberate spreading, testing the premise that
+//!    clustering concentrates subtree garbage.
+//!
+//! ```text
+//! cargo run --release -p pgc-bench --bin ablation_sweeps [--seeds N] [--scale PCT]
+//! ```
+
+use pgc_bench::{emit, CommonArgs};
+use pgc_core::{PolicyKind, Trigger};
+use pgc_sim::{compare_policies, report, RunConfig, Simulation};
+use pgc_types::Bytes;
+use std::fmt::Write as _;
+
+fn base(args: &CommonArgs, policy: PolicyKind, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::paper(policy, seed);
+    cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+    cfg
+}
+
+fn main() {
+    let mut args = CommonArgs::parse();
+    if args.seeds == 10 {
+        args.seeds = 5; // sweeps multiply runs; 5 seeds keeps this quick
+    }
+    let seeds = args.seed_list();
+    let mut out = String::new();
+
+    // --- 1. Trigger threshold sweep (UpdatedPointer). ---
+    let _ = writeln!(out, "== Ablation 1: GC trigger threshold (UpdatedPointer) ==");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>12} {:>12} {:>10}",
+        "threshold", "total I/Os", "collections", "max stor KB", "frac %"
+    );
+    for threshold in [100u64, 150, 250, 400, 800] {
+        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+            let mut cfg = base(&args, p, s);
+            cfg.db = cfg.db.with_gc_overwrite_threshold(threshold);
+            cfg
+        })
+        .expect("runs");
+        let r = &cmp.rows[0];
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12.0} {:>12.1} {:>12.0} {:>10.1}",
+            threshold, r.total_ios.mean, r.collections.mean, r.max_storage_kb.mean, r.fraction_pct.mean
+        );
+    }
+
+    // --- 2. Partition size sweep at fixed database size. ---
+    let _ = writeln!(out, "\n== Ablation 2: partition size (UpdatedPointer) ==");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>12} {:>12} {:>10}",
+        "pages", "total I/Os", "gc I/Os", "max stor KB", "frac %"
+    );
+    for pages in [24u64, 48, 72, 100] {
+        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+            let mut cfg = base(&args, p, s);
+            cfg.db = cfg.db.with_partition_pages(pages);
+            cfg
+        })
+        .expect("runs");
+        let r = &cmp.rows[0];
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12.0} {:>12.0} {:>12.0} {:>10.1}",
+            pages, r.total_ios.mean, r.gc_ios.mean, r.max_storage_kb.mean, r.fraction_pct.mean
+        );
+    }
+
+    // --- 3. Buffer : partition ratio. ---
+    let _ = writeln!(out, "\n== Ablation 3: buffer size / partition size (UpdatedPointer) ==");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>12} {:>12}",
+        "ratio", "buffer pgs", "app I/Os", "gc I/Os"
+    );
+    for (label, buffer_pages) in [("0.5x", 24u64), ("1.0x", 48), ("2.0x", 96), ("4.0x", 192)] {
+        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+            let mut cfg = base(&args, p, s);
+            cfg.db = cfg.db.with_buffer_pages(buffer_pages);
+            cfg
+        })
+        .expect("runs");
+        let r = &cmp.rows[0];
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>12.0} {:>12.0}",
+            label, buffer_pages, r.app_ios.mean, r.gc_ios.mean
+        );
+    }
+
+    // --- 4. Extension policies vs paper policies. ---
+    let _ = writeln!(out, "\n== Ablation 4: extension policies ==");
+    let all = [
+        PolicyKind::Random,
+        PolicyKind::RoundRobin,
+        PolicyKind::Occupancy,
+        PolicyKind::UpdatedPointer,
+        PolicyKind::MostGarbage,
+    ];
+    let cmp = compare_policies(&all, &seeds, |p, s| base(&args, p, s)).expect("runs");
+    out.push_str(&report::format_table2(&cmp));
+
+    // --- 5. Partitioned vs complete collection: distributed garbage. ---
+    let _ = writeln!(
+        out,
+        "\n== Ablation 5: distributed garbage after partitioned collection, and the cost of a complete collection =="
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>14} {:>16} {:>14} {:>14}",
+        "seed", "nepotism KB", "leftover garb KB", "full-GC I/Os", "full-GC KB"
+    );
+    for &seed in seeds.iter().take(3) {
+        let cfg = base(&args, PolicyKind::UpdatedPointer, seed);
+        let outcome = Simulation::run(&cfg).expect("run");
+        // Rebuild the final state and apply a complete collection on top.
+        let events: Vec<pgc_workload::Event> =
+            pgc_workload::SyntheticWorkload::new(cfg.workload.clone())
+                .expect("params")
+                .collect();
+        let db = pgc_odb::Database::new(cfg.db.clone()).expect("db");
+        let collector = pgc_core::Collector::with_kind(
+            cfg.policy,
+            cfg.db.gc_overwrite_threshold,
+            seed,
+            cfg.db.max_weight,
+        );
+        let mut replayer = pgc_sim::Replayer::new(db, collector);
+        replayer.apply_all(&events).expect("replay");
+        let (mut db, _, _) = replayer.into_parts();
+        let full = db.collect_full().expect("full collection");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>14.0} {:>16.0} {:>14} {:>14.0}",
+            seed,
+            outcome.totals.final_nepotism_bytes.as_kib_f64(),
+            outcome.totals.final_garbage_bytes.as_kib_f64(),
+            full.gc_reads + full.gc_writes,
+            full.garbage_bytes.as_kib_f64(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(complete collection reclaims ALL leftover garbage, distributed cycles included,\n at the cost of reading every live object — the trade the paper's future work targets)"
+    );
+
+    // --- 6. Trigger kind (when to collect, Table 1's fourth axis). ---
+    let _ = writeln!(out, "\n== Ablation 6: trigger kind (UpdatedPointer) ==");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>12} {:>10}",
+        "trigger", "total I/Os", "collections", "max stor KB", "frac %"
+    );
+    let triggers: [(&str, Trigger); 3] = [
+        ("overwrites(250)", Trigger::OverwriteCount(250)),
+        ("alloc(384 KB)", Trigger::AllocationBytes(Bytes::from_kib(384))),
+        ("partition-growth", Trigger::PartitionGrowth),
+    ];
+    for (label, trigger) in triggers {
+        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+            base(&args, p, s).with_trigger(trigger)
+        })
+        .expect("runs");
+        let r = &cmp.rows[0];
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.0} {:>12.1} {:>12.0} {:>10.1}",
+            label, r.total_ios.mean, r.collections.mean, r.max_storage_kb.mean, r.fraction_pct.mean
+        );
+    }
+
+    // --- 7. Partitions per collection (Sec. 3.1 "more than one"). ---
+    let _ = writeln!(out, "\n== Ablation 7: partitions per activation (UpdatedPointer) ==");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "batch", "total I/Os", "activations", "max stor KB", "frac %"
+    );
+    for batch in [1u32, 2, 4] {
+        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+            base(&args, p, s).with_collect_batch(batch)
+        })
+        .expect("runs");
+        let r = &cmp.rows[0];
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12.0} {:>12.1} {:>12.0} {:>10.1}",
+            batch,
+            r.total_ios.mean,
+            r.collections.mean / batch as f64,
+            r.max_storage_kb.mean,
+            r.fraction_pct.mean
+        );
+    }
+
+    // --- 8. The paper's enhancement: MutatedPartition vs original YNY,
+    //        plus the generational transplant. ---
+    let _ = writeln!(out, "\n== Ablation 8: related-work baselines ==");
+    let cmp = compare_policies(
+        &[
+            PolicyKind::YnyMutated,
+            PolicyKind::MutatedPartition,
+            PolicyKind::Generational,
+            PolicyKind::UpdatedPointer,
+            PolicyKind::UpdatedDecay,
+            PolicyKind::MostGarbage,
+        ],
+        &seeds,
+        |p, s| base(&args, p, s),
+    )
+    .expect("runs");
+    out.push_str(&report::format_table4(&cmp));
+
+    // --- 9. Placement policy (clustering premise). ---
+    let _ = writeln!(out, "\n== Ablation 9: object placement (UpdatedPointer) ==");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>10} {:>12}",
+        "placement", "total I/Os", "max stor KB", "frac %", "eff KB/IO"
+    );
+    for (label, placement) in [
+        ("near-parent", pgc_types::PlacementPolicy::NearParent),
+        ("first-fit", pgc_types::PlacementPolicy::FirstFit),
+        ("spread", pgc_types::PlacementPolicy::Spread),
+    ] {
+        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+            let mut cfg = base(&args, p, s);
+            cfg.db = cfg.db.with_placement(placement);
+            cfg
+        })
+        .expect("runs");
+        let r = &cmp.rows[0];
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12.0} {:>12.0} {:>10.1} {:>12.2}",
+            label,
+            r.total_ios.mean,
+            r.max_storage_kb.mean,
+            r.fraction_pct.mean,
+            r.efficiency_kb_per_io.mean
+        );
+    }
+
+    emit(&args, "Ablation sweeps (design axes the paper holds fixed)", &out);
+}

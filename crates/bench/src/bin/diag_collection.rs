@@ -1,0 +1,66 @@
+//! Diagnostic: per-collection cost breakdown for one headline run.
+//! Not a paper artifact — used to calibrate the simulator.
+
+use pgc_core::PolicyKind;
+use pgc_sim::{paper, Simulation};
+
+fn main() {
+    for policy in [PolicyKind::UpdatedPointer, PolicyKind::MostGarbage] {
+        let cfg = paper::headline(policy, 1);
+        let out = Simulation::run(&cfg).unwrap();
+        let t = &out.totals;
+        println!(
+            "{}: events={} collections={} app={} gc={} reclaimedKB={:.0} liveKB={:.0} garbageKB={:.0} parts={}",
+            policy,
+            t.events,
+            t.collections,
+            t.app_ios,
+            t.gc_ios,
+            t.reclaimed_bytes.as_kib_f64(),
+            t.final_live_bytes.as_kib_f64(),
+            t.final_garbage_bytes.as_kib_f64(),
+            t.partitions,
+        );
+        println!(
+            "  gc/collection = {:.1}, reclaimed/collection KB = {:.1}, rw-ratio={:.1}",
+            t.gc_ios as f64 / t.collections.max(1) as f64,
+            t.reclaimed_bytes.as_kib_f64() / t.collections.max(1) as f64,
+            out.db_stats.read_write_ratio().unwrap_or(0.0),
+        );
+    }
+    // Collection-level detail for one run.
+    let cfg = paper::headline(PolicyKind::UpdatedPointer, 1);
+    let events: Vec<pgc_workload::Event> =
+        pgc_workload::SyntheticWorkload::new(cfg.workload.clone())
+            .unwrap()
+            .collect();
+    let db = pgc_odb::Database::new(cfg.db.clone()).unwrap();
+    let collector = pgc_core::Collector::with_kind(
+        cfg.policy,
+        cfg.db.gc_overwrite_threshold,
+        42,
+        cfg.db.max_weight,
+    );
+    let mut r = pgc_sim::Replayer::new(db, collector);
+    r.apply_all(&events).unwrap();
+    let mut fwd = 0u64;
+    let mut live = 0u64;
+    let mut garbage = 0u64;
+    let (mut reads, mut writes) = (0u64, 0u64);
+    for c in r.collections() {
+        fwd += c.forwarded_pointers;
+        live += c.live_bytes.get();
+        garbage += c.garbage_bytes.get();
+        reads += c.gc_reads;
+        writes += c.gc_writes;
+    }
+    let n = r.collections().len() as u64;
+    println!(
+        "UpdatedPointer detail: n={n} fwd/col={:.1} liveKB/col={:.1} garbageKB/col={:.1} reads/col={:.1} writes/col={:.1}",
+        fwd as f64 / n as f64,
+        live as f64 / 1024.0 / n as f64,
+        garbage as f64 / 1024.0 / n as f64,
+        reads as f64 / n as f64,
+        writes as f64 / n as f64,
+    );
+}

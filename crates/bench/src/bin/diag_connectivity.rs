@@ -1,0 +1,23 @@
+//! Diagnostic: connectivity effect probe (calibration helper, not a paper
+//! artifact).
+use pgc_core::PolicyKind;
+use pgc_sim::{RunConfig, Simulation};
+use pgc_types::Bytes;
+
+fn main() {
+    for dense in [0.005f64, 0.30] {
+        for policy in [PolicyKind::UpdatedPointer, PolicyKind::MostGarbage] {
+            let mut frac = 0.0;
+            let mut nep = 0.0;
+            for seed in [1u64, 2, 3, 4] {
+                let mut cfg = RunConfig::paper(policy, seed);
+                cfg.workload.target_allocated = Bytes::from_mib(4);
+                cfg.workload.dense_edge_fraction = dense;
+                let t = Simulation::run(&cfg).unwrap().totals;
+                frac += t.fraction_reclaimed_pct() / 4.0;
+                nep += t.final_nepotism_bytes.as_kib_f64() / 4.0;
+            }
+            println!("dense={dense} {policy}: frac={frac:.1}% nepotism={nep:.0}KB");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Diagnostic: UpdatedDecay vs UpdatedPointer at full scale (calibration
+//! helper, not a paper artifact).
+use pgc_core::PolicyKind;
+use pgc_sim::{compare_policies, paper};
+
+fn main() {
+    let cmp = compare_policies(
+        &[PolicyKind::UpdatedPointer, PolicyKind::UpdatedDecay, PolicyKind::MostGarbage],
+        &[1, 2, 3, 4, 5],
+        paper::headline,
+    )
+    .unwrap();
+    for r in &cmp.rows {
+        println!(
+            "{:<16} total={:.0} frac={:.1}% stor={:.0}KB",
+            r.policy.name(),
+            r.total_ios.mean,
+            r.fraction_pct.mean,
+            r.max_storage_kb.mean
+        );
+    }
+}

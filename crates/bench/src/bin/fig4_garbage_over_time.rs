@@ -1,0 +1,52 @@
+//! Regenerates **Figure 4** of the paper: uncollected garbage over time
+//! (application events) for every policy, as CSV series.
+//!
+//! One CSV block is printed per policy; plot `garbage_kb` against `events`
+//! to reproduce the figure. `--out PATH` writes the combined CSV.
+//!
+//! ```text
+//! cargo run --release -p pgc-bench --bin fig4_garbage_over_time [--scale PCT] [--out fig4.csv]
+//! ```
+
+use pgc_bench::{emit, CommonArgs};
+use pgc_core::PolicyKind;
+use pgc_sim::{experiment, paper};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = CommonArgs::parse();
+    // Figures are single-run curves in the paper (one seed).
+    let seed = 1u64;
+    let jobs = PolicyKind::PAPER
+        .iter()
+        .map(|&policy| {
+            let mut cfg = paper::time_series(policy, seed);
+            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+            (policy, cfg)
+        })
+        .collect();
+    let results = experiment::run_jobs(jobs).expect("runs complete");
+    // Terminal rendering of the figure, then the precise CSV.
+    let labelled: Vec<(&str, &pgc_sim::TimeSeries)> = results
+        .iter()
+        .map(|(p, o)| (p.name(), &o.series))
+        .collect();
+    let chart = pgc_sim::render_chart(
+        &labelled,
+        pgc_sim::ChartMetric::GarbageKb,
+        96,
+        24,
+    );
+    let mut body = String::new();
+    body.push_str(&chart);
+    body.push('\n');
+    for (policy, outcome) in &results {
+        let _ = writeln!(body, "# policy = {policy}");
+        body.push_str(&outcome.series.to_csv());
+    }
+    emit(
+        &args,
+        "Figure 4: Uncollected Garbage Over Time (CSV; plot garbage_kb vs events)",
+        &body,
+    );
+}

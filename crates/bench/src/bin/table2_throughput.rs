@@ -1,0 +1,26 @@
+//! Regenerates **Table 2** of the paper: throughput as number of page I/O
+//! operations per policy (application, collector, total, and total relative
+//! to `MostGarbage`).
+//!
+//! ```text
+//! cargo run --release -p pgc-bench --bin table2_throughput [--seeds N] [--scale PCT]
+//! ```
+
+use pgc_bench::{emit, CommonArgs};
+use pgc_core::PolicyKind;
+use pgc_sim::{compare_policies, paper, report};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let cmp = compare_policies(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
+        let mut cfg = paper::headline(policy, seed);
+        cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+        cfg
+    })
+    .expect("experiment runs");
+    emit(
+        &args,
+        "Table 2: Throughput as Number of Page I/O Operations (Relative: MostGarbage = 1)",
+        &report::format_table2(&cmp),
+    );
+}

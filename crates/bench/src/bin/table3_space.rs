@@ -1,0 +1,25 @@
+//! Regenerates **Table 3** of the paper: maximum storage space usage per
+//! policy (KB and partition count; Relative is MostGarbage = 1).
+//!
+//! ```text
+//! cargo run --release -p pgc-bench --bin table3_space [--seeds N] [--scale PCT]
+//! ```
+
+use pgc_bench::{emit, CommonArgs};
+use pgc_core::PolicyKind;
+use pgc_sim::{compare_policies, paper, report};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let cmp = compare_policies(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
+        let mut cfg = paper::headline(policy, seed);
+        cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+        cfg
+    })
+    .expect("experiment runs");
+    emit(
+        &args,
+        "Table 3: Maximum Storage Space Usage (Relative: MostGarbage = 1)",
+        &report::format_table3(&cmp),
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Table 4** of the paper: collector effectiveness and
+//! efficiency — garbage reclaimed, fraction of actual garbage reclaimed,
+//! and KB reclaimed per collector I/O (Relative is MostGarbage = 1).
+//!
+//! ```text
+//! cargo run --release -p pgc-bench --bin table4_efficiency [--seeds N] [--scale PCT]
+//! ```
+
+use pgc_bench::{emit, CommonArgs};
+use pgc_core::PolicyKind;
+use pgc_sim::{compare_policies, paper, report};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let cmp = compare_policies(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
+        let mut cfg = paper::headline(policy, seed);
+        cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+        cfg
+    })
+    .expect("experiment runs");
+    emit(
+        &args,
+        "Table 4: Collector Effectiveness and Efficiency (Relative: MostGarbage = 1)",
+        &report::format_table4(&cmp),
+    );
+}

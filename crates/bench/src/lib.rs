@@ -1,0 +1,140 @@
+//! # pgc-bench
+//!
+//! Experiment binaries (one per table/figure of the paper) and Criterion
+//! micro-benchmarks. The library part holds small shared helpers for the
+//! binaries: CLI parsing for the common flags and output-file plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Common command-line options shared by the experiment binaries.
+///
+/// Supported flags (all optional):
+/// `--seeds N` (number of seeds, default 10), `--scale PCT` (shrink the
+/// allocation target to PCT% of the paper's, for quick runs), `--out PATH`
+/// (also write the report/CSV to a file).
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Number of seeds to aggregate over (paper: 10).
+    pub seeds: u64,
+    /// Percentage of the paper's allocation target to simulate (100 =
+    /// full-size run).
+    pub scale_pct: u64,
+    /// Optional output file for the rendered report.
+    pub out: Option<PathBuf>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            seeds: 10,
+            scale_pct: 100,
+            out: None,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, panicking with a usage message on malformed
+    /// input (these are experiment drivers, not user-facing tools).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--seeds" => {
+                    out.seeds = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seeds needs a positive integer");
+                }
+                "--scale" => {
+                    out.scale_pct = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a percentage");
+                }
+                "--out" => {
+                    out.out = Some(PathBuf::from(it.next().expect("--out needs a path")));
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --seeds N (default 10) --scale PCT (default 100) --out PATH"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        assert!(out.seeds >= 1, "--seeds must be at least 1");
+        assert!(out.scale_pct >= 1, "--scale must be at least 1");
+        out
+    }
+
+    /// Applies the scale factor to an allocation target.
+    pub fn scale_bytes(&self, bytes: pgc_types::Bytes) -> pgc_types::Bytes {
+        pgc_types::Bytes(bytes.get() * self.scale_pct / 100)
+    }
+
+    /// The seed list.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (1..=self.seeds).collect()
+    }
+}
+
+/// Prints a report to stdout and, if requested, to `--out`.
+pub fn emit(args: &CommonArgs, title: &str, body: &str) {
+    println!("== {title} ==");
+    println!("{body}");
+    if let Some(path) = &args.out {
+        let content = format!("== {title} ==\n{body}");
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("(written to {})", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonArgs {
+        CommonArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.seeds, 10);
+        assert_eq!(a.scale_pct, 100);
+        assert!(a.out.is_none());
+        assert_eq!(a.seed_list().len(), 10);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--seeds", "3", "--scale", "25", "--out", "/tmp/x.txt"]);
+        assert_eq!(a.seeds, 3);
+        assert_eq!(a.scale_pct, 25);
+        assert_eq!(a.out.as_deref(), Some(std::path::Path::new("/tmp/x.txt")));
+        assert_eq!(
+            a.scale_bytes(pgc_types::Bytes::from_mib(8)),
+            pgc_types::Bytes::from_mib(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,387 @@
+//! Two-tier (client/server) page caching — the paper's client/server note.
+//!
+//! The paper positions itself against Yong/Naughton/Yu's evaluation in
+//! *client/server persistent object stores* and notes its cost model
+//! "might model network costs for a distributed or client/server
+//! database". [`TieredPool`] is that model: a page-server architecture in
+//! which the application (and collector) run against a **client cache**,
+//! misses are served over the network from the **server buffer**, and
+//! server misses go to disk.
+//!
+//! Cost events:
+//!
+//! * client hit — free;
+//! * client miss — one network transfer (server → client), plus a disk
+//!   read if the server buffer misses too;
+//! * eviction of a dirty client page — one network write-back (client →
+//!   server), dirtying the server copy *without* disk traffic (a whole
+//!   page travels, so no read-modify-write is needed);
+//! * eviction of a dirty server page — one disk write;
+//! * [`Access::WriteNew`] — materializes the page in the client cache with
+//!   no fetch.
+//!
+//! Both tiers are plain LRU. The single-tier [`crate::pool::BufferPool`]
+//! remains the paper-faithful model; this one exists for the client/server
+//! experiment binary and keeps its own statistics type.
+
+use crate::lru::{Inserted, LruCache};
+use crate::pool::Access;
+use crate::stats::IoContext;
+use pgc_types::PageId;
+
+/// Cumulative costs of a two-tier pool, split by context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TieredStats {
+    /// Client-cache hits (free).
+    pub client_hits: u64,
+    /// Pages fetched server → client (network transfers), per context.
+    pub net_reads_app: u64,
+    /// Collector-context network fetches.
+    pub net_reads_gc: u64,
+    /// Dirty client pages written back client → server, per context.
+    pub net_writebacks_app: u64,
+    /// Collector-context network write-backs.
+    pub net_writebacks_gc: u64,
+    /// Server-buffer disk reads, per context.
+    pub disk_reads_app: u64,
+    /// Collector-context disk reads.
+    pub disk_reads_gc: u64,
+    /// Server-buffer disk writes (dirty server evictions), per context.
+    pub disk_writes_app: u64,
+    /// Collector-context disk writes.
+    pub disk_writes_gc: u64,
+}
+
+impl TieredStats {
+    /// Total network messages (fetches + write-backs).
+    pub fn net_total(&self) -> u64 {
+        self.net_reads_app + self.net_reads_gc + self.net_writebacks_app + self.net_writebacks_gc
+    }
+
+    /// Total disk operations.
+    pub fn disk_total(&self) -> u64 {
+        self.disk_reads_app + self.disk_reads_gc + self.disk_writes_app + self.disk_writes_gc
+    }
+
+    /// Network messages attributed to one context.
+    pub fn net(&self, ctx: IoContext) -> u64 {
+        match ctx {
+            IoContext::Application => self.net_reads_app + self.net_writebacks_app,
+            IoContext::Collector => self.net_reads_gc + self.net_writebacks_gc,
+        }
+    }
+
+    /// Disk operations attributed to one context.
+    pub fn disk(&self, ctx: IoContext) -> u64 {
+        match ctx {
+            IoContext::Application => self.disk_reads_app + self.disk_writes_app,
+            IoContext::Collector => self.disk_reads_gc + self.disk_writes_gc,
+        }
+    }
+}
+
+/// A network link characterized by per-message latency and bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Round-trip latency per page message, milliseconds.
+    pub latency_ms: f64,
+    /// Throughput in megabytes per second.
+    pub mb_per_s: f64,
+    /// Page size in bytes.
+    pub page_size: usize,
+}
+
+impl NetworkModel {
+    /// 10 Mbit Ethernet of the paper's era: ~2 ms RPC latency, ~1 MB/s.
+    pub fn ethernet_1993(page_size: usize) -> Self {
+        Self {
+            latency_ms: 2.0,
+            mb_per_s: 1.0,
+            page_size,
+        }
+    }
+
+    /// Modern datacenter link: 0.1 ms, ~1 GB/s.
+    pub fn datacenter(page_size: usize) -> Self {
+        Self {
+            latency_ms: 0.1,
+            mb_per_s: 1024.0,
+            page_size,
+        }
+    }
+
+    /// Milliseconds per one-page message.
+    pub fn ms_per_page(&self) -> f64 {
+        self.latency_ms + self.page_size as f64 / (self.mb_per_s * 1024.0 * 1024.0) * 1000.0
+    }
+
+    /// Estimated seconds for `messages` page transfers.
+    pub fn seconds_for(&self, messages: u64) -> f64 {
+        messages as f64 * self.ms_per_page() / 1000.0
+    }
+}
+
+/// A client cache in front of a server buffer (page-server architecture).
+#[derive(Debug, Clone)]
+pub struct TieredPool {
+    client: LruCache,
+    server: LruCache,
+    stats: TieredStats,
+    context: IoContext,
+}
+
+impl TieredPool {
+    /// Creates a pool with the given client and server frame counts.
+    pub fn new(client_frames: usize, server_frames: usize) -> Self {
+        Self {
+            client: LruCache::new(client_frames),
+            server: LruCache::new(server_frames),
+            stats: TieredStats::default(),
+            context: IoContext::Application,
+        }
+    }
+
+    /// The active accounting context.
+    pub fn context(&self) -> IoContext {
+        self.context
+    }
+
+    /// Switches the accounting context.
+    pub fn set_context(&mut self, ctx: IoContext) {
+        self.context = ctx;
+    }
+
+    /// Snapshot of cumulative statistics.
+    pub fn stats(&self) -> TieredStats {
+        self.stats
+    }
+
+    /// True if the page is resident in the client cache.
+    pub fn client_resident(&self, page: PageId) -> bool {
+        self.client.contains(page)
+    }
+
+    /// True if the page is resident in the server buffer.
+    pub fn server_resident(&self, page: PageId) -> bool {
+        self.server.contains(page)
+    }
+
+    fn count_net_read(&mut self) {
+        match self.context {
+            IoContext::Application => self.stats.net_reads_app += 1,
+            IoContext::Collector => self.stats.net_reads_gc += 1,
+        }
+    }
+
+    fn count_net_writeback(&mut self) {
+        match self.context {
+            IoContext::Application => self.stats.net_writebacks_app += 1,
+            IoContext::Collector => self.stats.net_writebacks_gc += 1,
+        }
+    }
+
+    fn count_disk_read(&mut self) {
+        match self.context {
+            IoContext::Application => self.stats.disk_reads_app += 1,
+            IoContext::Collector => self.stats.disk_reads_gc += 1,
+        }
+    }
+
+    fn count_disk_write(&mut self) {
+        match self.context {
+            IoContext::Application => self.stats.disk_writes_app += 1,
+            IoContext::Collector => self.stats.disk_writes_gc += 1,
+        }
+    }
+
+    /// Installs `page` into the server buffer (dirty or clean), paying a
+    /// disk write if a dirty server page is evicted.
+    fn server_install(&mut self, page: PageId, dirty: bool) {
+        if self.server.touch(page, dirty) {
+            return;
+        }
+        if let Inserted::Evicted { dirty: true, .. } = self.server.insert(page, dirty) {
+            self.count_disk_write();
+        }
+    }
+
+    /// Fetches `page` into the server buffer if absent (disk read), then
+    /// returns (it is now server-resident and recently used).
+    fn server_fetch(&mut self, page: PageId) {
+        if self.server.touch(page, false) {
+            return;
+        }
+        self.count_disk_read();
+        if let Inserted::Evicted { dirty: true, .. } = self.server.insert(page, false) {
+            self.count_disk_write();
+        }
+    }
+
+    /// Installs `page` into the client cache, handling dirty eviction
+    /// (network write-back to the server, dirtying the server copy).
+    fn client_install(&mut self, page: PageId, dirty: bool) {
+        if let Inserted::Evicted {
+            page: victim,
+            dirty: true,
+        } = self.client.insert(page, dirty)
+        {
+            self.count_net_writeback();
+            self.server_install(victim, true);
+        }
+    }
+
+    /// Performs one page access.
+    pub fn access(&mut self, page: PageId, kind: Access) {
+        let dirty = !matches!(kind, Access::Read);
+        if self.client.touch(page, dirty) {
+            self.stats.client_hits += 1;
+            return;
+        }
+        if matches!(kind, Access::WriteNew) {
+            // Fresh page: materialized client-side, no fetch.
+            self.client_install(page, true);
+            return;
+        }
+        // Client miss: fetch from the server over the network.
+        self.count_net_read();
+        self.server_fetch(page);
+        self.client_install(page, dirty);
+    }
+
+    /// Accesses every page of a span.
+    pub fn access_span(&mut self, pages: impl IntoIterator<Item = PageId>, kind: Access) {
+        for p in pages {
+            self.access(p, kind);
+        }
+    }
+
+    /// Drops pages from both tiers without write-back (collected-partition
+    /// invalidation).
+    pub fn invalidate(&mut self, pages: impl IntoIterator<Item = PageId>) {
+        for p in pages {
+            self.client.remove(p);
+            self.server.remove(p);
+        }
+    }
+
+    /// Debug invariants for both tiers.
+    pub fn check_invariants(&self) {
+        self.client.check_invariants();
+        self.server.check_invariants();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> TieredPool {
+        TieredPool::new(2, 4)
+    }
+
+    #[test]
+    fn client_hit_is_free() {
+        let mut p = pool();
+        p.access(PageId(1), Access::Read); // miss: net + disk
+        p.access(PageId(1), Access::Read); // hit
+        let s = p.stats();
+        assert_eq!(s.client_hits, 1);
+        assert_eq!(s.net_reads_app, 1);
+        assert_eq!(s.disk_reads_app, 1);
+    }
+
+    #[test]
+    fn server_hit_avoids_disk() {
+        let mut p = pool();
+        p.access(PageId(1), Access::Read); // disk read, in both tiers
+        p.access(PageId(2), Access::Read);
+        p.access(PageId(3), Access::Read); // evicts 1 from client (clean), server keeps it
+        assert!(!p.client_resident(PageId(1)));
+        assert!(p.server_resident(PageId(1)));
+        p.access(PageId(1), Access::Read); // client miss, server hit
+        let s = p.stats();
+        assert_eq!(s.net_reads_app, 4);
+        assert_eq!(s.disk_reads_app, 3, "the re-fetch of page 1 hit the server buffer");
+    }
+
+    #[test]
+    fn write_new_skips_fetch_entirely() {
+        let mut p = pool();
+        p.access(PageId(7), Access::WriteNew);
+        let s = p.stats();
+        assert_eq!(s.net_total(), 0);
+        assert_eq!(s.disk_total(), 0);
+        assert!(p.client_resident(PageId(7)));
+    }
+
+    #[test]
+    fn dirty_client_eviction_writes_back_over_network_not_disk() {
+        let mut p = pool();
+        p.access(PageId(1), Access::Write); // dirty in client
+        p.access(PageId(2), Access::Read);
+        p.access(PageId(3), Access::Read); // evicts dirty 1 -> net writeback
+        let s = p.stats();
+        assert_eq!(s.net_writebacks_app, 1);
+        assert_eq!(s.disk_writes_app, 0, "server absorbed the page");
+        assert!(p.server_resident(PageId(1)));
+    }
+
+    #[test]
+    fn dirty_server_eviction_costs_a_disk_write() {
+        let mut p = TieredPool::new(1, 2);
+        p.access(PageId(1), Access::Write);
+        p.access(PageId(2), Access::Read); // client evicts dirty 1 -> server dirty
+        p.access(PageId(3), Access::Read); // server now holds {1(d),2,3}? cap 2:
+                                           // inserting 3 evicts LRU
+        p.access(PageId(4), Access::Read);
+        let s = p.stats();
+        assert!(s.disk_writes_app >= 1, "dirty page 1 eventually hit disk: {s:?}");
+    }
+
+    #[test]
+    fn invalidate_clears_both_tiers_without_cost() {
+        let mut p = pool();
+        p.access(PageId(1), Access::Write);
+        let before = p.stats();
+        p.invalidate([PageId(1)]);
+        assert!(!p.client_resident(PageId(1)));
+        assert!(!p.server_resident(PageId(1)));
+        assert_eq!(p.stats(), before);
+    }
+
+    #[test]
+    fn contexts_split_costs() {
+        let mut p = pool();
+        p.access(PageId(1), Access::Read);
+        p.set_context(IoContext::Collector);
+        p.access(PageId(2), Access::Read);
+        let s = p.stats();
+        assert_eq!(s.net(IoContext::Application), 1);
+        assert_eq!(s.net(IoContext::Collector), 1);
+        assert_eq!(s.disk(IoContext::Collector), 1);
+    }
+
+    #[test]
+    fn network_model_prices_messages() {
+        let old = NetworkModel::ethernet_1993(8192);
+        let new = NetworkModel::datacenter(8192);
+        assert!(old.ms_per_page() > new.ms_per_page());
+        // 1993 Ethernet: ~2 + 7.8 ≈ 10 ms per 8 KB page.
+        assert!((5.0..15.0).contains(&old.ms_per_page()));
+        assert!((new.seconds_for(1000) - 1000.0 * new.ms_per_page() / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invariants_hold_through_mixed_traffic() {
+        let mut p = TieredPool::new(3, 5);
+        for i in 0..500u64 {
+            let kind = match i % 3 {
+                0 => Access::Read,
+                1 => Access::Write,
+                _ => Access::WriteNew,
+            };
+            p.access(PageId(i % 11), kind);
+            p.check_invariants();
+        }
+    }
+}

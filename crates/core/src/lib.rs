@@ -1,0 +1,35 @@
+//! # pgc-core
+//!
+//! The paper's contribution: **partition selection policies** for
+//! partitioned garbage collection of object databases, plus the trigger
+//! machinery that decides *when* to collect.
+//!
+//! * [`policy`] — the [`SelectionPolicy`] trait (what a policy may observe:
+//!   write-barrier events; what it must produce: a victim partition) and
+//!   [`PolicyKind`], the enumeration of every implemented policy.
+//! * [`policies`] — the six policies evaluated in the paper
+//!   (`NoCollection`, `Random`, `MutatedPartition`, `UpdatedPointer`,
+//!   `WeightedPointer`, `MostGarbage`) and two extensions used for
+//!   ablations (`RoundRobin`, `Occupancy`).
+//! * [`scheduler`] — the paper's trigger: collect after a fixed number of
+//!   pointer overwrites, independent of the selection policy so that every
+//!   policy performs the same number of collections.
+//! * [`collector`] — [`collector::Collector`], the bundle of policy +
+//!   scheduler that drives [`pgc_odb::Database::collect_partition`].
+//!
+//! The copying *mechanism* itself lives in `pgc-odb` (it is shared, fixed
+//! machinery); this crate decides **which** partition it runs on and
+//! **when**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod policies;
+pub mod policy;
+pub mod scheduler;
+
+pub use collector::Collector;
+pub use policies::build_policy;
+pub use policy::{PolicyKind, SelectionPolicy};
+pub use scheduler::{GcScheduler, Trigger};

@@ -1,0 +1,56 @@
+//! `NoCollection`: never collect (Sec. 3.1).
+//!
+//! Establishes the space upper bound: when more room is needed the database
+//! simply grows. The paper also uses it to measure how much garbage
+//! collection improves locality — and to show that a *bad* selection policy
+//! can cost more total I/O than collecting nothing at all.
+
+use crate::policy::{PolicyKind, SelectionPolicy};
+use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_types::PartitionId;
+
+/// The never-collect policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCollection;
+
+impl NoCollection {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SelectionPolicy for NoCollection {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::NoCollection
+    }
+
+    fn on_pointer_write(&mut self, _info: &PointerWriteInfo) {}
+
+    fn select(&mut self, _db: &Database) -> Option<PartitionId> {
+        None
+    }
+
+    fn on_collection(&mut self, _outcome: &CollectionOutcome) {
+        unreachable!("NoCollection never selects a partition");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgc_types::DbConfig;
+
+    #[test]
+    fn never_selects() {
+        let db = Database::new(
+            DbConfig::default()
+                .with_page_size(1024)
+                .with_partition_pages(4),
+        )
+        .unwrap();
+        let mut p = NoCollection::new();
+        assert_eq!(p.select(&db), None);
+        assert_eq!(p.kind(), PolicyKind::NoCollection);
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-partition score accumulation shared by the counter-based policies.
+//!
+//! `MutatedPartition`, `UpdatedPointer`, and `WeightedPointer` all reduce
+//! to: bump a per-partition counter on certain barrier events, pick the
+//! arg-max at selection time, and zero the collected partition's counter
+//! afterwards. The paper stresses how cheap this is — "a small array that
+//! can easily be maintained in memory" — and this type is exactly that
+//! array.
+
+use pgc_odb::Database;
+use pgc_types::PartitionId;
+
+/// A dense `partition id -> u64 score` table.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreBoard {
+    scores: Vec<u64>,
+}
+
+impl ScoreBoard {
+    /// Creates an empty scoreboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to `partition`'s score.
+    pub fn bump(&mut self, partition: PartitionId, amount: u64) {
+        let idx = partition.as_usize();
+        if self.scores.len() <= idx {
+            self.scores.resize(idx + 1, 0);
+        }
+        self.scores[idx] += amount;
+    }
+
+    /// Current score of `partition`.
+    pub fn score(&self, partition: PartitionId) -> u64 {
+        self.scores.get(partition.as_usize()).copied().unwrap_or(0)
+    }
+
+    /// Zeroes `partition`'s score (after it was collected).
+    pub fn reset(&mut self, partition: PartitionId) {
+        if let Some(s) = self.scores.get_mut(partition.as_usize()) {
+            *s = 0;
+        }
+    }
+
+    /// Halves every score (geometric decay; used by recency-weighted
+    /// policy variants).
+    pub fn decay_all(&mut self) {
+        for s in &mut self.scores {
+            *s /= 2;
+        }
+    }
+
+    /// The collectable partition with the highest non-zero score, falling
+    /// back to [`crate::policy::fallback_victim`] when every score is zero.
+    /// Ties break toward the lowest partition id (deterministic).
+    pub fn select_max(&self, db: &Database) -> Option<PartitionId> {
+        let mut best: Option<(PartitionId, u64)> = None;
+        for id in db.collectable_partitions() {
+            let s = self.score(id);
+            if s == 0 {
+                continue;
+            }
+            match best {
+                Some((_, b)) if b >= s => {}
+                _ => best = Some((id, s)),
+            }
+        }
+        best.map(|(p, _)| p)
+            .or_else(|| crate::policy::fallback_victim(db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgc_odb::Database;
+    use pgc_types::{Bytes, DbConfig};
+
+    fn db_with_two_partitions() -> Database {
+        let cfg = DbConfig::default()
+            .with_page_size(1024)
+            .with_partition_pages(4);
+        let mut db = Database::new(cfg).unwrap();
+        let r = db.create_root(Bytes(100), 2).unwrap();
+        // Spill an object into a second partition.
+        db.create_object(Bytes(4000), 2, r, pgc_types::SlotId(0))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn bump_and_score() {
+        let mut sb = ScoreBoard::new();
+        assert_eq!(sb.score(PartitionId(3)), 0);
+        sb.bump(PartitionId(3), 5);
+        sb.bump(PartitionId(3), 2);
+        assert_eq!(sb.score(PartitionId(3)), 7);
+        assert_eq!(sb.score(PartitionId(0)), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_one_partition_only() {
+        let mut sb = ScoreBoard::new();
+        sb.bump(PartitionId(1), 3);
+        sb.bump(PartitionId(2), 4);
+        sb.reset(PartitionId(2));
+        assert_eq!(sb.score(PartitionId(1)), 3);
+        assert_eq!(sb.score(PartitionId(2)), 0);
+        // Resetting a never-seen partition is harmless.
+        sb.reset(PartitionId(99));
+    }
+
+    #[test]
+    fn decay_halves_everything() {
+        let mut sb = ScoreBoard::new();
+        sb.bump(PartitionId(1), 9);
+        sb.bump(PartitionId(2), 2);
+        sb.decay_all();
+        assert_eq!(sb.score(PartitionId(1)), 4);
+        assert_eq!(sb.score(PartitionId(2)), 1);
+        sb.decay_all();
+        assert_eq!(sb.score(PartitionId(2)), 0);
+    }
+
+    #[test]
+    fn select_max_picks_highest_and_skips_empty_partition() {
+        let db = db_with_two_partitions();
+        let empty = db.empty_partition();
+        let mut sb = ScoreBoard::new();
+        sb.bump(empty, 1_000_000); // must be ignored
+        sb.bump(PartitionId(1), 10);
+        sb.bump(PartitionId(2), 20);
+        assert_eq!(sb.select_max(&db), Some(PartitionId(2)));
+    }
+
+    #[test]
+    fn select_max_ties_break_low() {
+        let db = db_with_two_partitions();
+        let mut sb = ScoreBoard::new();
+        sb.bump(PartitionId(1), 10);
+        sb.bump(PartitionId(2), 10);
+        assert_eq!(sb.select_max(&db), Some(PartitionId(1)));
+    }
+
+    #[test]
+    fn select_max_falls_back_when_all_zero() {
+        let db = db_with_two_partitions();
+        let sb = ScoreBoard::new();
+        // Fallback picks the fullest used partition (P2 holds 4000 bytes).
+        assert_eq!(sb.select_max(&db), Some(PartitionId(2)));
+    }
+}

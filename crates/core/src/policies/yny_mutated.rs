@@ -1,0 +1,106 @@
+//! `YNY-Mutated`: the original Yong/Naughton/Yu selection policy.
+//!
+//! The policy the paper's `MutatedPartition` *enhances*: it "selects the
+//! partition that had been mutated the most, without regard to whether the
+//! mutations were to the partition's pointers or to its data". Including
+//! it lets the ablation benches quantify exactly what the paper's
+//! enhancement (ignoring pure data mutations, which "cannot create
+//! garbage") buys.
+
+use crate::policies::scoreboard::ScoreBoard;
+use crate::policy::{PolicyKind, SelectionPolicy};
+use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_types::PartitionId;
+
+/// The all-mutations-count policy.
+#[derive(Debug, Clone, Default)]
+pub struct YnyMutated {
+    scores: ScoreBoard,
+}
+
+impl YnyMutated {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current score of a partition (for tests and diagnostics).
+    pub fn score(&self, p: PartitionId) -> u64 {
+        self.scores.score(p)
+    }
+}
+
+impl SelectionPolicy for YnyMutated {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::YnyMutated
+    }
+
+    fn on_pointer_write(&mut self, info: &PointerWriteInfo) {
+        self.scores.bump(info.owner_partition, 1);
+    }
+
+    fn on_data_write(&mut self, partition: PartitionId) {
+        // The distinguishing feature: data mutations count too.
+        self.scores.bump(partition, 1);
+    }
+
+    fn select(&mut self, db: &Database) -> Option<PartitionId> {
+        self.scores.select_max(db)
+    }
+
+    fn on_collection(&mut self, outcome: &CollectionOutcome) {
+        self.scores.reset(outcome.victim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgc_types::{Bytes, DbConfig, Oid, SlotId};
+
+    fn pointer_write(owner_partition: u32) -> PointerWriteInfo {
+        PointerWriteInfo {
+            owner: Oid(1),
+            owner_partition: PartitionId(owner_partition),
+            slot: SlotId(0),
+            old: None,
+            new: None,
+            during_creation: false,
+        }
+    }
+
+    #[test]
+    fn data_writes_count_unlike_the_enhanced_policy() {
+        let mut yny = YnyMutated::new();
+        let mut enhanced = crate::policies::MutatedPartition::new();
+        yny.on_data_write(PartitionId(1));
+        enhanced.on_data_write(PartitionId(1)); // default no-op
+        assert_eq!(yny.score(PartitionId(1)), 1);
+        assert_eq!(enhanced.score(PartitionId(1)), 0);
+    }
+
+    #[test]
+    fn pointer_writes_count_for_both() {
+        let mut yny = YnyMutated::new();
+        yny.on_pointer_write(&pointer_write(2));
+        assert_eq!(yny.score(PartitionId(2)), 1);
+    }
+
+    #[test]
+    fn data_heavy_partition_wins_selection() {
+        let cfg = DbConfig::default()
+            .with_page_size(1024)
+            .with_partition_pages(4);
+        let mut db = Database::new(cfg).unwrap();
+        let r = db.create_root(Bytes(100), 2).unwrap();
+        db.create_object(Bytes(4000), 2, r, SlotId(0)).unwrap();
+        let mut p = YnyMutated::new();
+        p.on_pointer_write(&pointer_write(2));
+        for _ in 0..5 {
+            p.on_data_write(PartitionId(1));
+        }
+        // Data-mutation-heavy P1 outranks pointer-mutated P2 — exactly the
+        // mistake the paper's enhancement avoids.
+        assert_eq!(p.select(&db), Some(PartitionId(1)));
+    }
+}

@@ -1,0 +1,47 @@
+//! # pgc-odb
+//!
+//! The simulated object database the paper's collectors run against. It
+//! combines the physical model from `pgc-storage` with the I/O cost model
+//! from `pgc-buffer` and adds the semantic machinery of Sec. 4.1:
+//!
+//! * [`db`] — the [`Database`] facade: object creation with near-parent
+//!   placement, pointer stores through the **write barrier**, visits and
+//!   data writes, all charged page I/O through the buffer pool.
+//! * [`remset`] — remembered sets (locations of inter-partition pointers
+//!   *into* each partition) and out-of-partition sets (objects *with*
+//!   pointers out of each partition), maintained exactly at the write
+//!   barrier and cleaned when garbage sources are reclaimed.
+//! * [`weights`] — per-object 4-bit root-distance weights for the
+//!   `WeightedPointer` policy (1 at a root, `min+1` along edges, capped,
+//!   propagated transitively on decrease).
+//! * [`collect`] — the breadth-first **copying collection** of one
+//!   partition into the designated empty partition, with remembered-set
+//!   forwarding and cleanup; this is the fixed mechanism every selection
+//!   policy shares.
+//! * [`global`] — **extension** (the paper's future work): a complete
+//!   stop-the-world mark-and-collect over the whole database, reclaiming
+//!   the distributed cyclic garbage single-partition collections cannot.
+//! * [`oracle`] — exact reachability analysis over the whole database,
+//!   backing the `MostGarbage` policy and the "actual garbage" rows of the
+//!   evaluation. The oracle is free (no I/O): it models the simulator's
+//!   omniscience, not an implementable system.
+//! * [`stats`] — database counters and the [`PointerWriteInfo`] record the
+//!   write barrier emits for the selection policies to observe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod db;
+pub mod global;
+pub mod oracle;
+pub mod remset;
+pub mod stats;
+pub mod weights;
+
+pub use collect::CollectionOutcome;
+pub use db::{Database, PartitionProfile};
+pub use global::FullCollectionOutcome;
+pub use oracle::OracleReport;
+pub use remset::RemsetTable;
+pub use stats::{DbStats, PointerTarget, PointerWriteInfo};

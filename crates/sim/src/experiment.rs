@@ -1,0 +1,197 @@
+//! Multi-run experiments: policy comparisons over seed sets.
+//!
+//! The paper's tables aggregate ten same-configuration runs per policy,
+//! differing only in random seed. [`compare_policies`] runs the full
+//! (policy × seed) grid — in parallel across OS threads, since runs are
+//! independent — and reduces each policy's runs to [`Summary`] statistics
+//! per metric.
+
+use crate::run::{RunConfig, RunOutcome, Simulation};
+use crate::summary::Summary;
+use pgc_core::PolicyKind;
+use pgc_types::Result;
+use std::sync::Mutex;
+
+/// Aggregated metrics for one policy across seeds — one table row.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Application page I/Os.
+    pub app_ios: Summary,
+    /// Collector page I/Os.
+    pub gc_ios: Summary,
+    /// Total page I/Os.
+    pub total_ios: Summary,
+    /// Maximum storage footprint in KB.
+    pub max_storage_kb: Summary,
+    /// Partition count.
+    pub partitions: Summary,
+    /// Garbage reclaimed in KB.
+    pub reclaimed_kb: Summary,
+    /// Total garbage generated in KB (reclaimed + unreclaimed at end).
+    pub actual_garbage_kb: Summary,
+    /// Percent of generated garbage reclaimed.
+    pub fraction_pct: Summary,
+    /// Collector efficiency in KB reclaimed per collector I/O.
+    pub efficiency_kb_per_io: Summary,
+    /// Final distributed (nepotism-retained) garbage in KB.
+    pub nepotism_kb: Summary,
+    /// Collections performed.
+    pub collections: Summary,
+}
+
+impl PolicyRow {
+    fn from_runs(policy: PolicyKind, runs: &[RunOutcome]) -> Self {
+        let pick = |f: &dyn Fn(&RunOutcome) -> f64| {
+            Summary::of(&runs.iter().map(f).collect::<Vec<f64>>())
+        };
+        Self {
+            policy,
+            app_ios: pick(&|r| r.totals.app_ios as f64),
+            gc_ios: pick(&|r| r.totals.gc_ios as f64),
+            total_ios: pick(&|r| r.totals.total_ios() as f64),
+            max_storage_kb: pick(&|r| r.totals.max_footprint.as_kib_f64()),
+            partitions: pick(&|r| r.totals.partitions as f64),
+            reclaimed_kb: pick(&|r| r.totals.reclaimed_bytes.as_kib_f64()),
+            actual_garbage_kb: pick(&|r| r.totals.actual_garbage_bytes().as_kib_f64()),
+            fraction_pct: pick(&|r| r.totals.fraction_reclaimed_pct()),
+            efficiency_kb_per_io: pick(&|r| r.totals.efficiency_kb_per_io()),
+            nepotism_kb: pick(&|r| r.totals.final_nepotism_bytes.as_kib_f64()),
+            collections: pick(&|r| r.totals.collections as f64),
+        }
+    }
+}
+
+/// A full policy comparison: one row per policy, paper row order preserved.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Rows, in the order the policies were given.
+    pub rows: Vec<PolicyRow>,
+}
+
+impl Comparison {
+    /// The row for one policy, if present.
+    pub fn row(&self, policy: PolicyKind) -> Option<&PolicyRow> {
+        self.rows.iter().find(|r| r.policy == policy)
+    }
+
+    /// The `MostGarbage` row (the paper's "Relative = 1" baseline).
+    pub fn baseline(&self) -> Option<&PolicyRow> {
+        self.row(PolicyKind::MostGarbage)
+    }
+}
+
+/// Runs every `(policy, seed)` combination and aggregates per policy.
+///
+/// `make_config` builds the run configuration for each combination —
+/// usually [`RunConfig::paper`] or one of the [`crate::paper`] factories.
+pub fn compare_policies(
+    policies: &[PolicyKind],
+    seeds: &[u64],
+    make_config: impl Fn(PolicyKind, u64) -> RunConfig + Sync,
+) -> Result<Comparison> {
+    let mut jobs: Vec<(usize, RunConfig)> = Vec::new();
+    for (pi, &policy) in policies.iter().enumerate() {
+        for &seed in seeds {
+            jobs.push((pi, make_config(policy, seed)));
+        }
+    }
+    let results = run_jobs(jobs)?;
+
+    let mut per_policy: Vec<Vec<RunOutcome>> = (0..policies.len()).map(|_| Vec::new()).collect();
+    for (pi, outcome) in results {
+        per_policy[pi].push(outcome);
+    }
+    let rows = policies
+        .iter()
+        .zip(&per_policy)
+        .map(|(&p, runs)| PolicyRow::from_runs(p, runs))
+        .collect();
+    Ok(Comparison { rows })
+}
+
+/// Runs a set of independent configurations in parallel, preserving labels.
+pub fn run_jobs<L: Send>(jobs: Vec<(L, RunConfig)>) -> Result<Vec<(L, RunOutcome)>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    if threads <= 1 {
+        return jobs
+            .into_iter()
+            .map(|(label, cfg)| Simulation::run(&cfg).map(|o| (label, o)))
+            .collect();
+    }
+    type Slot<L> = (usize, Result<(L, RunOutcome)>);
+    let queue = Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
+    let results: Mutex<Vec<Slot<L>>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
+                let Some((idx, (label, cfg))) = job else { break };
+                let outcome = Simulation::run(&cfg).map(|o| (label, o));
+                results.lock().expect("results poisoned").push((idx, outcome));
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("results poisoned");
+    collected.sort_by_key(|(idx, _)| *idx);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(policy: PolicyKind, seed: u64) -> RunConfig {
+        RunConfig::small().with_policy(policy).with_seed(seed)
+    }
+
+    #[test]
+    fn comparison_has_one_row_per_policy_in_order() {
+        let policies = [
+            PolicyKind::NoCollection,
+            PolicyKind::UpdatedPointer,
+            PolicyKind::MostGarbage,
+        ];
+        let cmp = compare_policies(&policies, &[1, 2], small_cfg).unwrap();
+        assert_eq!(cmp.rows.len(), 3);
+        assert_eq!(cmp.rows[0].policy, PolicyKind::NoCollection);
+        assert_eq!(cmp.rows[2].policy, PolicyKind::MostGarbage);
+        assert_eq!(cmp.rows[1].app_ios.n, 2);
+        assert!(cmp.baseline().is_some());
+        assert!(cmp.row(PolicyKind::Random).is_none());
+    }
+
+    #[test]
+    fn no_collection_row_has_zero_gc_cost() {
+        let cmp = compare_policies(&[PolicyKind::NoCollection], &[1], small_cfg).unwrap();
+        let row = &cmp.rows[0];
+        assert_eq!(row.gc_ios.mean, 0.0);
+        assert_eq!(row.reclaimed_kb.mean, 0.0);
+        assert_eq!(row.fraction_pct.mean, 0.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        // run_jobs with one job falls back to sequential; many jobs use
+        // threads. Both must produce the same totals for the same configs.
+        let cfg = small_cfg(PolicyKind::Random, 9);
+        let seq = run_jobs(vec![("only", cfg.clone())]).unwrap();
+        let par = run_jobs(vec![
+            ("a", cfg.clone()),
+            ("b", cfg.clone()),
+            ("c", cfg.clone()),
+            ("d", cfg.clone()),
+        ])
+        .unwrap();
+        for (_, out) in &par {
+            assert_eq!(out.totals, seq[0].1.totals);
+        }
+        // Labels preserved in order.
+        let labels: Vec<&str> = par.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["a", "b", "c", "d"]);
+    }
+}

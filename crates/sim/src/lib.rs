@@ -1,0 +1,44 @@
+//! # pgc-sim
+//!
+//! The trace-driven simulator (Sec. 4.2) and the experiment harness that
+//! regenerates every table and figure of the paper's evaluation (Sec. 6).
+//!
+//! * [`replay`] — [`replay::Replayer`]: applies workload events to a
+//!   [`pgc_odb::Database`] under a [`pgc_core::Collector`], mapping
+//!   workload-level node ids to database oids and running collections when
+//!   the overwrite trigger fires.
+//! * [`metrics`] — [`metrics::RunTotals`] (the aggregate numbers behind
+//!   Tables 2–5) and [`metrics::TimeSeries`] (the sampled curves behind
+//!   Figures 4–5).
+//! * [`run`] — [`run::RunConfig`] + [`run::Simulation`]: one complete
+//!   simulation from a parameter set or a recorded trace.
+//! * [`summary`] — mean / standard deviation over the ten-seed repetitions
+//!   the paper reports.
+//! * [`experiment`] — multi-policy, multi-seed comparisons
+//!   ([`experiment::Comparison`]) and parameter sweeps.
+//! * [`paper`] — the exact configurations of the paper's experiments
+//!   (Tables 2–4 headline setup, Figure 6 size scaling, Table 5
+//!   connectivity sweep).
+//! * [`report`] — plain-text rendering of each table/figure in the paper's
+//!   row order, plus CSV output for the time-series figures.
+//! * [`chart`] — ASCII line charts of the Figure 4/5 curves for terminal
+//!   inspection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiment;
+pub mod metrics;
+pub mod paper;
+pub mod replay;
+pub mod report;
+pub mod run;
+pub mod summary;
+
+pub use chart::{render_chart, ChartMetric};
+pub use experiment::{compare_policies, Comparison, PolicyRow};
+pub use metrics::{RunTotals, SamplePoint, TimeSeries};
+pub use replay::Replayer;
+pub use run::{RunConfig, RunOutcome, Simulation};
+pub use summary::Summary;

@@ -1,0 +1,352 @@
+//! One complete simulation run.
+//!
+//! [`Simulation::run`] wires the pieces together: a synthetic workload (or
+//! a recorded trace via [`Simulation::run_trace`]) streams events into a
+//! [`Replayer`] holding a [`Database`] and a [`Collector`]; time-series
+//! samples are taken every `sample_every` events; and the final state is
+//! condensed into [`RunTotals`] (with one last oracle pass for the
+//! live/garbage split).
+
+use crate::metrics::{RunTotals, SamplePoint, TimeSeries};
+use crate::replay::Replayer;
+use pgc_core::{build_policy, Collector, PolicyKind, Trigger};
+use pgc_odb::{oracle, Database, DbStats};
+use pgc_types::{DbConfig, Result};
+use pgc_workload::generator::GenStats;
+use pgc_workload::{Event, SyntheticWorkload, WorkloadParams};
+
+/// Everything needed to run one simulation.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The partition selection policy under test.
+    pub policy: PolicyKind,
+    /// Database geometry and trigger configuration.
+    pub db: DbConfig,
+    /// Workload parameters (the seed lives here).
+    pub workload: WorkloadParams,
+    /// Take a time-series sample every this many events (`None` = no
+    /// series; sampling runs the oracle, so it has a simulation-time cost).
+    pub sample_every: Option<u64>,
+    /// Override the GC trigger (`None` = the paper's overwrite-count
+    /// trigger at `db.gc_overwrite_threshold`).
+    pub trigger: Option<Trigger>,
+    /// Partitions collected per activation (the paper uses 1).
+    pub collect_batch: u32,
+}
+
+impl RunConfig {
+    /// The paper's headline configuration (Tables 2–4): 48-page (384 KB)
+    /// partitions with an equal-size buffer, collection every 200 pointer
+    /// overwrites, ~11 MB allocated of which ~5 MB stays live.
+    pub fn paper(policy: PolicyKind, seed: u64) -> Self {
+        Self {
+            policy,
+            db: DbConfig::default(),
+            workload: WorkloadParams::default().with_seed(seed),
+            sample_every: None,
+            trigger: None,
+            collect_batch: 1,
+        }
+    }
+
+    /// A milliseconds-scale configuration for tests, examples, and
+    /// doctests: 16 KB partitions of 1 KB pages, trigger every 50
+    /// overwrites, ~0.5 MB allocated.
+    pub fn small() -> Self {
+        Self {
+            policy: PolicyKind::UpdatedPointer,
+            db: DbConfig::default()
+                .with_page_size(1024)
+                .with_partition_pages(16)
+                .with_gc_overwrite_threshold(50),
+            workload: WorkloadParams::small(),
+            sample_every: None,
+            trigger: None,
+            collect_batch: 1,
+        }
+    }
+
+    /// Replaces the policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the workload seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.workload.seed = seed;
+        self
+    }
+
+    /// Enables time-series sampling at the given event interval.
+    #[must_use]
+    pub fn with_sampling(mut self, every_events: u64) -> Self {
+        self.sample_every = Some(every_events.max(1));
+        self
+    }
+
+    /// Overrides the GC trigger.
+    #[must_use]
+    pub fn with_trigger(mut self, trigger: Trigger) -> Self {
+        self.trigger = Some(trigger);
+        self
+    }
+
+    /// Sets the partitions collected per activation.
+    #[must_use]
+    pub fn with_collect_batch(mut self, batch: u32) -> Self {
+        self.collect_batch = batch.max(1);
+        self
+    }
+
+    fn build_replayer(&self) -> Result<Replayer> {
+        let db = Database::new(self.db.clone())?;
+        // The Random policy's stream is decorrelated from the workload's by
+        // hashing, but still derived from the run seed for reproducibility.
+        let policy_seed = self.workload.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5;
+        let trigger = self
+            .trigger
+            .unwrap_or(Trigger::OverwriteCount(self.db.gc_overwrite_threshold));
+        let collector = Collector::with_trigger(
+            build_policy(self.policy, policy_seed, self.db.max_weight),
+            trigger,
+        )
+        .with_batch(self.collect_batch);
+        Ok(Replayer::new(db, collector))
+    }
+}
+
+/// The result of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Policy that ran.
+    pub policy: PolicyKind,
+    /// Workload seed.
+    pub seed: u64,
+    /// Aggregate metrics (the table numbers).
+    pub totals: RunTotals,
+    /// Sampled curves (empty unless sampling was enabled).
+    pub series: TimeSeries,
+    /// Semantic database counters.
+    pub db_stats: DbStats,
+    /// Workload generator counters (zeroed for trace replays).
+    pub gen_stats: GenStats,
+}
+
+/// Entry points for running simulations.
+pub struct Simulation;
+
+impl Simulation {
+    /// Runs the synthetic workload described by `cfg`.
+    pub fn run(cfg: &RunConfig) -> Result<RunOutcome> {
+        let mut generator = SyntheticWorkload::new(cfg.workload.clone())?;
+        let mut replayer = cfg.build_replayer()?;
+        let mut series = TimeSeries::new();
+        let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
+        let mut next_sample = sample_every;
+
+        for event in generator.by_ref() {
+            replayer.apply(&event)?;
+            if replayer.events_applied() >= next_sample {
+                take_sample(&mut series, &replayer);
+                next_sample += sample_every;
+            }
+        }
+        if cfg.sample_every.is_some() {
+            take_sample(&mut series, &replayer);
+        }
+
+        let gen_stats = generator.stats();
+        Ok(finish(cfg, replayer, series, gen_stats))
+    }
+
+    /// Replays a recorded trace under `cfg` (the configured workload
+    /// parameters are ignored except for the seed, which labels the run).
+    pub fn run_trace<'a>(
+        cfg: &RunConfig,
+        events: impl IntoIterator<Item = &'a Event>,
+    ) -> Result<RunOutcome> {
+        let mut replayer = cfg.build_replayer()?;
+        let mut series = TimeSeries::new();
+        let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
+        let mut next_sample = sample_every;
+        for event in events {
+            replayer.apply(event)?;
+            if replayer.events_applied() >= next_sample {
+                take_sample(&mut series, &replayer);
+                next_sample += sample_every;
+            }
+        }
+        if cfg.sample_every.is_some() {
+            take_sample(&mut series, &replayer);
+        }
+        Ok(finish(cfg, replayer, series, GenStats::default()))
+    }
+}
+
+fn take_sample(series: &mut TimeSeries, replayer: &Replayer) {
+    let db = replayer.db();
+    let report = oracle::analyze(db);
+    series.push(SamplePoint {
+        events: replayer.events_applied(),
+        resident_bytes: db.resident_bytes(),
+        garbage_bytes: report.garbage_bytes,
+        footprint: db.total_footprint(),
+        collections: db.stats().collections,
+    });
+}
+
+fn finish(
+    cfg: &RunConfig,
+    replayer: Replayer,
+    series: TimeSeries,
+    gen_stats: GenStats,
+) -> RunOutcome {
+    let events = replayer.events_applied();
+    let db = replayer.db();
+    let final_report = oracle::analyze(db);
+    let io = db.io_stats();
+    let db_stats = db.stats();
+    let totals = RunTotals {
+        app_ios: io.app_ios(),
+        gc_ios: io.gc_ios(),
+        max_footprint: db.total_footprint(),
+        partitions: db.partition_count(),
+        collections: db_stats.collections,
+        reclaimed_bytes: db_stats.reclaimed_bytes,
+        reclaimed_objects: db_stats.reclaimed_objects,
+        final_live_bytes: final_report.live_bytes,
+        final_garbage_bytes: final_report.garbage_bytes,
+        final_nepotism_bytes: final_report.nepotism_bytes,
+        events,
+        app_net_ops: db.net_stats().app_reads + db.net_stats().app_writebacks,
+        gc_net_ops: db.net_stats().gc_reads + db.net_stats().gc_writebacks,
+    };
+    RunOutcome {
+        policy: cfg.policy,
+        seed: cfg.workload.seed,
+        totals,
+        series,
+        db_stats,
+        gen_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgc_types::Bytes;
+
+    #[test]
+    fn small_run_produces_sane_totals() {
+        let cfg = RunConfig::small().with_seed(1);
+        let out = Simulation::run(&cfg).unwrap();
+        assert!(out.totals.events > 5_000);
+        assert!(out.totals.app_ios > 0);
+        assert!(out.totals.collections > 0);
+        assert!(out.totals.reclaimed_bytes > Bytes::ZERO);
+        assert!(out.totals.final_live_bytes > Bytes::ZERO);
+        assert!(out.totals.max_footprint >= out.totals.final_live_bytes);
+        assert_eq!(out.seed, 1);
+        assert_eq!(out.policy, PolicyKind::UpdatedPointer);
+    }
+
+    #[test]
+    fn no_collection_never_collects_and_uses_most_space() {
+        let nc = Simulation::run(&RunConfig::small().with_policy(PolicyKind::NoCollection))
+            .unwrap();
+        let up = Simulation::run(&RunConfig::small().with_policy(PolicyKind::UpdatedPointer))
+            .unwrap();
+        assert_eq!(nc.totals.collections, 0);
+        assert_eq!(nc.totals.gc_ios, 0);
+        assert_eq!(nc.totals.reclaimed_bytes, Bytes::ZERO);
+        assert!(
+            nc.totals.max_footprint >= up.totals.max_footprint,
+            "collection must not increase the footprint: {} vs {}",
+            nc.totals.max_footprint,
+            up.totals.max_footprint
+        );
+    }
+
+    #[test]
+    fn sampling_produces_a_chronological_series() {
+        let cfg = RunConfig::small().with_seed(2).with_sampling(5_000);
+        let out = Simulation::run(&cfg).unwrap();
+        assert!(out.series.points().len() >= 2);
+        let mut prev = 0;
+        for p in out.series.points() {
+            assert!(p.events >= prev);
+            prev = p.events;
+            assert!(p.footprint >= p.resident_bytes);
+        }
+    }
+
+    #[test]
+    fn identical_configs_are_deterministic() {
+        let cfg = RunConfig::small().with_seed(3);
+        let a = Simulation::run(&cfg).unwrap();
+        let b = Simulation::run(&cfg).unwrap();
+        assert_eq!(a.totals, b.totals);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::run(&RunConfig::small().with_seed(4)).unwrap();
+        let b = Simulation::run(&RunConfig::small().with_seed(5)).unwrap();
+        assert_ne!(a.totals, b.totals);
+    }
+
+    #[test]
+    fn trace_replay_matches_live_run() {
+        let cfg = RunConfig::small().with_seed(6);
+        let live = Simulation::run(&cfg).unwrap();
+        let events: Vec<Event> = SyntheticWorkload::new(cfg.workload.clone())
+            .unwrap()
+            .collect();
+        let replayed = Simulation::run_trace(&cfg, &events).unwrap();
+        assert_eq!(live.totals, replayed.totals);
+    }
+}
+
+#[cfg(test)]
+mod trigger_tests {
+    use super::*;
+    use pgc_core::Trigger;
+    use pgc_types::Bytes;
+
+    #[test]
+    fn batch_collection_reduces_activations_not_work() {
+        let single = Simulation::run(&RunConfig::small().with_seed(21)).unwrap();
+        let batched =
+            Simulation::run(&RunConfig::small().with_seed(21).with_collect_batch(3)).unwrap();
+        // Same trigger points, three collections per activation.
+        assert!(batched.totals.collections > single.totals.collections);
+        assert!(batched.totals.reclaimed_bytes >= single.totals.reclaimed_bytes);
+    }
+
+    #[test]
+    fn allocation_trigger_collects_even_with_no_overwrite_pressure() {
+        let mut cfg = RunConfig::small().with_seed(22);
+        cfg.workload.deletions_per_round = 0; // no overwrites at all
+        let overwrite_based = Simulation::run(&cfg.clone()).unwrap();
+        assert_eq!(overwrite_based.totals.collections, 0);
+        let alloc_based = Simulation::run(
+            &cfg.with_trigger(Trigger::AllocationBytes(Bytes::from_kib(32))),
+        )
+        .unwrap();
+        assert!(alloc_based.totals.collections > 0);
+    }
+
+    #[test]
+    fn growth_trigger_collects_on_space_pressure() {
+        let cfg = RunConfig::small()
+            .with_seed(23)
+            .with_trigger(Trigger::PartitionGrowth);
+        let out = Simulation::run(&cfg).unwrap();
+        assert!(out.totals.collections > 0);
+        // Growth-triggered collection bounds the footprint by construction.
+        assert!(out.totals.max_footprint >= out.totals.final_live_bytes);
+    }
+}

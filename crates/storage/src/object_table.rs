@@ -1,0 +1,305 @@
+//! The object table: stable identity over movable storage.
+//!
+//! The copying collector relocates objects, so everything above the storage
+//! layer names objects by [`Oid`] and resolves physical locations through
+//! this table. Besides the per-object records, the table maintains dense
+//! per-partition membership sets, which the collector uses to enumerate a
+//! partition's residents (to find its garbage) and the oracle uses to
+//! attribute garbage to partitions.
+
+use crate::addr::ObjAddr;
+use pgc_types::{Bytes, Oid, PartitionId, PgcError, Result, SlotId};
+use std::collections::HashSet;
+
+/// Everything the database knows about one object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// Current physical location.
+    pub addr: ObjAddr,
+    /// Object size in bytes (fixed at creation).
+    pub size: Bytes,
+    /// Pointer slots. Tree children occupy the first slots; dense edges
+    /// appended by the workload extend the vector.
+    pub slots: Vec<Option<Oid>>,
+    /// Root-distance weight for the `WeightedPointer` policy (1 = root,
+    /// capped at the configured maximum, 16 in the paper).
+    pub weight: u8,
+    /// Logical creation time: the value of the table's allocation clock
+    /// when the object was registered (0-based, one tick per object).
+    /// Backs age-based (generational) selection policies.
+    pub birth: u64,
+}
+
+impl ObjectRecord {
+    /// Reads slot `slot`, failing if the index is out of range.
+    pub fn slot(&self, oid: Oid, slot: SlotId) -> Result<Option<Oid>> {
+        self.slots
+            .get(slot.as_usize())
+            .copied()
+            .ok_or(PgcError::SlotOutOfRange {
+                oid,
+                slot: slot.0,
+                len: self.slots.len(),
+            })
+    }
+}
+
+/// The Oid → record map plus per-partition membership.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectTable {
+    records: std::collections::HashMap<Oid, ObjectRecord>,
+    members: Vec<HashSet<Oid>>,
+    next_oid: u64,
+    total_bytes: Bytes,
+    clock: u64,
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (registered) objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no objects are registered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total bytes of all registered objects.
+    #[inline]
+    pub fn total_bytes(&self) -> Bytes {
+        self.total_bytes
+    }
+
+    /// Reserves and returns the next object id without registering a record
+    /// (the database allocates storage first, then registers).
+    pub fn reserve_oid(&mut self) -> Oid {
+        let oid = Oid(self.next_oid);
+        self.next_oid += 1;
+        oid
+    }
+
+    /// The current value of the allocation clock (ticks once per
+    /// registered object; relocation does not tick it).
+    #[inline]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Registers a record under `oid` (previously handed out by
+    /// [`ObjectTable::reserve_oid`]), stamping its `birth` with the
+    /// current allocation clock.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `oid` is not already registered.
+    pub fn register(&mut self, oid: Oid, mut record: ObjectRecord) {
+        debug_assert!(!self.records.contains_key(&oid), "duplicate oid {oid}");
+        record.birth = self.clock;
+        self.clock += 1;
+        self.ensure_partition(record.addr.partition);
+        self.members[record.addr.partition.as_usize()].insert(oid);
+        self.total_bytes += record.size;
+        self.records.insert(oid, record);
+    }
+
+    /// Looks up an object, failing with [`PgcError::UnknownObject`] if it
+    /// does not exist (any more).
+    pub fn get(&self, oid: Oid) -> Result<&ObjectRecord> {
+        self.records.get(&oid).ok_or(PgcError::UnknownObject(oid))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, oid: Oid) -> Result<&mut ObjectRecord> {
+        self.records
+            .get_mut(&oid)
+            .ok_or(PgcError::UnknownObject(oid))
+    }
+
+    /// True if `oid` is currently registered.
+    #[inline]
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.records.contains_key(&oid)
+    }
+
+    /// Removes an object (it has been reclaimed), returning its record.
+    pub fn remove(&mut self, oid: Oid) -> Result<ObjectRecord> {
+        let record = self
+            .records
+            .remove(&oid)
+            .ok_or(PgcError::UnknownObject(oid))?;
+        self.members[record.addr.partition.as_usize()].remove(&oid);
+        self.total_bytes -= record.size;
+        Ok(record)
+    }
+
+    /// Moves an object to a new physical address (collector evacuation),
+    /// updating partition membership.
+    pub fn relocate(&mut self, oid: Oid, new_addr: ObjAddr) -> Result<()> {
+        let old_partition = self.get(oid)?.addr.partition;
+        self.ensure_partition(new_addr.partition);
+        self.members[old_partition.as_usize()].remove(&oid);
+        self.members[new_addr.partition.as_usize()].insert(oid);
+        self.get_mut(oid)?.addr = new_addr;
+        Ok(())
+    }
+
+    /// The objects currently resident in `partition`.
+    pub fn members(&self, partition: PartitionId) -> impl Iterator<Item = Oid> + '_ {
+        self.members
+            .get(partition.as_usize())
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Number of objects resident in `partition`.
+    pub fn member_count(&self, partition: PartitionId) -> usize {
+        self.members
+            .get(partition.as_usize())
+            .map_or(0, |s| s.len())
+    }
+
+    /// Iterates over every `(oid, record)` pair.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, &ObjectRecord)> {
+        self.records.iter().map(|(&oid, rec)| (oid, rec))
+    }
+
+    fn ensure_partition(&mut self, partition: PartitionId) {
+        let need = partition.as_usize() + 1;
+        if self.members.len() < need {
+            self.members.resize_with(need, HashSet::new);
+        }
+    }
+
+    /// Debug invariant check: membership sets partition the record map.
+    pub fn check_invariants(&self) {
+        let mut seen = 0usize;
+        for (idx, set) in self.members.iter().enumerate() {
+            for &oid in set {
+                let rec = self.records.get(&oid).expect("member without record");
+                assert_eq!(
+                    rec.addr.partition.as_usize(),
+                    idx,
+                    "object {oid} in wrong member set"
+                );
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, self.records.len(), "membership does not cover table");
+        let bytes: Bytes = self.records.values().map(|r| r.size).sum();
+        assert_eq!(bytes, self.total_bytes, "byte accounting drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(partition: u32, offset: u64, size: u64, nslots: usize) -> ObjectRecord {
+        ObjectRecord {
+            addr: ObjAddr::new(PartitionId(partition), offset),
+            size: Bytes(size),
+            slots: vec![None; nslots],
+            weight: 1,
+            birth: 0,
+        }
+    }
+
+    #[test]
+    fn reserve_register_lookup() {
+        let mut t = ObjectTable::new();
+        let a = t.reserve_oid();
+        let b = t.reserve_oid();
+        assert_ne!(a, b);
+        t.register(a, rec(1, 0, 100, 2));
+        assert!(t.contains(a));
+        assert!(!t.contains(b));
+        assert_eq!(t.get(a).unwrap().size, Bytes(100));
+        assert!(matches!(t.get(b), Err(PgcError::UnknownObject(_))));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.total_bytes(), Bytes(100));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn oids_are_never_reused() {
+        let mut t = ObjectTable::new();
+        let a = t.reserve_oid();
+        t.register(a, rec(1, 0, 10, 0));
+        t.remove(a).unwrap();
+        let b = t.reserve_oid();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn remove_updates_membership_and_bytes() {
+        let mut t = ObjectTable::new();
+        let a = t.reserve_oid();
+        t.register(a, rec(2, 0, 64, 1));
+        assert_eq!(t.member_count(PartitionId(2)), 1);
+        let removed = t.remove(a).unwrap();
+        assert_eq!(removed.size, Bytes(64));
+        assert_eq!(t.member_count(PartitionId(2)), 0);
+        assert_eq!(t.total_bytes(), Bytes::ZERO);
+        assert!(t.remove(a).is_err());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn relocate_moves_membership() {
+        let mut t = ObjectTable::new();
+        let a = t.reserve_oid();
+        t.register(a, rec(1, 0, 100, 2));
+        t.relocate(a, ObjAddr::new(PartitionId(3), 500)).unwrap();
+        assert_eq!(t.member_count(PartitionId(1)), 0);
+        assert_eq!(t.member_count(PartitionId(3)), 1);
+        assert_eq!(t.get(a).unwrap().addr.offset, 500);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn members_lists_only_that_partition() {
+        let mut t = ObjectTable::new();
+        let a = t.reserve_oid();
+        let b = t.reserve_oid();
+        let c = t.reserve_oid();
+        t.register(a, rec(1, 0, 10, 0));
+        t.register(b, rec(1, 10, 10, 0));
+        t.register(c, rec(2, 0, 10, 0));
+        let mut in_p1: Vec<Oid> = t.members(PartitionId(1)).collect();
+        in_p1.sort();
+        assert_eq!(in_p1, vec![a, b]);
+        assert_eq!(t.members(PartitionId(9)).count(), 0);
+    }
+
+    #[test]
+    fn slot_bounds_are_checked() {
+        let mut t = ObjectTable::new();
+        let a = t.reserve_oid();
+        t.register(a, rec(1, 0, 100, 2));
+        let r = t.get(a).unwrap();
+        assert_eq!(r.slot(a, SlotId(0)).unwrap(), None);
+        assert_eq!(r.slot(a, SlotId(1)).unwrap(), None);
+        assert!(matches!(
+            r.slot(a, SlotId(2)),
+            Err(PgcError::SlotOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut t = ObjectTable::new();
+        for i in 0..5 {
+            let o = t.reserve_oid();
+            t.register(o, rec(1, i * 10, 10, 0));
+        }
+        assert_eq!(t.iter().count(), 5);
+    }
+}

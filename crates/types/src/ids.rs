@@ -1,0 +1,181 @@
+//! Strongly typed identifiers.
+//!
+//! The simulator manipulates four kinds of entities that are all "just
+//! integers" underneath: objects, partitions, pages, and pointer slots
+//! within an object. Newtype wrappers keep them from being confused for one
+//! another and give each a self-describing `Display` form (`o#42`, `P3`,
+//! `pg#1027`, `s2`) that shows up in logs, error messages, and test output.
+
+use std::fmt;
+
+/// A stable object identifier.
+///
+/// An [`Oid`] names an object for its whole lifetime; it never changes when
+/// the copying collector relocates the object, and it is never reused after
+/// the object is reclaimed. Pointer slots in objects hold `Option<Oid>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub u64);
+
+impl Oid {
+    /// Returns the raw numeric id.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o#{}", self.0)
+    }
+}
+
+/// Identifies one physical partition of the database.
+///
+/// Partitions are contiguous runs of pages; partition `p` with a partition
+/// size of `k` pages spans the global pages `[p*k, (p+1)*k)`. Partition ids
+/// are dense: they are handed out `0, 1, 2, ...` as the database grows and
+/// are never retired (a collected partition is reused as the next copy
+/// target rather than freed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// Returns the raw partition number.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the partition number as a `usize`, for indexing dense
+    /// per-partition tables.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies one page in the global (database-wide) page address space.
+///
+/// The buffer pool caches pages by [`PageId`]; the mapping between pages and
+/// partitions is pure arithmetic (see [`crate::config::DbConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Returns the raw page number.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg#{}", self.0)
+    }
+}
+
+/// Index of a pointer slot within an object.
+///
+/// Objects in the simulated database carry a small array of pointer slots
+/// (two tree-child slots plus any dense edges, in the synthetic workload);
+/// a `(Oid, SlotId)` pair is a *pointer location*, the unit tracked by
+/// remembered sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u16);
+
+impl SlotId {
+    /// Returns the slot index as a `usize`, for indexing the slot array.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A pointer location: slot `slot` of object `owner`.
+///
+/// Remembered sets record the locations of inter-partition pointers so a
+/// partition can be collected without scanning the rest of the database, and
+/// so the collector can forward those pointers when it relocates their
+/// targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PointerLoc {
+    /// The object containing the pointer.
+    pub owner: Oid,
+    /// Which of the owner's slots holds the pointer.
+    pub slot: SlotId,
+}
+
+impl PointerLoc {
+    /// Convenience constructor.
+    #[inline]
+    pub const fn new(owner: Oid, slot: SlotId) -> Self {
+        Self { owner, slot }
+    }
+}
+
+impl fmt::Display for PointerLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.owner, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_forms_are_compact_and_distinct() {
+        assert_eq!(Oid(42).to_string(), "o#42");
+        assert_eq!(PartitionId(3).to_string(), "P3");
+        assert_eq!(PageId(1027).to_string(), "pg#1027");
+        assert_eq!(SlotId(2).to_string(), "s2");
+        assert_eq!(PointerLoc::new(Oid(7), SlotId(1)).to_string(), "o#7.s1");
+    }
+
+    #[test]
+    fn ids_order_by_underlying_value() {
+        assert!(Oid(1) < Oid(2));
+        assert!(PartitionId(0) < PartitionId(10));
+        assert!(PageId(5) < PageId(6));
+        assert!(SlotId(0) < SlotId(1));
+    }
+
+    #[test]
+    fn ids_hash_distinctly() {
+        let set: HashSet<Oid> = (0..100).map(Oid).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn pointer_loc_equality_is_componentwise() {
+        let a = PointerLoc::new(Oid(1), SlotId(0));
+        let b = PointerLoc::new(Oid(1), SlotId(0));
+        let c = PointerLoc::new(Oid(1), SlotId(1));
+        let d = PointerLoc::new(Oid(2), SlotId(0));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn partition_id_as_usize_round_trips() {
+        let p = PartitionId(17);
+        assert_eq!(p.as_usize(), 17);
+        assert_eq!(p.index(), 17);
+    }
+}

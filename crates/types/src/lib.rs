@@ -1,0 +1,27 @@
+//! # pgc-types
+//!
+//! Foundation types shared by every crate in the `pgc` workspace: strongly
+//! typed identifiers ([`Oid`], [`PartitionId`], [`PageId`], [`SlotId`]),
+//! byte/page unit arithmetic ([`units`]), the simulation configuration
+//! ([`DbConfig`]), error types, and a deterministic seeded random number
+//! generator used everywhere randomness is needed so that experiments are
+//! reproducible run-to-run.
+//!
+//! Nothing in this crate knows about objects, partitions-as-data-structures,
+//! or garbage collection; it only provides the vocabulary the rest of the
+//! system is written in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod units;
+
+pub use config::{DbConfig, PlacementPolicy};
+pub use error::{PgcError, Result};
+pub use ids::{Oid, PageId, PartitionId, PointerLoc, SlotId};
+pub use rng::SimRng;
+pub use units::{Bytes, PageCount, DEFAULT_PAGE_SIZE};

@@ -1,0 +1,506 @@
+//! An OO7-flavored design-library workload.
+//!
+//! The paper justifies its large leaf objects "in a manner similar to the
+//! document nodes in the OO7 benchmark". This module goes the rest of the
+//! way and provides a second, structurally different application model
+//! shaped like OO7's design library:
+//!
+//! * a forest of **modules**, each a complete assembly tree of fixed
+//!   fan-out and depth;
+//! * **base assemblies** (the leaves) own a fixed number of **composite
+//!   parts**;
+//! * a composite part is a small *cyclic* graph of atomic parts (a ring)
+//!   plus one large **design document**;
+//! * churn replaces whole composite parts: the pointer from the base
+//!   assembly is overwritten with a freshly built composite, orphaning the
+//!   old one — a garbage *cycle*, which stresses exactly the collector
+//!   behaviour tree workloads cannot (cyclic garbage, including
+//!   cross-partition cycles when a composite straddles partitions);
+//! * traversals walk a module's assembly tree and visit every atomic part
+//!   of every composite, occasionally reading the document.
+//!
+//! The generator emits the same [`Event`] vocabulary as the tree workload,
+//! so traces record/replay identically and any policy can be driven by it.
+
+use crate::event::{Event, NodeId};
+use pgc_types::{Bytes, PgcError, Result, SimRng};
+use std::collections::VecDeque;
+
+/// Parameters of the assembly workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssemblyParams {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of modules (database roots).
+    pub modules: u32,
+    /// Children per assembly node.
+    pub fanout: u32,
+    /// Assembly-tree depth (levels of assemblies below the module root;
+    /// the lowest level consists of base assemblies).
+    pub depth: u32,
+    /// Composite parts owned by each base assembly.
+    pub parts_per_base: u32,
+    /// Atomic parts in each composite's ring.
+    pub atomics_per_composite: u32,
+    /// Size of assembly and atomic-part objects (bytes).
+    pub small_size: u64,
+    /// Size of each composite's design document (bytes).
+    pub document_size: u64,
+    /// Composite replacements to perform after construction.
+    pub replacements: u32,
+    /// Module traversals interleaved between replacements.
+    pub traversals_per_replacement: u32,
+    /// Probability a traversal reads a composite's document.
+    pub p_read_document: f64,
+}
+
+impl Default for AssemblyParams {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            modules: 3,
+            fanout: 3,
+            depth: 3,
+            parts_per_base: 3,
+            atomics_per_composite: 12,
+            small_size: 100,
+            document_size: 32 * 1024,
+            replacements: 600,
+            traversals_per_replacement: 1,
+            p_read_document: 0.2,
+        }
+    }
+}
+
+impl AssemblyParams {
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of composite replacements (churn volume).
+    #[must_use]
+    pub fn with_replacements(mut self, n: u32) -> Self {
+        self.replacements = n;
+        self
+    }
+
+    /// A tiny configuration for tests (runs in milliseconds, documents
+    /// small enough for miniature partitions).
+    pub fn small() -> Self {
+        Self {
+            modules: 2,
+            fanout: 2,
+            depth: 2,
+            parts_per_base: 2,
+            atomics_per_composite: 5,
+            document_size: 4 * 1024,
+            replacements: 60,
+            ..Self::default()
+        }
+    }
+
+    /// Validates parameter consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.modules == 0 || self.fanout == 0 || self.parts_per_base == 0 {
+            return Err(PgcError::InvalidConfig(
+                "modules, fanout, and parts_per_base must be positive",
+            ));
+        }
+        if self.atomics_per_composite < 2 {
+            return Err(PgcError::InvalidConfig(
+                "a composite ring needs at least 2 atomic parts",
+            ));
+        }
+        if self.small_size == 0 || self.document_size == 0 {
+            return Err(PgcError::InvalidConfig("object sizes must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.p_read_document) {
+            return Err(PgcError::InvalidConfig("p_read_document must be in [0,1]"));
+        }
+        Ok(())
+    }
+
+    /// Total objects built during initial construction.
+    pub fn initial_objects(&self) -> u64 {
+        let assemblies_per_module: u64 = (0..=self.depth)
+            .map(|level| (self.fanout as u64).pow(level))
+            .sum();
+        let bases_per_module = (self.fanout as u64).pow(self.depth);
+        let composite_objects = 1 + self.atomics_per_composite as u64 + 1; // root + atomics + doc
+        self.modules as u64
+            * (assemblies_per_module
+                + bases_per_module * self.parts_per_base as u64 * composite_objects)
+    }
+}
+
+/// One composite part's node ids, for traversal and replacement.
+#[derive(Debug, Clone)]
+struct Composite {
+    root: NodeId,
+    atomics: Vec<NodeId>,
+    document: NodeId,
+}
+
+/// A slot in a base assembly that holds a (replaceable) composite.
+#[derive(Debug, Clone, Copy)]
+struct PartSlot {
+    base: NodeId,
+    slot: u16,
+}
+
+/// The assembly workload generator: an `Iterator<Item = Event>`.
+#[derive(Debug, Clone)]
+pub struct AssemblyWorkload {
+    params: AssemblyParams,
+    rng: SimRng,
+    pending: VecDeque<Event>,
+    next_node: u64,
+    modules: Vec<NodeId>,
+    /// Assembly tree per module, level by level (for traversal).
+    module_assemblies: Vec<Vec<NodeId>>,
+    part_slots: Vec<PartSlot>,
+    composites: Vec<Composite>, // parallel to part_slots: current occupant
+    built: bool,
+    replacements_done: u32,
+}
+
+impl AssemblyWorkload {
+    /// Creates a generator (validates parameters).
+    pub fn new(params: AssemblyParams) -> Result<Self> {
+        params.validate()?;
+        let rng = SimRng::new(params.seed);
+        Ok(Self {
+            params,
+            rng,
+            pending: VecDeque::new(),
+            next_node: 0,
+            modules: Vec::new(),
+            module_assemblies: Vec::new(),
+            part_slots: Vec::new(),
+            composites: Vec::new(),
+            built: false,
+            replacements_done: 0,
+        })
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &AssemblyParams {
+        &self.params
+    }
+
+    /// Composite replacements performed so far.
+    pub fn replacements_done(&self) -> u32 {
+        self.replacements_done
+    }
+
+    fn fresh_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        id
+    }
+
+    // -----------------------------------------------------------------
+    // Construction
+    // -----------------------------------------------------------------
+
+    fn build_all(&mut self) {
+        for _ in 0..self.params.modules {
+            self.build_module();
+        }
+        self.built = true;
+    }
+
+    fn build_module(&mut self) {
+        let fanout = self.params.fanout as u16;
+        let root = self.fresh_node();
+        self.pending.push_back(Event::CreateRoot {
+            node: root,
+            size: Bytes(self.params.small_size),
+            slots: fanout,
+        });
+        self.modules.push(root);
+        let mut all_assemblies = vec![root];
+
+        // Assembly levels.
+        let mut frontier = vec![root];
+        for level in 1..=self.params.depth {
+            let is_base_level = level == self.params.depth;
+            let child_slots = if is_base_level {
+                self.params.parts_per_base as u16
+            } else {
+                fanout
+            };
+            let mut next = Vec::new();
+            for &parent in &frontier {
+                for slot in 0..fanout {
+                    let child = self.fresh_node();
+                    self.pending.push_back(Event::CreateChild {
+                        node: child,
+                        parent,
+                        parent_slot: slot,
+                        size: Bytes(self.params.small_size),
+                        slots: child_slots,
+                    });
+                    next.push(child);
+                }
+            }
+            all_assemblies.extend(next.iter().copied());
+            frontier = next;
+        }
+        self.module_assemblies.push(all_assemblies);
+
+        // Base assemblies own composite parts.
+        for base in frontier {
+            for slot in 0..self.params.parts_per_base as u16 {
+                let composite = self.build_composite(base, slot);
+                self.part_slots.push(PartSlot { base, slot });
+                self.composites.push(composite);
+            }
+        }
+    }
+
+    /// Builds a composite part linked from `parent.slot`: a root, a ring of
+    /// atomic parts, and a large document. Overwrites whatever the slot
+    /// held (that is how replacement generates garbage).
+    fn build_composite(&mut self, parent: NodeId, slot: u16) -> Composite {
+        let n_atomics = self.params.atomics_per_composite as usize;
+        // Root has one slot per atomic plus one for the document.
+        let root = self.fresh_node();
+        self.pending.push_back(Event::CreateChild {
+            node: root,
+            parent,
+            parent_slot: slot,
+            size: Bytes(self.params.small_size),
+            slots: n_atomics as u16 + 1,
+        });
+        // Atomic parts: each has one ring slot.
+        let mut atomics = Vec::with_capacity(n_atomics);
+        for i in 0..n_atomics {
+            let atomic = self.fresh_node();
+            self.pending.push_back(Event::CreateChild {
+                node: atomic,
+                parent: root,
+                parent_slot: i as u16,
+                size: Bytes(self.params.small_size),
+                slots: 1,
+            });
+            atomics.push(atomic);
+        }
+        // Close the ring: atomic[i].s0 = atomic[(i+1) % n].
+        for i in 0..n_atomics {
+            self.pending.push_back(Event::WritePointer {
+                owner: atomics[i],
+                slot: 0,
+                new: Some(atomics[(i + 1) % n_atomics]),
+            });
+        }
+        // The design document hangs off the composite root's last slot.
+        let document = self.fresh_node();
+        self.pending.push_back(Event::CreateChild {
+            node: document,
+            parent: root,
+            parent_slot: n_atomics as u16,
+            size: Bytes(self.params.document_size),
+            slots: 0,
+        });
+        Composite {
+            root,
+            atomics,
+            document,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Steady state: traverse + replace
+    // -----------------------------------------------------------------
+
+    fn churn_round(&mut self) {
+        for _ in 0..self.params.traversals_per_replacement {
+            self.traverse_module();
+        }
+        self.replace_composite();
+        self.replacements_done += 1;
+    }
+
+    fn traverse_module(&mut self) {
+        let m = self.rng.pick_index(self.modules.len());
+        // Visit every assembly of the module (they are stored root-first).
+        let assemblies = self.module_assemblies[m].clone();
+        for a in assemblies {
+            self.pending.push_back(Event::Visit { node: a });
+        }
+        // Visit the module's composites: ring walk + occasional document.
+        let module_root = self.modules[m];
+        let indices: Vec<usize> = self
+            .part_slots
+            .iter()
+            .enumerate()
+            .filter(|(_, ps)| self.owning_module(ps.base) == module_root)
+            .map(|(i, _)| i)
+            .collect();
+        for i in indices {
+            let composite = self.composites[i].clone();
+            self.pending.push_back(Event::Visit {
+                node: composite.root,
+            });
+            for a in &composite.atomics {
+                self.pending.push_back(Event::Visit { node: *a });
+            }
+            if self.rng.chance(self.params.p_read_document) {
+                self.pending.push_back(Event::Visit {
+                    node: composite.document,
+                });
+            }
+        }
+    }
+
+    /// Which module a base assembly belongs to (modules are built
+    /// sequentially, so node-id ranges identify them).
+    fn owning_module(&self, base: NodeId) -> NodeId {
+        let mut owner = self.modules[0];
+        for &m in &self.modules {
+            if m <= base {
+                owner = m;
+            }
+        }
+        owner
+    }
+
+    fn replace_composite(&mut self) {
+        let i = self.rng.pick_index(self.part_slots.len());
+        let PartSlot { base, slot } = self.part_slots[i];
+        // Building the new composite overwrites base.slot, orphaning the
+        // old composite — root, ring (a cycle!), and document together.
+        let fresh = self.build_composite(base, slot);
+        self.composites[i] = fresh;
+    }
+}
+
+impl Iterator for AssemblyWorkload {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                return Some(e);
+            }
+            if !self.built {
+                self.build_all();
+                continue;
+            }
+            if self.replacements_done >= self.params.replacements {
+                return None;
+            }
+            self.churn_round();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_initial_structure() {
+        let params = AssemblyParams::small();
+        let expected = params.initial_objects();
+        let events: Vec<Event> = AssemblyWorkload::new(params).unwrap().collect();
+        let creations = events.iter().filter(|e| e.is_creation()).count() as u64;
+        // Initial construction plus one composite per replacement.
+        let per_composite = 1 + 5 + 1;
+        let replacements = 60;
+        assert_eq!(creations, expected + replacements * per_composite);
+    }
+
+    #[test]
+    fn ids_are_dense_and_parents_precede_children() {
+        let mut created = 0u64;
+        for e in AssemblyWorkload::new(AssemblyParams::small()).unwrap() {
+            match e {
+                Event::CreateRoot { node, .. } => {
+                    assert_eq!(node.index(), created);
+                    created += 1;
+                }
+                Event::CreateChild { node, parent, .. } => {
+                    assert!(parent.index() < created);
+                    assert_eq!(node.index(), created);
+                    created += 1;
+                }
+                Event::WritePointer { owner, new, .. } => {
+                    assert!(owner.index() < created);
+                    if let Some(t) = new {
+                        assert!(t.index() < created);
+                    }
+                }
+                Event::Visit { node } | Event::DataWrite { node } => {
+                    assert!(node.index() < created);
+                }
+                Event::AddSlot { owner } => assert!(owner.index() < created),
+            }
+        }
+        assert!(created > 0);
+    }
+
+    #[test]
+    fn replacements_orphan_cycles() {
+        // Ring pointers are stored with WritePointer; replacements
+        // overwrite base slots via CreateChild onto an occupied slot.
+        let events: Vec<Event> = AssemblyWorkload::new(AssemblyParams::small())
+            .unwrap()
+            .collect();
+        let ring_writes = events
+            .iter()
+            .filter(|e| matches!(e, Event::WritePointer { new: Some(_), .. }))
+            .count();
+        // 2 modules * 4 bases... every composite writes one ring pointer
+        // per atomic: at least initial composites * atomics.
+        assert!(ring_writes >= 8 * 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Event> = AssemblyWorkload::new(AssemblyParams::small().with_seed(9))
+            .unwrap()
+            .collect();
+        let b: Vec<Event> = AssemblyWorkload::new(AssemblyParams::small().with_seed(9))
+            .unwrap()
+            .collect();
+        let c: Vec<Event> = AssemblyWorkload::new(AssemblyParams::small().with_seed(10))
+            .unwrap()
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut p = AssemblyParams::small();
+        p.modules = 0;
+        assert!(AssemblyWorkload::new(p).is_err());
+        let mut p = AssemblyParams::small();
+        p.atomics_per_composite = 1;
+        assert!(AssemblyWorkload::new(p).is_err());
+        let mut p = AssemblyParams::small();
+        p.p_read_document = 2.0;
+        assert!(AssemblyWorkload::new(p).is_err());
+    }
+
+    #[test]
+    fn initial_objects_formula_matches_small() {
+        let p = AssemblyParams::small();
+        // modules=2, fanout=2, depth=2: assemblies/module = 1+2+4 = 7;
+        // bases = 4; composites = 4*2 = 8 per module; each composite is
+        // 1 + 5 + 1 = 7 objects.
+        assert_eq!(p.initial_objects(), 2 * (7 + 8 * 7));
+    }
+
+    #[test]
+    fn replacements_counter_tracks() {
+        let mut g = AssemblyWorkload::new(AssemblyParams::small()).unwrap();
+        for _ in g.by_ref() {}
+        assert_eq!(g.replacements_done(), 60);
+    }
+}

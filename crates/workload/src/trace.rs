@@ -1,0 +1,388 @@
+//! Versioned binary trace codec.
+//!
+//! A trace file is the serialized event stream of one workload: recording a
+//! generator's output and replaying the file drives every policy's
+//! simulation with byte-identical input — the essence of trace-driven
+//! evaluation. The format is deliberately simple and self-contained (no
+//! external serialization dependency):
+//!
+//! ```text
+//! header:  magic "PGCT" | version u32 LE
+//! event*:  tag u8 | fields (little-endian, fixed width per tag)
+//! ```
+//!
+//! The stream ends at EOF on a tag boundary; a partial event is a
+//! [`PgcError::TraceFormat`] error.
+
+use crate::event::{Event, NodeId};
+use pgc_types::{Bytes, PgcError, Result};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PGCT";
+const VERSION: u32 = 1;
+
+const TAG_CREATE_ROOT: u8 = 1;
+const TAG_CREATE_CHILD: u8 = 2;
+const TAG_WRITE_POINTER: u8 = 3;
+const TAG_ADD_SLOT: u8 = 4;
+const TAG_VISIT: u8 = 5;
+const TAG_DATA_WRITE: u8 = 6;
+
+fn io_err(e: io::Error) -> PgcError {
+    PgcError::TraceIo(e.to_string())
+}
+
+/// Streaming trace encoder.
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    events: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header and returns a ready writer.
+    pub fn new(mut sink: W) -> Result<Self> {
+        sink.write_all(MAGIC).map_err(io_err)?;
+        sink.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+        Ok(Self { sink, events: 0 })
+    }
+
+    /// Appends one event.
+    pub fn write_event(&mut self, event: &Event) -> Result<()> {
+        let mut buf = Vec::with_capacity(32);
+        match *event {
+            Event::CreateRoot { node, size, slots } => {
+                buf.push(TAG_CREATE_ROOT);
+                buf.extend_from_slice(&node.0.to_le_bytes());
+                buf.extend_from_slice(&(size.get() as u32).to_le_bytes());
+                buf.extend_from_slice(&slots.to_le_bytes());
+            }
+            Event::CreateChild {
+                node,
+                parent,
+                parent_slot,
+                size,
+                slots,
+            } => {
+                buf.push(TAG_CREATE_CHILD);
+                buf.extend_from_slice(&node.0.to_le_bytes());
+                buf.extend_from_slice(&parent.0.to_le_bytes());
+                buf.extend_from_slice(&parent_slot.to_le_bytes());
+                buf.extend_from_slice(&(size.get() as u32).to_le_bytes());
+                buf.extend_from_slice(&slots.to_le_bytes());
+            }
+            Event::WritePointer { owner, slot, new } => {
+                buf.push(TAG_WRITE_POINTER);
+                buf.extend_from_slice(&owner.0.to_le_bytes());
+                buf.extend_from_slice(&slot.to_le_bytes());
+                match new {
+                    Some(t) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&t.0.to_le_bytes());
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Event::AddSlot { owner } => {
+                buf.push(TAG_ADD_SLOT);
+                buf.extend_from_slice(&owner.0.to_le_bytes());
+            }
+            Event::Visit { node } => {
+                buf.push(TAG_VISIT);
+                buf.extend_from_slice(&node.0.to_le_bytes());
+            }
+            Event::DataWrite { node } => {
+                buf.push(TAG_DATA_WRITE);
+                buf.extend_from_slice(&node.0.to_le_bytes());
+            }
+        }
+        self.sink.write_all(&buf).map_err(io_err)?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn finish(mut self) -> Result<W> {
+        self.sink.flush().map_err(io_err)?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming trace decoder: an `Iterator<Item = Result<Event>>`.
+pub struct TraceReader<R: Read> {
+    source: R,
+    failed: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Validates the header and returns a ready reader.
+    pub fn new(mut source: R) -> Result<Self> {
+        let mut magic = [0u8; 4];
+        source.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != MAGIC {
+            return Err(PgcError::TraceFormat("bad magic".into()));
+        }
+        let mut ver = [0u8; 4];
+        source.read_exact(&mut ver).map_err(io_err)?;
+        let version = u32::from_le_bytes(ver);
+        if version != VERSION {
+            return Err(PgcError::TraceFormat(format!(
+                "unsupported version {version} (expected {VERSION})"
+            )));
+        }
+        Ok(Self {
+            source,
+            failed: false,
+        })
+    }
+
+    fn read_u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.source
+            .read_exact(&mut b)
+            .map_err(|e| PgcError::TraceFormat(format!("truncated event: {e}")))?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn read_u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.source
+            .read_exact(&mut b)
+            .map_err(|e| PgcError::TraceFormat(format!("truncated event: {e}")))?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u16(&mut self) -> Result<u16> {
+        let mut b = [0u8; 2];
+        self.source
+            .read_exact(&mut b)
+            .map_err(|e| PgcError::TraceFormat(format!("truncated event: {e}")))?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn read_u8(&mut self) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.source
+            .read_exact(&mut b)
+            .map_err(|e| PgcError::TraceFormat(format!("truncated event: {e}")))?;
+        Ok(b[0])
+    }
+
+    fn read_event(&mut self) -> Result<Option<Event>> {
+        // A clean EOF at a tag boundary ends the stream.
+        let mut tag = [0u8; 1];
+        if self.source.read(&mut tag).map_err(io_err)? == 0 { return Ok(None) }
+        let event = match tag[0] {
+            TAG_CREATE_ROOT => Event::CreateRoot {
+                node: NodeId(self.read_u64()?),
+                size: Bytes(self.read_u32()? as u64),
+                slots: self.read_u16()?,
+            },
+            TAG_CREATE_CHILD => Event::CreateChild {
+                node: NodeId(self.read_u64()?),
+                parent: NodeId(self.read_u64()?),
+                parent_slot: self.read_u16()?,
+                size: Bytes(self.read_u32()? as u64),
+                slots: self.read_u16()?,
+            },
+            TAG_WRITE_POINTER => {
+                let owner = NodeId(self.read_u64()?);
+                let slot = self.read_u16()?;
+                let new = match self.read_u8()? {
+                    0 => None,
+                    1 => Some(NodeId(self.read_u64()?)),
+                    b => {
+                        return Err(PgcError::TraceFormat(format!(
+                            "bad option byte {b} in WritePointer"
+                        )))
+                    }
+                };
+                Event::WritePointer { owner, slot, new }
+            }
+            TAG_ADD_SLOT => Event::AddSlot {
+                owner: NodeId(self.read_u64()?),
+            },
+            TAG_VISIT => Event::Visit {
+                node: NodeId(self.read_u64()?),
+            },
+            TAG_DATA_WRITE => Event::DataWrite {
+                node: NodeId(self.read_u64()?),
+            },
+            t => return Err(PgcError::TraceFormat(format!("unknown tag {t}"))),
+        };
+        Ok(Some(event))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Event>;
+
+    fn next(&mut self) -> Option<Result<Event>> {
+        if self.failed {
+            return None;
+        }
+        match self.read_event() {
+            Ok(Some(e)) => Some(Ok(e)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Serializes a whole event sequence.
+///
+/// ```
+/// use pgc_workload::{read_trace, write_trace, Event, NodeId};
+/// use pgc_types::Bytes;
+///
+/// let events = vec![
+///     Event::CreateRoot { node: NodeId(0), size: Bytes(100), slots: 2 },
+///     Event::Visit { node: NodeId(0) },
+/// ];
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &events).unwrap();
+/// assert_eq!(read_trace(buf.as_slice()).unwrap(), events);
+/// ```
+pub fn write_trace<'a, W: Write>(
+    sink: W,
+    events: impl IntoIterator<Item = &'a Event>,
+) -> Result<u64> {
+    let mut w = TraceWriter::new(sink)?;
+    for e in events {
+        w.write_event(e)?;
+    }
+    let n = w.events_written();
+    w.finish()?;
+    Ok(n)
+}
+
+/// Deserializes a whole trace.
+pub fn read_trace<R: Read>(source: R) -> Result<Vec<Event>> {
+    TraceReader::new(source)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SyntheticWorkload;
+    use crate::params::WorkloadParams;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::CreateRoot {
+                node: NodeId(0),
+                size: Bytes(120),
+                slots: 2,
+            },
+            Event::CreateChild {
+                node: NodeId(1),
+                parent: NodeId(0),
+                parent_slot: 1,
+                size: Bytes(65536),
+                slots: 2,
+            },
+            Event::AddSlot { owner: NodeId(0) },
+            Event::WritePointer {
+                owner: NodeId(0),
+                slot: 2,
+                new: Some(NodeId(1)),
+            },
+            Event::Visit { node: NodeId(1) },
+            Event::DataWrite { node: NodeId(1) },
+            Event::WritePointer {
+                owner: NodeId(0),
+                slot: 1,
+                new: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, &events).unwrap();
+        assert_eq!(n, events.len() as u64);
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn full_generated_workload_round_trips() {
+        let events: Vec<Event> = SyntheticWorkload::new(WorkloadParams::small().with_seed(2))
+            .unwrap()
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), events.len());
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00".to_vec();
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(PgcError::TraceFormat(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PGCT");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PgcError::TraceFormat(_)));
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn truncated_event_is_an_error() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        buf.truncate(buf.len() - 3); // chop mid-event
+        let result: Result<Vec<Event>> = read_trace(buf.as_slice());
+        assert!(matches!(result, Err(PgcError::TraceFormat(_))));
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PGCT");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(250);
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(PgcError::TraceFormat(_))
+        ));
+    }
+
+    #[test]
+    fn reader_stops_after_first_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PGCT");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(250);
+        buf.push(TAG_VISIT); // unreachable
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let mut buf = Vec::new();
+        write_trace::<_>(&mut buf, std::iter::empty()).unwrap();
+        assert!(read_trace(buf.as_slice()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run one simulated object database under the paper's winning
+//! partition selection policy and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pgc::core::PolicyKind;
+use pgc::sim::{RunConfig, Simulation};
+
+fn main() {
+    // A small, seconds-scale configuration. `RunConfig::paper(..)` gives
+    // the full-size setup from the paper's evaluation instead.
+    let cfg = RunConfig::small()
+        .with_policy(PolicyKind::UpdatedPointer)
+        .with_seed(42);
+
+    let outcome = Simulation::run(&cfg).expect("simulation runs");
+    let t = &outcome.totals;
+
+    println!("policy             : {}", outcome.policy);
+    println!("application events : {}", t.events);
+    println!("page I/Os          : {} app + {} gc = {}", t.app_ios, t.gc_ios, t.total_ios());
+    println!("collections        : {}", t.collections);
+    println!(
+        "garbage reclaimed  : {:.0} KB of {:.0} KB generated ({:.1}%)",
+        t.reclaimed_bytes.as_kib_f64(),
+        t.actual_garbage_bytes().as_kib_f64(),
+        t.fraction_reclaimed_pct()
+    );
+    println!(
+        "collector efficiency: {:.2} KB reclaimed per collector I/O",
+        t.efficiency_kb_per_io()
+    );
+    println!(
+        "storage footprint  : {:.0} KB across {} partitions ({:.0} KB live at end)",
+        t.max_footprint.as_kib_f64(),
+        t.partitions,
+        t.final_live_bytes.as_kib_f64()
+    );
+
+    // Price the I/O in time, on the paper's hardware and on a modern disk.
+    let page = cfg.db.page_size;
+    let old = pgc::buffer::DiskModel::circa_1993(page);
+    let new = pgc::buffer::DiskModel::modern_hdd(page);
+    println!(
+        "estimated I/O time : {:.1} s on a 1993 disk, {:.1} s on a modern HDD",
+        old.seconds_for(t.total_ios()),
+        new.seconds_for(t.total_ios())
+    );
+}

@@ -1,0 +1,56 @@
+//! # pgc — Partitioned Garbage Collection for Object Databases
+//!
+//! A from-scratch Rust reproduction of **Cook, Wolf & Zorn, "Partition
+//! Selection Policies in Object Database Garbage Collection"** (SIGMOD 1994;
+//! University of Colorado TR CU-CS-653-93).
+//!
+//! The crate is a facade over the workspace: it re-exports the public API of
+//! every subsystem so downstream users can depend on `pgc` alone.
+//!
+//! ## What's inside
+//!
+//! * [`types`] — identifiers, units, configuration, seeded RNG.
+//! * [`buffer`] — an LRU write-back page buffer that accounts page I/O,
+//!   split between application-attributed and collector-attributed
+//!   operations (the paper's cost model).
+//! * [`storage`] — the physical model: 8 KB pages grouped into contiguous
+//!   partitions, bump allocation with near-parent placement, and the object
+//!   table mapping stable [`types::Oid`]s to physical locations.
+//! * [`odb`] — the simulated object database: object graph, root set, write
+//!   barrier, remembered sets and out-of-partition sets, object weights, and
+//!   a full-reachability oracle.
+//! * [`core`] — the paper's contribution: the [`core::SelectionPolicy`]
+//!   trait, the six policies of the paper (plus extensions), the
+//!   breadth-first copying partition collector, and the overwrite-count GC
+//!   scheduler.
+//! * [`workload`] — the synthetic augmented-binary-tree application model
+//!   and a versioned binary trace codec for record/replay.
+//! * [`sim`] — the trace-driven simulator, metrics, multi-seed experiment
+//!   runner, and the experiment definitions that regenerate every table and
+//!   figure in the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pgc::sim::{RunConfig, Simulation};
+//! use pgc::core::PolicyKind;
+//!
+//! // A small run: ~1 MB of allocated objects, UpdatedPointer selection.
+//! let cfg = RunConfig::small().with_policy(PolicyKind::UpdatedPointer);
+//! let outcome = Simulation::run(&cfg).expect("simulation runs");
+//! println!(
+//!     "total page I/Os: {}, reclaimed: {} KB",
+//!     outcome.totals.total_ios(),
+//!     outcome.totals.reclaimed_bytes.as_kib_f64(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pgc_buffer as buffer;
+pub use pgc_core as core;
+pub use pgc_odb as odb;
+pub use pgc_sim as sim;
+pub use pgc_storage as storage;
+pub use pgc_types as types;
+pub use pgc_workload as workload;

@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: full simulations through the `pgc`
+//! facade, checking system-level invariants for every policy.
+
+use pgc::core::PolicyKind;
+use pgc::odb::oracle;
+use pgc::sim::{RunConfig, Simulation};
+use pgc::types::Bytes;
+
+fn run(policy: PolicyKind, seed: u64) -> pgc::sim::RunOutcome {
+    Simulation::run(&RunConfig::small().with_policy(policy).with_seed(seed)).expect("run")
+}
+
+#[test]
+fn every_policy_completes_and_accounts_consistently() {
+    for policy in PolicyKind::ALL {
+        let out = run(policy, 11);
+        let t = &out.totals;
+        // I/O accounting: totals decompose.
+        assert_eq!(t.total_ios(), t.app_ios + t.gc_ios, "{policy}");
+        // Space accounting: footprint covers resident data.
+        assert!(
+            t.max_footprint >= t.final_live_bytes + t.final_garbage_bytes,
+            "{policy}: footprint must cover live + unreclaimed garbage"
+        );
+        // Conservation: allocated = live + reclaimed + unreclaimed.
+        let allocated = out.gen_stats.bytes_allocated;
+        assert_eq!(
+            allocated,
+            t.final_live_bytes + t.reclaimed_bytes + t.final_garbage_bytes,
+            "{policy}: byte conservation"
+        );
+        // Nepotism garbage is a subset of unreclaimed garbage.
+        assert!(t.final_nepotism_bytes <= t.final_garbage_bytes, "{policy}");
+    }
+}
+
+#[test]
+fn collecting_policies_never_lose_to_themselves_without_gc_on_space() {
+    // Any policy that actually collects must end with footprint <= the
+    // NoCollection footprint for the same trace.
+    let baseline = run(PolicyKind::NoCollection, 3).totals.max_footprint;
+    for policy in [
+        PolicyKind::Random,
+        PolicyKind::MutatedPartition,
+        PolicyKind::UpdatedPointer,
+        PolicyKind::WeightedPointer,
+        PolicyKind::MostGarbage,
+        PolicyKind::RoundRobin,
+        PolicyKind::Occupancy,
+    ] {
+        let out = run(policy, 3);
+        assert!(out.totals.collections > 0, "{policy} must collect");
+        assert!(
+            out.totals.max_footprint <= baseline,
+            "{policy}: {} > NoCollection {}",
+            out.totals.max_footprint,
+            baseline
+        );
+    }
+}
+
+#[test]
+fn most_garbage_is_best_or_near_best_at_reclamation() {
+    // Aggregate over a few seeds: the oracle policy must reclaim at least
+    // as much as the weakest heuristic and be within noise of the best.
+    let mut oracle_total = 0.0;
+    let mut best_heuristic = 0.0f64;
+    for seed in [1, 2, 3, 4] {
+        oracle_total += run(PolicyKind::MostGarbage, seed)
+            .totals
+            .fraction_reclaimed_pct();
+        let mutated = run(PolicyKind::MutatedPartition, seed)
+            .totals
+            .fraction_reclaimed_pct();
+        best_heuristic += mutated;
+    }
+    assert!(
+        oracle_total >= best_heuristic,
+        "MostGarbage ({oracle_total:.1}) reclaimed less than MutatedPartition ({best_heuristic:.1}) across seeds"
+    );
+}
+
+#[test]
+fn final_database_state_is_coherent_for_each_policy() {
+    for policy in PolicyKind::PAPER {
+        let cfg = RunConfig::small().with_policy(policy).with_seed(7);
+        let events: Vec<pgc::workload::Event> =
+            pgc::workload::SyntheticWorkload::new(cfg.workload.clone())
+                .expect("params")
+                .collect();
+        let db = pgc::odb::Database::new(cfg.db.clone()).expect("db");
+        let collector = pgc::core::Collector::with_kind(
+            policy,
+            cfg.db.gc_overwrite_threshold,
+            99,
+            cfg.db.max_weight,
+        );
+        let mut replayer = pgc::sim::Replayer::new(db, collector);
+        replayer.apply_all(&events).expect("replay");
+        replayer.db().check_invariants();
+
+        // Every reachable object accounted; no reachable object reclaimed.
+        let report = oracle::analyze(replayer.db());
+        assert_eq!(
+            report.live_bytes + report.garbage_bytes,
+            replayer.db().resident_bytes(),
+            "{policy}"
+        );
+    }
+}
+
+#[test]
+fn deeper_collection_thresholds_mean_fewer_collections() {
+    let mut cfg = RunConfig::small().with_seed(5);
+    cfg.db = cfg.db.with_gc_overwrite_threshold(25);
+    let frequent = Simulation::run(&cfg).expect("run");
+    cfg.db = cfg.db.with_gc_overwrite_threshold(200);
+    let rare = Simulation::run(&cfg).expect("run");
+    assert!(frequent.totals.collections > rare.totals.collections);
+}
+
+#[test]
+fn buffer_size_matters_smaller_buffer_more_io() {
+    let mut cfg = RunConfig::small().with_seed(6);
+    let normal = Simulation::run(&cfg).expect("run");
+    cfg.db = cfg.db.with_buffer_pages(4); // starve the buffer
+    let starved = Simulation::run(&cfg).expect("run");
+    assert!(
+        starved.totals.total_ios() > normal.totals.total_ios(),
+        "starved buffer: {} vs normal {}",
+        starved.totals.total_ios(),
+        normal.totals.total_ios()
+    );
+}
+
+#[test]
+fn extension_policies_behave_reasonably() {
+    let rr = run(PolicyKind::RoundRobin, 8);
+    let occ = run(PolicyKind::Occupancy, 8);
+    for (name, out) in [("RoundRobin", &rr), ("Occupancy", &occ)] {
+        assert!(out.totals.collections > 0, "{name}");
+        assert!(out.totals.reclaimed_bytes > Bytes::ZERO, "{name}");
+    }
+}
+
+#[test]
+fn client_server_mode_reports_network_traffic() {
+    // Single-tier (the paper's model): zero network messages.
+    let single = run(PolicyKind::UpdatedPointer, 12);
+    assert_eq!(single.totals.total_net_ops(), 0);
+
+    // Client/server: a small client cache in front of the same buffer.
+    let mut cfg = RunConfig::small()
+        .with_policy(PolicyKind::UpdatedPointer)
+        .with_seed(12);
+    cfg.db = cfg.db.with_client_cache_pages(4);
+    let tiered = Simulation::run(&cfg).expect("run");
+    assert!(tiered.totals.total_net_ops() > 0, "client misses cost messages");
+    // The server buffer shields the disk: tiered disk I/O never exceeds
+    // what the client requested over the network.
+    assert!(tiered.totals.total_ios() <= tiered.totals.total_net_ops());
+    // Semantics (collections, reclamation) are cost-model independent.
+    assert_eq!(tiered.totals.collections, single.totals.collections);
+    assert_eq!(tiered.totals.reclaimed_bytes, single.totals.reclaimed_bytes);
+}
+
+#[test]
+fn bigger_client_cache_means_fewer_network_messages() {
+    let run_with_cache = |pages: u64| {
+        let mut cfg = RunConfig::small()
+            .with_policy(PolicyKind::UpdatedPointer)
+            .with_seed(13);
+        cfg.db = cfg.db.with_client_cache_pages(pages);
+        Simulation::run(&cfg).expect("run").totals.total_net_ops()
+    };
+    let small_cache = run_with_cache(2);
+    let big_cache = run_with_cache(12);
+    assert!(
+        big_cache < small_cache,
+        "12-page cache ({big_cache}) should beat 2-page cache ({small_cache})"
+    );
+}

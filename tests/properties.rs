@@ -1,0 +1,382 @@
+//! Property-based tests over the core data structures and the collector's
+//! safety invariants.
+
+use pgc::buffer::{Access, BufferPool};
+use pgc::core::{Collector, PolicyKind};
+use pgc::odb::{oracle, Database};
+use pgc::types::{Bytes, DbConfig, Oid, PageId, SlotId};
+use pgc::workload::{read_trace, write_trace, Event, NodeId};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// LRU buffer pool vs a naive reference model
+// ---------------------------------------------------------------------
+
+/// Reference LRU: a Vec ordered MRU-first, linear-time everything.
+#[derive(Default)]
+struct NaiveLru {
+    entries: Vec<(u64, bool)>, // (page, dirty), MRU first
+    capacity: usize,
+    disk_reads: u64,
+    disk_writes: u64,
+}
+
+impl NaiveLru {
+    fn access(&mut self, page: u64, kind: Access) {
+        let dirty = !matches!(kind, Access::Read);
+        if let Some(pos) = self.entries.iter().position(|&(p, _)| p == page) {
+            let (p, d) = self.entries.remove(pos);
+            self.entries.insert(0, (p, d || dirty));
+            return;
+        }
+        if !matches!(kind, Access::WriteNew) {
+            self.disk_reads += 1;
+        }
+        if self.entries.len() == self.capacity {
+            let (_, was_dirty) = self.entries.pop().unwrap();
+            if was_dirty {
+                self.disk_writes += 1;
+            }
+        }
+        self.entries.insert(0, (page, dirty));
+    }
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..12,
+        ops in prop::collection::vec((0u64..24, 0u8..3), 1..400),
+    ) {
+        let mut pool = BufferPool::new(capacity);
+        let mut model = NaiveLru { capacity, ..NaiveLru::default() };
+        for (page, kind) in ops {
+            let kind = match kind {
+                0 => Access::Read,
+                1 => Access::Write,
+                _ => Access::WriteNew,
+            };
+            pool.access(PageId(page), kind);
+            model.access(page, kind);
+            pool.check_invariants();
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.app_disk_reads, model.disk_reads);
+        prop_assert_eq!(stats.app_disk_writes, model.disk_writes);
+        prop_assert_eq!(pool.resident_pages(), model.entries.len());
+        for (page, _) in &model.entries {
+            prop_assert!(pool.is_resident(PageId(*page)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace codec round-trips arbitrary event sequences
+// ---------------------------------------------------------------------
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (any::<u64>(), 1u32..100_000, 0u16..8).prop_map(|(n, size, slots)| Event::CreateRoot {
+            node: NodeId(n),
+            size: Bytes(size as u64),
+            slots,
+        }),
+        (any::<u64>(), any::<u64>(), 0u16..8, 1u32..100_000, 0u16..8).prop_map(
+            |(n, p, ps, size, slots)| Event::CreateChild {
+                node: NodeId(n),
+                parent: NodeId(p),
+                parent_slot: ps,
+                size: Bytes(size as u64),
+                slots,
+            }
+        ),
+        (any::<u64>(), 0u16..8, prop::option::of(any::<u64>())).prop_map(|(o, s, n)| {
+            Event::WritePointer {
+                owner: NodeId(o),
+                slot: s,
+                new: n.map(NodeId),
+            }
+        }),
+        any::<u64>().prop_map(|o| Event::AddSlot { owner: NodeId(o) }),
+        any::<u64>().prop_map(|n| Event::Visit { node: NodeId(n) }),
+        any::<u64>().prop_map(|n| Event::DataWrite { node: NodeId(n) }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn trace_codec_round_trips(events in prop::collection::vec(arb_event(), 0..200)) {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("encode");
+        let back = read_trace(buf.as_slice()).expect("decode");
+        prop_assert_eq!(back, events);
+    }
+
+    #[test]
+    fn truncated_traces_never_panic(
+        events in prop::collection::vec(arb_event(), 1..50),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("encode");
+        let cut_at = 8 + cut.index(buf.len().saturating_sub(8));
+        buf.truncate(cut_at);
+        // Must yield Ok (clean prefix) or a TraceFormat error — no panic.
+        let _ = read_trace(buf.as_slice());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collector safety under random application programs
+// ---------------------------------------------------------------------
+
+/// A random-but-valid application program, interpreted against the
+/// database: ops reference existing objects modulo the current object
+/// count, so every generated program is applicable.
+#[derive(Debug, Clone)]
+enum Op {
+    NewRoot,
+    NewChild { parent: usize, slot: u8 },
+    Unlink { owner: usize, slot: u8 },
+    Relink { owner: usize, slot: u8, target: usize },
+    Collect,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::NewRoot),
+        8 => (any::<prop::sample::Index>(), 0u8..2).prop_map(|(p, s)| Op::NewChild {
+            parent: p.index(usize::MAX - 1),
+            slot: s
+        }),
+        4 => (any::<prop::sample::Index>(), 0u8..2).prop_map(|(o, s)| Op::Unlink {
+            owner: o.index(usize::MAX - 1),
+            slot: s
+        }),
+        2 => (any::<prop::sample::Index>(), 0u8..2, any::<prop::sample::Index>()).prop_map(
+            |(o, s, t)| Op::Relink {
+                owner: o.index(usize::MAX - 1),
+                slot: s,
+                target: t.index(usize::MAX - 1)
+            }
+        ),
+        1 => Just(Op::Collect),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn collector_never_reclaims_reachable_objects(
+        ops in prop::collection::vec(arb_op(), 1..120),
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let cfg = DbConfig::default()
+            .with_page_size(512)
+            .with_partition_pages(8)
+            .with_gc_overwrite_threshold(10);
+        let mut db = Database::new(cfg).expect("db");
+        let mut collector = Collector::with_kind(policy, 10, 1, 16);
+        let mut objects: Vec<Oid> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::NewRoot => {
+                    objects.push(db.create_root(Bytes(64), 2).expect("root"));
+                }
+                Op::NewChild { parent, slot } => {
+                    if objects.is_empty() { continue; }
+                    let p = objects[parent % objects.len()];
+                    if !db.objects().contains(p) { continue; }
+                    let (c, info) = db
+                        .create_object(Bytes(64), 2, p, SlotId(slot as u16))
+                        .expect("child");
+                    collector.observe_write(&info);
+                    objects.push(c);
+                }
+                Op::Unlink { owner, slot } => {
+                    if objects.is_empty() { continue; }
+                    let o = objects[owner % objects.len()];
+                    if !db.objects().contains(o) { continue; }
+                    // Only mutate reachable objects, like a real app.
+                    if !oracle::reachable_set(&db).contains(&o) { continue; }
+                    let info = db.write_slot(o, SlotId(slot as u16), None).expect("write");
+                    collector.observe_write(&info);
+                }
+                Op::Relink { owner, slot, target } => {
+                    if objects.is_empty() { continue; }
+                    let o = objects[owner % objects.len()];
+                    let t = objects[target % objects.len()];
+                    if !db.objects().contains(o) || !db.objects().contains(t) { continue; }
+                    let reachable = oracle::reachable_set(&db);
+                    if !reachable.contains(&o) || !reachable.contains(&t) { continue; }
+                    let info = db.write_slot(o, SlotId(slot as u16), Some(t)).expect("write");
+                    collector.observe_write(&info);
+                }
+                Op::Collect => {
+                    let reachable_before = oracle::reachable_set(&db);
+                    collector.force_collect(&mut db).expect("collect");
+                    for oid in &reachable_before {
+                        prop_assert!(
+                            db.objects().contains(*oid),
+                            "{policy}: reclaimed reachable object {oid}"
+                        );
+                    }
+                }
+            }
+            db.check_invariants();
+        }
+
+        // Final safety sweep: everything reachable is present with a valid
+        // weight, and remsets mirror the heap exactly (check_invariants).
+        let reachable = oracle::reachable_set(&db);
+        for oid in reachable {
+            let rec = db.objects().get(oid).expect("reachable object exists");
+            prop_assert!(rec.weight >= 1 && rec.weight <= 16);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload generator: every generated trace is applicable
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn any_seeded_workload_replays_cleanly(seed in 0u64..1000) {
+        let mut params = pgc::workload::WorkloadParams::small().with_seed(seed);
+        params.target_allocated = Bytes::from_kib(64);
+        params.tree_nodes_min = 8;
+        params.tree_nodes_max = 40;
+        let events: Vec<Event> =
+            pgc::workload::SyntheticWorkload::new(params).expect("params").collect();
+        let cfg = pgc::sim::RunConfig::small();
+        let out = pgc::sim::Simulation::run_trace(&cfg, &events).expect("replay");
+        prop_assert_eq!(out.totals.events, events.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Page-span arithmetic
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn page_spans_cover_exactly_the_extent(
+        partition in 0u32..32,
+        offset in 0u64..(48 * 8192),
+        size in 1u64..(64 * 1024),
+    ) {
+        use pgc::storage::{page_span, ObjAddr};
+        const PAGE: u64 = 8192;
+        const PARTITION_PAGES: u64 = 48;
+        // Clamp the extent inside the partition, as the allocator does.
+        let offset = offset.min(PARTITION_PAGES * PAGE - 1);
+        let size = size.min(PARTITION_PAGES * PAGE - offset);
+        let addr = ObjAddr::new(pgc::types::PartitionId(partition), offset);
+        let pages: Vec<u64> = page_span(addr, Bytes(size), PAGE as usize, PARTITION_PAGES)
+            .map(|p| p.index())
+            .collect();
+        // Non-empty, consecutive, within the partition's global page range.
+        prop_assert!(!pages.is_empty());
+        for w in pages.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+        let base = partition as u64 * PARTITION_PAGES;
+        prop_assert!(pages[0] >= base);
+        prop_assert!(*pages.last().unwrap() < base + PARTITION_PAGES);
+        // First and last pages contain the extent's first and last bytes.
+        prop_assert_eq!(pages[0], base + offset / PAGE);
+        prop_assert_eq!(*pages.last().unwrap(), base + (offset + size - 1) / PAGE);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partition allocator vs a byte-accurate reference model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn partition_set_matches_reference_accounting(
+        sizes in prop::collection::vec(1u64..3000, 1..120),
+    ) {
+        use pgc::storage::PartitionSet;
+        const CAPACITY: u64 = 4096;
+        let mut set = PartitionSet::new(1024, 4);
+        // Reference: per-partition bump cursors.
+        let mut cursors: Vec<u64> = vec![0, 0]; // P0 (empty), P1
+        for size in sizes {
+            let placement = set.allocate(Bytes(size), None).expect("fits a partition");
+            let idx = placement.partition.as_usize();
+            if placement.grew {
+                prop_assert_eq!(idx, cursors.len(), "growth appends partitions");
+                cursors.push(0);
+            }
+            // Never the designated empty partition.
+            prop_assert_ne!(placement.partition, set.empty_partition());
+            // Offsets are exactly the reference bump cursor.
+            prop_assert_eq!(placement.offset, cursors[idx]);
+            cursors[idx] += size;
+            prop_assert!(cursors[idx] <= CAPACITY, "no partition overflows");
+        }
+        // Footprint matches the number of partitions.
+        prop_assert_eq!(
+            set.total_footprint().get(),
+            CAPACITY * cursors.len() as u64
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client/server pool: conservation properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tiered_pool_disk_traffic_never_exceeds_network_traffic(
+        client in 1usize..6,
+        server in 1usize..10,
+        ops in prop::collection::vec((0u64..30, 0u8..3), 1..300),
+    ) {
+        use pgc::buffer::{Access, TieredPool};
+        let mut pool = TieredPool::new(client, server);
+        for (page, kind) in ops {
+            let kind = match kind {
+                0 => Access::Read,
+                1 => Access::Write,
+                _ => Access::WriteNew,
+            };
+            pool.access(PageId(page), kind);
+            pool.check_invariants();
+        }
+        let s = pool.stats();
+        // Every disk read was triggered by a network fetch that missed the
+        // server buffer; every disk write by a dirty page that first
+        // travelled client -> server.
+        prop_assert!(s.disk_reads_app + s.disk_reads_gc
+            <= s.net_reads_app + s.net_reads_gc);
+        prop_assert!(s.disk_writes_app + s.disk_writes_gc
+            <= s.net_writebacks_app + s.net_writebacks_gc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Summary statistics vs a naive implementation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn summary_matches_naive_statistics(
+        samples in prop::collection::vec(-1.0e6f64..1.0e6, 2..50),
+    ) {
+        let s = pgc::sim::Summary::of(&samples);
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.std_dev - var.sqrt()).abs() <= 1e-6 * (1.0 + var.sqrt()));
+        prop_assert_eq!(s.n, samples.len());
+    }
+}
