@@ -1,51 +1,44 @@
 //! Micro-benchmarks for the LRU write-back buffer pool: hit path, miss
 //! path with dirty eviction, and sequential span scans.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pgc_bench::microbench::Runner;
 use pgc_buffer::{Access, BufferPool};
 use pgc_types::PageId;
 use std::hint::black_box;
 
-fn bench_hits(c: &mut Criterion) {
-    c.bench_function("buffer/read_hit", |b| {
+fn main() {
+    let r = Runner::new();
+
+    {
         let mut pool = BufferPool::new(64);
         for i in 0..64 {
             pool.access(PageId(i), Access::Read);
         }
         let mut i = 0u64;
-        b.iter(|| {
+        r.bench("buffer/read_hit", || {
             pool.access(PageId(i % 64), Access::Read);
             i += 1;
             black_box(&pool);
         });
-    });
-}
+    }
 
-fn bench_miss_evict(c: &mut Criterion) {
-    c.bench_function("buffer/miss_with_dirty_eviction", |b| {
+    {
         let mut pool = BufferPool::new(64);
         let mut i = 0u64;
-        b.iter(|| {
+        r.bench("buffer/miss_with_dirty_eviction", || {
             // Every access misses and evicts a dirty page (steady state).
             pool.access(PageId(i), Access::Write);
             i += 1;
             black_box(&pool);
         });
-    });
-}
+    }
 
-fn bench_span_scan(c: &mut Criterion) {
-    c.bench_function("buffer/span_scan_48_pages", |b| {
-        b.iter_batched(
-            || BufferPool::new(48),
-            |mut pool| {
-                pool.access_span((0..48).map(PageId), Access::Read);
-                black_box(pool.stats())
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    r.bench_batched(
+        "buffer/span_scan_48_pages",
+        || BufferPool::new(48),
+        |mut pool| {
+            pool.access_span((0..48).map(PageId), Access::Read);
+            black_box(pool.stats())
+        },
+    );
 }
-
-criterion_group!(benches, bench_hits, bench_miss_evict, bench_span_scan);
-criterion_main!(benches);

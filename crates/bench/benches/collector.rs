@@ -1,9 +1,10 @@
 //! Micro-benchmarks for the copying collector and the oracle: cost of
 //! collecting a garbage-heavy vs live-heavy partition, and of one full
-//! reachability analysis.
+//! reachability analysis (dense and reference implementations).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use pgc_odb::{oracle, Database};
+use pgc_bench::microbench::Runner;
+use pgc_odb::oracle::{self, OracleScratch};
+use pgc_odb::Database;
 use pgc_types::{Bytes, DbConfig, SlotId};
 use std::hint::black_box;
 
@@ -28,49 +29,40 @@ fn chain_db(n: usize, kill: bool) -> Database {
     db
 }
 
-fn bench_collect(c: &mut Criterion) {
-    let mut group = c.benchmark_group("collector/collect_partition_500_objects");
-    group.bench_function("all_live", |b| {
-        b.iter_batched(
-            || chain_db(500, false),
-            |mut db| {
-                let victim = pgc_types::PartitionId(1);
-                black_box(db.collect_partition(victim).unwrap())
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("all_garbage", |b| {
-        b.iter_batched(
-            || chain_db(500, true),
-            |mut db| {
-                let victim = pgc_types::PartitionId(1);
-                black_box(db.collect_partition(victim).unwrap())
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
-}
+fn main() {
+    let r = Runner::new();
 
-fn bench_oracle(c: &mut Criterion) {
-    let db = chain_db(2000, false);
-    c.bench_function("oracle/analyze_2000_objects", |b| {
-        b.iter(|| black_box(oracle::analyze(&db)));
-    });
-}
+    r.bench_batched(
+        "collector/collect_partition_500/all_live",
+        || chain_db(500, false),
+        |mut db| {
+            let victim = pgc_types::PartitionId(1);
+            black_box(db.collect_partition(victim).unwrap())
+        },
+    );
+    r.bench_batched(
+        "collector/collect_partition_500/all_garbage",
+        || chain_db(500, true),
+        |mut db| {
+            let victim = pgc_types::PartitionId(1);
+            black_box(db.collect_partition(victim).unwrap())
+        },
+    );
 
-/// Complete (whole-database) collection vs a single-partition pass over
-/// the same population.
-fn bench_full_collection(c: &mut Criterion) {
-    c.bench_function("collector/collect_full_2000_objects", |b| {
-        b.iter_batched(
-            || chain_db(2000, true),
-            |mut db| black_box(db.collect_full().unwrap()),
-            BatchSize::SmallInput,
-        );
-    });
-}
+    {
+        let db = chain_db(2000, false);
+        let mut scratch = OracleScratch::new();
+        r.bench("oracle/analyze_2000_objects/dense", || {
+            black_box(oracle::analyze_with(&db, &mut scratch))
+        });
+        r.bench("oracle/analyze_2000_objects/reference", || {
+            black_box(oracle::reference::analyze(&db))
+        });
+    }
 
-criterion_group!(benches, bench_collect, bench_oracle, bench_full_collection);
-criterion_main!(benches);
+    r.bench_batched(
+        "collector/collect_full_2000_objects",
+        || chain_db(2000, true),
+        |mut db| black_box(db.collect_full().unwrap()),
+    );
+}

@@ -2,7 +2,7 @@
 //! (the paper argues these are cheap — verify it) and the selection cost,
 //! including the oracle-backed `MostGarbage` for contrast.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pgc_bench::microbench::Runner;
 use pgc_core::{build_policy, PolicyKind};
 use pgc_odb::{Database, PointerTarget, PointerWriteInfo};
 use pgc_types::{Bytes, DbConfig, Oid, PartitionId, SlotId};
@@ -45,44 +45,35 @@ fn populated_db() -> Database {
     db
 }
 
-fn bench_barrier_observation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy/on_pointer_write");
+fn main() {
+    let r = Runner::new();
+
     for kind in [
         PolicyKind::MutatedPartition,
         PolicyKind::UpdatedPointer,
         PolicyKind::WeightedPointer,
         PolicyKind::MostGarbage,
     ] {
-        group.bench_function(kind.name(), |b| {
-            let mut policy = build_policy(kind, 7, 16);
-            let mut i = 0u32;
-            b.iter(|| {
-                policy.on_pointer_write(black_box(&overwrite_event(i % 8)));
-                i += 1;
-            });
+        let mut policy = build_policy(kind, 7, 16);
+        let mut i = 0u32;
+        r.bench(&format!("policy/on_pointer_write/{}", kind.name()), || {
+            policy.on_pointer_write(black_box(&overwrite_event(i % 8)));
+            i += 1;
         });
     }
-    group.finish();
-}
 
-fn bench_selection(c: &mut Criterion) {
     let db = populated_db();
-    let mut group = c.benchmark_group("policy/select");
     for kind in [
         PolicyKind::UpdatedPointer,
         PolicyKind::Random,
         PolicyKind::MostGarbage, // runs the full oracle: orders of magnitude dearer
     ] {
-        group.bench_function(kind.name(), |b| {
-            let mut policy = build_policy(kind, 7, 16);
-            for i in 0..100 {
-                policy.on_pointer_write(&overwrite_event(i % 8));
-            }
-            b.iter(|| black_box(policy.select(&db)));
+        let mut policy = build_policy(kind, 7, 16);
+        for i in 0..100 {
+            policy.on_pointer_write(&overwrite_event(i % 8));
+        }
+        r.bench(&format!("policy/select/{}", kind.name()), || {
+            black_box(policy.select(&db))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_barrier_observation, bench_selection);
-criterion_main!(benches);

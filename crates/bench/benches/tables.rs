@@ -1,4 +1,4 @@
-//! One Criterion benchmark per paper artifact, at reduced scale.
+//! One micro-benchmark per paper artifact, at reduced scale.
 //!
 //! These measure the *simulation cost* of regenerating each table/figure
 //! (the full-size regenerators are the `pgc-bench` binaries; the numbers
@@ -6,7 +6,7 @@
 //! seed, so the whole suite runs in seconds while still exercising every
 //! code path each artifact depends on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pgc_bench::microbench::Runner;
 use pgc_core::PolicyKind;
 use pgc_sim::{paper, RunConfig, Simulation};
 use pgc_types::Bytes;
@@ -17,63 +17,40 @@ fn shrink(mut cfg: RunConfig) -> RunConfig {
     cfg
 }
 
-/// Tables 2–4 share the headline configuration; benchmark one run per
-/// policy row.
-fn bench_tables_2_3_4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_3_4/headline_run");
-    group.sample_size(10);
+fn main() {
+    let r = Runner::new();
+
+    // Tables 2–4 share the headline configuration; one run per policy row.
     for policy in PolicyKind::PAPER {
-        group.bench_function(policy.name(), |b| {
-            let cfg = shrink(paper::headline(policy, 1));
-            b.iter(|| black_box(Simulation::run(&cfg).unwrap().totals));
-        });
+        let cfg = shrink(paper::headline(policy, 1));
+        r.bench(
+            &format!("table2_3_4/headline_run/{}", policy.name()),
+            || black_box(Simulation::run(&cfg).unwrap().totals),
+        );
     }
-    group.finish();
-}
 
-/// Table 5: the connectivity extremes.
-fn bench_table5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table5/connectivity_run");
-    group.sample_size(10);
+    // Table 5: the connectivity extremes.
     for (label, dense) in [(1.005f64, 0.005f64), (1.167, 0.167)] {
-        group.bench_function(format!("C={label}"), |b| {
-            let cfg = shrink(paper::connectivity(PolicyKind::UpdatedPointer, 1, dense));
-            b.iter(|| black_box(Simulation::run(&cfg).unwrap().totals));
+        let cfg = shrink(paper::connectivity(PolicyKind::UpdatedPointer, 1, dense));
+        r.bench(&format!("table5/connectivity_run/C={label}"), || {
+            black_box(Simulation::run(&cfg).unwrap().totals)
         });
     }
-    group.finish();
-}
 
-/// Figures 4–5: a sampled time-series run (sampling adds oracle passes).
-fn bench_figs_4_5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_5/time_series_run");
-    group.sample_size(10);
-    group.bench_function("UpdatedPointer_sampled", |b| {
+    // Figures 4–5: a sampled time-series run (sampling adds oracle passes).
+    {
         let mut cfg = shrink(paper::time_series(PolicyKind::UpdatedPointer, 1));
         cfg.sample_every = Some(10_000);
-        b.iter(|| black_box(Simulation::run(&cfg).unwrap().series.points().len()));
-    });
-    group.finish();
-}
-
-/// Figure 6: the smallest and largest sweep points (partition scaling).
-fn bench_fig6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6/scaled_run");
-    group.sample_size(10);
-    for mib in [4u64, 40] {
-        group.bench_function(format!("{mib}MB_geometry"), |b| {
-            let cfg = shrink(paper::scaled(PolicyKind::UpdatedPointer, 1, mib));
-            b.iter(|| black_box(Simulation::run(&cfg).unwrap().totals));
+        r.bench("fig4_5/time_series_run/UpdatedPointer_sampled", || {
+            black_box(Simulation::run(&cfg).unwrap().series.points().len())
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_tables_2_3_4,
-    bench_table5,
-    bench_figs_4_5,
-    bench_fig6
-);
-criterion_main!(benches);
+    // Figure 6: the smallest and largest sweep points (partition scaling).
+    for mib in [4u64, 40] {
+        let cfg = shrink(paper::scaled(PolicyKind::UpdatedPointer, 1, mib));
+        r.bench(&format!("fig6/scaled_run/{mib}MB_geometry"), || {
+            black_box(Simulation::run(&cfg).unwrap().totals)
+        });
+    }
+}

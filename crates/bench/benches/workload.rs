@@ -1,6 +1,6 @@
 //! Micro-benchmarks for the workload generator and the trace codec.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pgc_bench::microbench::Runner;
 use pgc_workload::{read_trace, write_trace, Event, SyntheticWorkload, WorkloadParams};
 use std::hint::black_box;
 
@@ -10,46 +10,33 @@ fn small_events() -> Vec<Event> {
         .collect()
 }
 
-fn bench_generation(c: &mut Criterion) {
-    c.bench_function("workload/generate_small", |b| {
-        b.iter(|| {
-            let g = SyntheticWorkload::new(WorkloadParams::small().with_seed(3)).unwrap();
-            black_box(g.count())
-        });
-    });
-    c.bench_function("workload/generate_assembly_small", |b| {
-        b.iter(|| {
-            let g = pgc_workload::AssemblyWorkload::new(
-                pgc_workload::AssemblyParams::small().with_seed(3),
-            )
-            .unwrap();
-            black_box(g.count())
-        });
-    });
-}
+fn main() {
+    let r = Runner::new();
 
-fn bench_codec(c: &mut Criterion) {
+    r.bench("workload/generate_small", || {
+        let g = SyntheticWorkload::new(WorkloadParams::small().with_seed(3)).unwrap();
+        black_box(g.count())
+    });
+    r.bench("workload/generate_assembly_small", || {
+        let g =
+            pgc_workload::AssemblyWorkload::new(pgc_workload::AssemblyParams::small().with_seed(3))
+                .unwrap();
+        black_box(g.count())
+    });
+
     let events = small_events();
     let mut encoded = Vec::new();
     write_trace(&mut encoded, &events).unwrap();
 
-    let mut group = c.benchmark_group("trace");
-    group.throughput(Throughput::Elements(events.len() as u64));
-    group.bench_function("encode", |b| {
-        b.iter_batched(
-            || Vec::with_capacity(encoded.len()),
-            |mut buf| {
-                write_trace(&mut buf, &events).unwrap();
-                black_box(buf.len())
-            },
-            BatchSize::SmallInput,
-        );
+    r.bench_batched(
+        "trace/encode",
+        || Vec::with_capacity(encoded.len()),
+        |mut buf| {
+            write_trace(&mut buf, &events).unwrap();
+            black_box(buf.len())
+        },
+    );
+    r.bench("trace/decode", || {
+        black_box(read_trace(encoded.as_slice()).unwrap().len())
     });
-    group.bench_function("decode", |b| {
-        b.iter(|| black_box(read_trace(encoded.as_slice()).unwrap().len()));
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_generation, bench_codec);
-criterion_main!(benches);

@@ -48,7 +48,10 @@ fn main() {
     let mut out = String::new();
 
     // --- 1. Trigger threshold sweep (UpdatedPointer). ---
-    let _ = writeln!(out, "== Ablation 1: GC trigger threshold (UpdatedPointer) ==");
+    let _ = writeln!(
+        out,
+        "== Ablation 1: GC trigger threshold (UpdatedPointer) =="
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>12} {:>12} {:>12} {:>10}",
@@ -65,7 +68,11 @@ fn main() {
         let _ = writeln!(
             out,
             "{:>10} {:>12.0} {:>12.1} {:>12.0} {:>10.1}",
-            threshold, r.total_ios.mean, r.collections.mean, r.max_storage_kb.mean, r.fraction_pct.mean
+            threshold,
+            r.total_ios.mean,
+            r.collections.mean,
+            r.max_storage_kb.mean,
+            r.fraction_pct.mean
         );
     }
 
@@ -92,7 +99,10 @@ fn main() {
     }
 
     // --- 3. Buffer : partition ratio. ---
-    let _ = writeln!(out, "\n== Ablation 3: buffer size / partition size (UpdatedPointer) ==");
+    let _ = writeln!(
+        out,
+        "\n== Ablation 3: buffer size / partition size (UpdatedPointer) =="
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>12} {:>12} {:>12}",
@@ -178,7 +188,10 @@ fn main() {
     );
     let triggers: [(&str, Trigger); 3] = [
         ("overwrites(250)", Trigger::OverwriteCount(250)),
-        ("alloc(384 KB)", Trigger::AllocationBytes(Bytes::from_kib(384))),
+        (
+            "alloc(384 KB)",
+            Trigger::AllocationBytes(Bytes::from_kib(384)),
+        ),
         ("partition-growth", Trigger::PartitionGrowth),
     ];
     for (label, trigger) in triggers {
@@ -195,7 +208,10 @@ fn main() {
     }
 
     // --- 7. Partitions per collection (Sec. 3.1 "more than one"). ---
-    let _ = writeln!(out, "\n== Ablation 7: partitions per activation (UpdatedPointer) ==");
+    let _ = writeln!(
+        out,
+        "\n== Ablation 7: partitions per activation (UpdatedPointer) =="
+    );
     let _ = writeln!(
         out,
         "{:>6} {:>12} {:>12} {:>12} {:>10}",
@@ -266,5 +282,9 @@ fn main() {
         );
     }
 
-    emit(&args, "Ablation sweeps (design axes the paper holds fixed)", &out);
+    emit(
+        &args,
+        "Ablation sweeps (design axes the paper holds fixed)",
+        &out,
+    );
 }

@@ -66,8 +66,7 @@ fn main() {
             .collect();
         let net_ops = Summary::of_u64(runs.iter().map(|o| o.totals.total_net_ops()));
         let disk_ops = Summary::of_u64(runs.iter().map(|o| o.totals.total_ios()));
-        let secs =
-            disk.seconds_for(disk_ops.mean as u64) + net.seconds_for(net_ops.mean as u64);
+        let secs = disk.seconds_for(disk_ops.mean as u64) + net.seconds_for(net_ops.mean as u64);
         rows.push((policy, net_ops, disk_ops, secs));
     }
     let baseline_secs = rows

@@ -5,7 +5,11 @@ use pgc_sim::{compare_policies, paper};
 
 fn main() {
     let cmp = compare_policies(
-        &[PolicyKind::UpdatedPointer, PolicyKind::UpdatedDecay, PolicyKind::MostGarbage],
+        &[
+            PolicyKind::UpdatedPointer,
+            PolicyKind::UpdatedDecay,
+            PolicyKind::MostGarbage,
+        ],
         &[1, 2, 3, 4, 5],
         paper::headline,
     )

@@ -27,16 +27,9 @@ fn main() {
         .collect();
     let results = experiment::run_jobs(jobs).expect("runs complete");
     // Terminal rendering of the figure, then the precise CSV.
-    let labelled: Vec<(&str, &pgc_sim::TimeSeries)> = results
-        .iter()
-        .map(|(p, o)| (p.name(), &o.series))
-        .collect();
-    let chart = pgc_sim::render_chart(
-        &labelled,
-        pgc_sim::ChartMetric::GarbageKb,
-        96,
-        24,
-    );
+    let labelled: Vec<(&str, &pgc_sim::TimeSeries)> =
+        results.iter().map(|(p, o)| (p.name(), &o.series)).collect();
+    let chart = pgc_sim::render_chart(&labelled, pgc_sim::ChartMetric::GarbageKb, 96, 24);
     let mut body = String::new();
     body.push_str(&chart);
     body.push('\n');

@@ -1,0 +1,116 @@
+//! Records the pre-change performance baseline for `BENCH_hotpath.json`.
+//!
+//! This binary deliberately uses only APIs that exist both before and after
+//! the dense-structure rework (`Replayer`, `Collector`, `oracle::analyze`),
+//! so the *same measurement code* can be compiled against the pre-change
+//! tree and against the current tree. The `bench-baseline` recipe in the
+//! `justfile` builds it in a scratch worktree of the pre-change commit (with
+//! only the offline-RNG satellite patched in, so both trees replay identical
+//! event streams) and writes `BENCH_baseline.json`; `perf_report` then
+//! embeds those numbers as the recorded baseline.
+//!
+//! Usage: `cargo run --release --bin perf_baseline [--scale PCT] [--out PATH]`.
+
+use pgc_bench::CommonArgs;
+use pgc_core::{build_policy, Collector, PolicyKind, Trigger};
+use pgc_odb::{oracle, Database};
+use pgc_sim::{Replayer, RunConfig};
+use pgc_workload::{Event, SyntheticWorkload};
+use std::time::Instant;
+
+fn events_for(cfg: &RunConfig) -> Vec<Event> {
+    SyntheticWorkload::new(cfg.workload.clone())
+        .expect("workload params")
+        .collect()
+}
+
+/// Mirrors `Simulation`'s replayer construction (same policy seed formula,
+/// same trigger), so these replays match `compare_policies` runs.
+fn replayer_for(cfg: &RunConfig) -> Replayer {
+    let db = Database::new(cfg.db.clone()).expect("db config");
+    let policy_seed = cfg.workload.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5;
+    let policy = build_policy(cfg.policy, policy_seed, cfg.db.max_weight);
+    let trigger = cfg
+        .trigger
+        .unwrap_or(Trigger::OverwriteCount(cfg.db.gc_overwrite_threshold));
+    let collector = Collector::with_trigger(policy, trigger).with_batch(cfg.collect_batch);
+    Replayer::new(db, collector)
+}
+
+/// Replays `events` under `cfg`, returning (events applied, seconds).
+fn timed_replay(cfg: &RunConfig, events: &[Event]) -> (u64, f64) {
+    let mut replayer = replayer_for(cfg);
+    let t0 = Instant::now();
+    for event in events {
+        replayer.apply(event).expect("replay");
+    }
+    (replayer.events_applied(), t0.elapsed().as_secs_f64())
+}
+
+/// Peak resident set size in KiB (`VmHWM`), or 0 where unavailable.
+fn peak_rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|v| v.split_whitespace().next().and_then(|n| n.parse().ok()))
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+
+    println!("baseline: replaying small configuration (seed 1, MostGarbage)...");
+    let small = RunConfig::small()
+        .with_policy(PolicyKind::MostGarbage)
+        .with_seed(1);
+    let small_events = events_for(&small);
+    let (small_applied, small_secs) = timed_replay(&small, &small_events);
+    let small_eps = small_applied as f64 / small_secs.max(1e-9);
+    println!("  {small_eps:>12.0} events/sec");
+
+    println!("baseline: replaying paper configuration (seed 1, MostGarbage)...");
+    let mut paper = RunConfig::paper(PolicyKind::MostGarbage, 1);
+    paper.workload.target_allocated = args.scale_bytes(paper.workload.target_allocated);
+    let paper_events = events_for(&paper);
+    let (paper_applied, paper_secs) = timed_replay(&paper, &paper_events);
+    let paper_eps = paper_applied as f64 / paper_secs.max(1e-9);
+    println!("  {paper_eps:>12.0} events/sec");
+
+    println!("baseline: measuring oracle passes/sec over the small end state...");
+    let oracle_cfg = RunConfig::small().with_seed(1);
+    let mut replayer = replayer_for(&oracle_cfg);
+    for event in &events_for(&oracle_cfg) {
+        replayer.apply(event).expect("replay");
+    }
+    let db = replayer.db();
+    let mut passes = 0u64;
+    let t0 = Instant::now();
+    loop {
+        std::hint::black_box(oracle::analyze(db));
+        passes += 1;
+        if t0.elapsed().as_secs_f64() >= 1.0 && passes >= 3 {
+            break;
+        }
+    }
+    let pps = passes as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    println!("  {pps:>12.1} passes/sec");
+
+    let json = format!(
+        "{{\n  \"harness\": \"perf_baseline\",\n  \"scale_pct\": {},\n  \"peak_rss_kib\": {},\n  \"paper_mostgarbage_events_per_sec\": {:.1},\n  \"small_mostgarbage_events_per_sec\": {:.1},\n  \"oracle_passes_per_sec\": {:.1}\n}}\n",
+        args.scale_pct,
+        peak_rss_kib(),
+        paper_eps,
+        small_eps,
+        pps
+    );
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_baseline.json"));
+    std::fs::write(&out, &json).expect("write baseline");
+    println!("wrote {}", out.display());
+}

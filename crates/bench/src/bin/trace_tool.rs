@@ -102,7 +102,11 @@ fn stats(args: &[String]) -> Result<(), String> {
         }
     }
     println!("events         {:>12}", events.len());
-    println!("creations      {:>12}  ({:.1} MB allocated)", creations, created_bytes as f64 / (1024.0 * 1024.0));
+    println!(
+        "creations      {:>12}  ({:.1} MB allocated)",
+        creations,
+        created_bytes as f64 / (1024.0 * 1024.0)
+    );
     println!("pointer writes {pointer_writes:>12}  ({deletions} deletions)");
     println!("slot additions {add_slots:>12}");
     println!("visits         {visits:>12}");
@@ -128,12 +132,8 @@ fn profile(args: &[String]) -> Result<(), String> {
     let events = load(path)?;
     let cfg = RunConfig::paper(policy, 0);
     let db = pgc_odb::Database::new(cfg.db.clone()).map_err(|e| e.to_string())?;
-    let collector = pgc_core::Collector::with_kind(
-        policy,
-        cfg.db.gc_overwrite_threshold,
-        0,
-        cfg.db.max_weight,
-    );
+    let collector =
+        pgc_core::Collector::with_kind(policy, cfg.db.gc_overwrite_threshold, 0, cfg.db.max_weight);
     let mut replayer = pgc_sim::Replayer::new(db, collector);
     for e in &events {
         replayer.apply(e).map_err(|e| e.to_string())?;
@@ -158,7 +158,12 @@ fn replay(args: &[String]) -> Result<(), String> {
     let t = &out.totals;
     println!("policy       {}", policy.name());
     println!("events       {}", t.events);
-    println!("page I/Os    {} app + {} gc = {}", t.app_ios, t.gc_ios, t.total_ios());
+    println!(
+        "page I/Os    {} app + {} gc = {}",
+        t.app_ios,
+        t.gc_ios,
+        t.total_ios()
+    );
     println!("collections  {}", t.collections);
     println!(
         "reclaimed    {:.0} KB of {:.0} KB generated ({:.1}%)",

@@ -1,11 +1,14 @@
 //! # pgc-bench
 //!
-//! Experiment binaries (one per table/figure of the paper) and Criterion
-//! micro-benchmarks. The library part holds small shared helpers for the
-//! binaries: CLI parsing for the common flags and output-file plumbing.
+//! Experiment binaries (one per table/figure of the paper) and
+//! dependency-free micro-benchmarks built on [`microbench`]. The library
+//! part holds small shared helpers for the binaries: CLI parsing for the
+//! common flags, output-file plumbing, and the timing harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod microbench;
 
 use std::path::PathBuf;
 
@@ -65,9 +68,7 @@ impl CommonArgs {
                     out.out = Some(PathBuf::from(it.next().expect("--out needs a path")));
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --seeds N (default 10) --scale PCT (default 100) --out PATH"
-                    );
+                    eprintln!("flags: --seeds N (default 10) --scale PCT (default 100) --out PATH");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),

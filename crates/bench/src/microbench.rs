@@ -1,0 +1,141 @@
+//! A minimal timing harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so the benches cannot use an external
+//! harness crate; this module provides the 10% of one they need: a warmup
+//! phase, an adaptively sized timed loop, and a `ns/iter` report line per
+//! benchmark. All bench targets set `harness = false` and call
+//! [`Runner::bench`]/[`Runner::bench_batched`] from `main`.
+//!
+//! Numbers from this harness are for eyeballing relative cost, not for
+//! statistically rigorous comparison — the regression harness proper is
+//! the `perf_report` binary, which measures end-to-end replay throughput.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs and reports a sequence of named benchmarks.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// Warmup budget per benchmark.
+    warmup: Duration,
+    /// Measurement budget per benchmark.
+    measure: Duration,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Runner {
+    /// Creates a runner with the default time budgets, honoring the
+    /// `PGC_BENCH_QUICK` environment variable (any value) for fast smoke
+    /// runs.
+    pub fn new() -> Self {
+        if std::env::var_os("PGC_BENCH_QUICK").is_some() {
+            Self {
+                warmup: Duration::from_millis(5),
+                measure: Duration::from_millis(20),
+            }
+        } else {
+            Self::default()
+        }
+    }
+
+    /// Benchmarks `f` called in a tight loop: warms up, then runs
+    /// doubling batches until the measurement budget is spent, and prints
+    /// the mean ns/iter.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // Warmup.
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            black_box(f());
+        }
+        // Measure in doubling batches so timer overhead amortizes away.
+        let mut iters_total = 0u64;
+        let mut elapsed_total = Duration::ZERO;
+        let mut batch = 1u64;
+        while elapsed_total < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed_total += t0.elapsed();
+            iters_total += batch;
+            batch = batch.saturating_mul(2);
+        }
+        report(name, elapsed_total, iters_total);
+    }
+
+    /// Benchmarks `f` with a fresh untimed `setup()` value per call — for
+    /// workloads that consume their input (e.g. collecting a database).
+    ///
+    /// Each call is timed individually, so per-call timer overhead (~tens
+    /// of ns) is included; use only for operations well above that scale.
+    pub fn bench_batched<S, R>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) {
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            let s = setup();
+            black_box(f(s));
+        }
+        let mut iters_total = 0u64;
+        let mut elapsed_total = Duration::ZERO;
+        while elapsed_total < self.measure {
+            let s = setup();
+            let t0 = Instant::now();
+            black_box(f(s));
+            elapsed_total += t0.elapsed();
+            iters_total += 1;
+        }
+        report(name, elapsed_total, iters_total);
+    }
+}
+
+fn report(name: &str, elapsed: Duration, iters: u64) {
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    println!("{name:<48} {ns_per_iter:>14.1} ns/iter  ({iters} iters)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Runner {
+        Runner {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u64;
+        quick().bench("test/counter", || calls += 1);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn bench_batched_pairs_setup_with_run() {
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        quick().bench_batched(
+            "test/batched",
+            || {
+                setups += 1;
+                setups
+            },
+            |_| runs += 1,
+        );
+        assert!(runs > 0);
+        assert!(setups >= runs, "every run had a setup");
+    }
+}

@@ -63,8 +63,7 @@ impl DiskModel {
     /// Average cost of one page I/O in milliseconds.
     pub fn ms_per_io(&self) -> f64 {
         let positioning = self.avg_seek_ms + self.rotation_ms / 2.0;
-        let transfer =
-            self.page_size as f64 / (self.transfer_mb_per_s * 1024.0 * 1024.0) * 1000.0;
+        let transfer = self.page_size as f64 / (self.transfer_mb_per_s * 1024.0 * 1024.0) * 1000.0;
         positioning + transfer
     }
 
@@ -93,9 +92,17 @@ mod tests {
         let new = DiskModel::modern_hdd(8192);
         assert!(old.ms_per_io() > new.ms_per_io());
         // 1993: ~12 + 5.6 + 3.1 ≈ 21 ms per 8 KB page I/O.
-        assert!((15.0..30.0).contains(&old.ms_per_io()), "{}", old.ms_per_io());
+        assert!(
+            (15.0..30.0).contains(&old.ms_per_io()),
+            "{}",
+            old.ms_per_io()
+        );
         // Modern HDD: ~8.5 + 4.2 + 0.05 ≈ 13 ms.
-        assert!((10.0..16.0).contains(&new.ms_per_io()), "{}", new.ms_per_io());
+        assert!(
+            (10.0..16.0).contains(&new.ms_per_io()),
+            "{}",
+            new.ms_per_io()
+        );
     }
 
     #[test]

@@ -155,7 +155,11 @@ mod tests {
         let mut store = PageStore::single(2);
         let mut pool = BufferPool::new(2);
         for i in 0..40u64 {
-            let kind = if i % 3 == 0 { Access::Write } else { Access::Read };
+            let kind = if i % 3 == 0 {
+                Access::Write
+            } else {
+                Access::Read
+            };
             store.access(PageId(i % 5), kind);
             pool.access(PageId(i % 5), kind);
         }

@@ -301,7 +301,10 @@ mod tests {
         p.access(PageId(1), Access::Read); // client miss, server hit
         let s = p.stats();
         assert_eq!(s.net_reads_app, 4);
-        assert_eq!(s.disk_reads_app, 3, "the re-fetch of page 1 hit the server buffer");
+        assert_eq!(
+            s.disk_reads_app, 3,
+            "the re-fetch of page 1 hit the server buffer"
+        );
     }
 
     #[test]
@@ -335,7 +338,10 @@ mod tests {
                                            // inserting 3 evicts LRU
         p.access(PageId(4), Access::Read);
         let s = p.stats();
-        assert!(s.disk_writes_app >= 1, "dirty page 1 eventually hit disk: {s:?}");
+        assert!(
+            s.disk_writes_app >= 1,
+            "dirty page 1 eventually hit disk: {s:?}"
+        );
     }
 
     #[test]

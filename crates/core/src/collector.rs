@@ -69,7 +69,12 @@ impl Collector {
 
     /// Convenience constructor from a [`PolicyKind`]; `seed` feeds the
     /// `Random` policy, `max_weight` parameterizes `WeightedPointer`.
-    pub fn with_kind(kind: PolicyKind, overwrite_threshold: u64, seed: u64, max_weight: u8) -> Self {
+    pub fn with_kind(
+        kind: PolicyKind,
+        overwrite_threshold: u64,
+        seed: u64,
+        max_weight: u8,
+    ) -> Self {
         Self::new(build_policy(kind, seed, max_weight), overwrite_threshold)
     }
 

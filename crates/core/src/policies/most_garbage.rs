@@ -9,17 +9,25 @@
 //! The oracle traversal costs no simulated I/O.
 
 use crate::policy::{fallback_victim, PolicyKind, SelectionPolicy};
+use pgc_odb::oracle::OracleScratch;
 use pgc_odb::{oracle, CollectionOutcome, Database, PointerWriteInfo};
 use pgc_types::PartitionId;
 
 /// The oracle-backed near-optimal policy.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct MostGarbage;
+///
+/// Owns its [`OracleScratch`] so that the per-trigger reachability pass —
+/// the simulator's hottest loop under this policy — reuses the same working
+/// memory for the entire run instead of allocating three hash sets each
+/// time.
+#[derive(Debug, Clone, Default)]
+pub struct MostGarbage {
+    scratch: OracleScratch,
+}
 
 impl MostGarbage {
     /// Creates the policy.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
@@ -31,7 +39,7 @@ impl SelectionPolicy for MostGarbage {
     fn on_pointer_write(&mut self, _info: &PointerWriteInfo) {}
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
-        let report = oracle::analyze(db);
+        let report = oracle::analyze_with(db, &mut self.scratch);
         report
             .most_garbage_partition(db.empty_partition())
             // With zero garbage anywhere, still collect something so every
@@ -59,7 +67,7 @@ mod tests {
         let (spill, _) = db.create_object(Bytes(8100), 2, r, SlotId(0)).unwrap();
         let spill_p = db.objects().get(spill).unwrap().addr.partition;
         db.write_slot(r, SlotId(0), None).unwrap(); // 8100 bytes die
-        // A small bit of garbage at home.
+                                                    // A small bit of garbage at home.
         let (tiny, _) = db.create_object(Bytes(100), 2, r, SlotId(1)).unwrap();
         let home = db.objects().get(tiny).unwrap().addr.partition;
         db.write_slot(r, SlotId(1), None).unwrap();

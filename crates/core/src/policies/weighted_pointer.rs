@@ -55,7 +55,8 @@ impl SelectionPolicy for WeightedPointer {
 
     fn on_pointer_write(&mut self, info: &PointerWriteInfo) {
         if let Some(old) = info.old {
-            self.scores.bump(old.partition, self.score_for_weight(old.weight));
+            self.scores
+                .bump(old.partition, self.score_for_weight(old.weight));
         }
     }
 

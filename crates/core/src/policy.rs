@@ -223,7 +223,10 @@ mod tests {
             "most_garbage".parse::<PolicyKind>().unwrap(),
             PolicyKind::MostGarbage
         );
-        assert_eq!("oracle".parse::<PolicyKind>().unwrap(), PolicyKind::MostGarbage);
+        assert_eq!(
+            "oracle".parse::<PolicyKind>().unwrap(),
+            PolicyKind::MostGarbage
+        );
         assert!("bogus".parse::<PolicyKind>().is_err());
     }
 

@@ -223,7 +223,11 @@ impl Database {
         let mut first = !addr.offset.is_multiple_of(self.cfg.page_size as u64);
         let span = self.span_of(addr, size);
         for page in span {
-            let kind = if first { Access::Write } else { Access::WriteNew };
+            let kind = if first {
+                Access::Write
+            } else {
+                Access::WriteNew
+            };
             self.buffer.access(page, kind);
             first = false;
         }
@@ -348,10 +352,7 @@ mod tests {
         assert!(out.forwarded_pointers >= 1);
         let new_home = d.objects().get(small).unwrap().addr.partition;
         assert_ne!(new_home, home);
-        assert!(d
-            .remsets()
-            .remembered_targets(new_home)
-            .any(|t| t == small));
+        assert!(d.remsets().remembered_targets(new_home).any(|t| t == small));
         assert_eq!(d.remsets().remembered_target_count(home), 0);
         assert!(d.remsets().in_out_set(foreign, spill));
         d.check_invariants();
@@ -366,7 +367,8 @@ mod tests {
         let foreign = d.objects().get(spill).unwrap().addr.partition;
         // An object in home that points into foreign, then dies.
         let (pointer_holder, _) = d.create_object(Bytes(100), 2, root, SlotId(1)).unwrap();
-        d.write_slot(pointer_holder, SlotId(0), Some(spill)).unwrap();
+        d.write_slot(pointer_holder, SlotId(0), Some(spill))
+            .unwrap();
         assert!(d.remsets().remembered_targets(foreign).any(|t| t == spill));
         d.write_slot(root, SlotId(1), None).unwrap(); // pointer_holder dies
         d.collect_partition(home).unwrap();
@@ -375,9 +377,10 @@ mod tests {
         // foreign's remset; the root's own (live) cross-partition pointer
         // to spill must remain.
         let locs: Vec<_> = d.remsets().locations_of(foreign, spill).collect();
-        assert!(locs
-            .iter()
-            .all(|l| l.owner != pointer_holder), "dead holder's entry lingers");
+        assert!(
+            locs.iter().all(|l| l.owner != pointer_holder),
+            "dead holder's entry lingers"
+        );
         assert!(locs.iter().any(|l| l.owner == root));
         d.check_invariants();
     }

@@ -91,9 +91,7 @@ impl Database {
                 .with_placement(cfg.placement),
             objects: ObjectTable::new(),
             buffer: match cfg.client_cache_pages {
-                Some(client) => {
-                    PageStore::tiered(client as usize, cfg.buffer_pages as usize)
-                }
+                Some(client) => PageStore::tiered(client as usize, cfg.buffer_pages as usize),
                 None => PageStore::single(cfg.buffer_pages as usize),
             },
             remsets: RemsetTable::new(),
@@ -168,7 +166,11 @@ impl Database {
         let mut first = !addr.offset.is_multiple_of(self.cfg.page_size as u64);
         let span = self.span_of(addr, size);
         for page in span {
-            let kind = if first { Access::Write } else { Access::WriteNew };
+            let kind = if first {
+                Access::Write
+            } else {
+                Access::WriteNew
+            };
             self.buffer.access(page, kind);
             first = false;
         }
@@ -552,10 +554,7 @@ mod tests {
         let fp = d.objects().get(filler).unwrap().addr.partition;
         assert_ne!(rp, fp);
         // r.slot1 -> filler crosses partitions: remset must know.
-        assert!(d
-            .remsets()
-            .remembered_targets(fp)
-            .any(|t| t == filler));
+        assert!(d.remsets().remembered_targets(fp).any(|t| t == filler));
         assert!(d.remsets().in_out_set(rp, r));
         d.check_invariants();
         // Clearing the slot removes the entry.
@@ -590,7 +589,11 @@ mod tests {
         assert_eq!(d.stats().reads, 1);
         d.data_write(r).unwrap();
         assert_eq!(d.stats().data_writes, 1);
-        assert_eq!(d.stats().pointer_writes, 0, "data write is not a barrier event");
+        assert_eq!(
+            d.stats().pointer_writes,
+            0,
+            "data write is not a barrier event"
+        );
     }
 
     #[test]

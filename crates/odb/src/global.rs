@@ -22,8 +22,7 @@
 use crate::db::Database;
 use pgc_buffer::{Access, IoContext};
 use pgc_storage::ObjAddr;
-use pgc_types::{Bytes, Oid, PartitionId, Result, SlotId};
-use std::collections::HashSet;
+use pgc_types::{Bytes, DenseBitSet, Oid, PartitionId, Result, SlotId};
 use std::collections::VecDeque;
 
 /// Result of one complete collection.
@@ -55,10 +54,12 @@ impl Database {
         self.buffer.set_context(IoContext::Collector);
 
         // --- Phase 1: global mark (reads every live object). ---
-        let mut marked: HashSet<Oid> = HashSet::new();
+        // Membership-only bit set over dense oids; mark order is never
+        // observed (the sweep sorts residents), so this is behavior-neutral.
+        let mut marked = DenseBitSet::with_capacity(self.objects.oid_bound() as usize);
         let mut stack: Vec<Oid> = self.roots.iter().copied().collect();
         while let Some(oid) = stack.pop() {
-            if !marked.insert(oid) {
+            if !marked.insert(oid.index()) {
                 continue;
             }
             let rec = self.objects.get(oid)?;
@@ -90,7 +91,7 @@ impl Database {
             let mut queue: VecDeque<Oid> = residents
                 .iter()
                 .copied()
-                .filter(|o| marked.contains(o))
+                .filter(|o| marked.contains(o.index()))
                 .collect();
             while let Some(oid) = queue.pop_front() {
                 let rec = self.objects.get(oid)?;
@@ -113,7 +114,7 @@ impl Database {
                 // entries are dropped rather than forwarded).
                 let forwarded = self.remsets.relocate_object(oid, victim, target);
                 for loc in &forwarded {
-                    if !marked.contains(&loc.owner) {
+                    if !marked.contains(loc.owner.index()) {
                         continue;
                     }
                     let src = self.objects.get(loc.owner)?;
@@ -128,7 +129,7 @@ impl Database {
             let mut dead: Vec<Oid> = self.objects.members(victim).collect();
             dead.sort_unstable();
             for oid in dead {
-                debug_assert!(!marked.contains(&oid), "marked object left behind");
+                debug_assert!(!marked.contains(oid.index()), "marked object left behind");
                 // Remove this dead object's cross-partition pointers from
                 // the remembered sets they target.
                 let slots: Vec<(SlotId, Oid)> = {
@@ -191,7 +192,11 @@ impl Database {
     fn charge_full_copy(&mut self, addr: ObjAddr, size: Bytes) {
         let mut first = !addr.offset.is_multiple_of(self.cfg.page_size as u64);
         for page in self.span_of(addr, size) {
-            let kind = if first { Access::Write } else { Access::WriteNew };
+            let kind = if first {
+                Access::Write
+            } else {
+                Access::WriteNew
+            };
             self.buffer.access(page, kind);
             first = false;
         }

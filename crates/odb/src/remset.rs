@@ -23,19 +23,22 @@
 //! remembered targets and (b) re-key entries when it relocates a target,
 //! both in O(entries touched).
 
-use pgc_types::{Oid, PartitionId, PointerLoc};
-use std::collections::{HashMap, HashSet};
+use pgc_types::{FastHashMap, FastHashSet, Oid, PartitionId, PointerLoc};
 
 /// Remembered sets (`into`) and out-of-partition pointer counts (`out`) for
 /// every partition.
 #[derive(Debug, Clone, Default)]
 pub struct RemsetTable {
     /// `into[t]`: for each target partition, target object → locations of
-    /// cross-partition pointers at it.
-    into: Vec<HashMap<Oid, HashSet<PointerLoc>>>,
+    /// cross-partition pointers at it. These maps are genuinely sparse
+    /// (most objects are never remembered), so they stay hash maps — but
+    /// with the unkeyed [`pgc_types::FxHasher`], which is much cheaper than
+    /// SipHash on `u64`-shaped keys and gives iteration order that is
+    /// stable across processes.
+    into: Vec<FastHashMap<Oid, FastHashSet<PointerLoc>>>,
     /// `out[f]`: for each source partition, object → number of its slots
     /// currently holding cross-partition pointers.
-    out: Vec<HashMap<Oid, u32>>,
+    out: Vec<FastHashMap<Oid, u32>>,
 }
 
 impl RemsetTable {
@@ -47,10 +50,10 @@ impl RemsetTable {
     fn ensure(&mut self, p: PartitionId) {
         let need = p.as_usize() + 1;
         if self.into.len() < need {
-            self.into.resize_with(need, HashMap::new);
+            self.into.resize_with(need, FastHashMap::default);
         }
         if self.out.len() < need {
-            self.out.resize_with(need, HashMap::new);
+            self.out.resize_with(need, FastHashMap::default);
         }
     }
 
@@ -103,7 +106,11 @@ impl RemsetTable {
 
     /// The recorded locations of cross-partition pointers at `target`
     /// (which resides in partition `t`).
-    pub fn locations_of(&self, t: PartitionId, target: Oid) -> impl Iterator<Item = PointerLoc> + '_ {
+    pub fn locations_of(
+        &self,
+        t: PartitionId,
+        target: Oid,
+    ) -> impl Iterator<Item = PointerLoc> + '_ {
         self.into
             .get(t.as_usize())
             .and_then(|m| m.get(&target))
@@ -187,7 +194,7 @@ impl RemsetTable {
     /// Debug invariant check: every out-count equals the number of `into`
     /// locations owned by that object, and no empty inner sets linger.
     pub fn check_invariants(&self) {
-        let mut counted: HashMap<Oid, u32> = HashMap::new();
+        let mut counted: FastHashMap<Oid, u32> = FastHashMap::default();
         for per_target in &self.into {
             for (target, locs) in per_target {
                 assert!(!locs.is_empty(), "empty location set for {target}");
@@ -196,7 +203,7 @@ impl RemsetTable {
                 }
             }
         }
-        let mut from_out: HashMap<Oid, u32> = HashMap::new();
+        let mut from_out: FastHashMap<Oid, u32> = FastHashMap::default();
         for per_source in &self.out {
             for (&oid, &count) in per_source {
                 assert!(count > 0, "zero out-count for {oid}");

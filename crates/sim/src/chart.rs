@@ -100,7 +100,11 @@ pub fn render_chart(
     let mut out = String::new();
     let _ = writeln!(out, "{} (max {:.0})", metric.label(), max_value);
     for (i, row) in grid.iter().enumerate() {
-        let edge = if i == 0 { format!("{max_value:>8.0} |") } else { "         |".into() };
+        let edge = if i == 0 {
+            format!("{max_value:>8.0} |")
+        } else {
+            "         |".into()
+        };
         let line: String = row.iter().collect();
         let _ = writeln!(out, "{edge}{}", line.trim_end());
     }

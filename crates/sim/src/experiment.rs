@@ -13,7 +13,7 @@ use pgc_types::Result;
 use std::sync::Mutex;
 
 /// Aggregated metrics for one policy across seeds — one table row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyRow {
     /// The policy.
     pub policy: PolicyKind,
@@ -43,9 +43,8 @@ pub struct PolicyRow {
 
 impl PolicyRow {
     fn from_runs(policy: PolicyKind, runs: &[RunOutcome]) -> Self {
-        let pick = |f: &dyn Fn(&RunOutcome) -> f64| {
-            Summary::of(&runs.iter().map(f).collect::<Vec<f64>>())
-        };
+        let pick =
+            |f: &dyn Fn(&RunOutcome) -> f64| Summary::of(&runs.iter().map(f).collect::<Vec<f64>>());
         Self {
             policy,
             app_ios: pick(&|r| r.totals.app_ios as f64),
@@ -91,13 +90,26 @@ pub fn compare_policies(
     seeds: &[u64],
     make_config: impl Fn(PolicyKind, u64) -> RunConfig + Sync,
 ) -> Result<Comparison> {
+    compare_policies_with_threads(policies, seeds, default_threads(), make_config)
+}
+
+/// [`compare_policies`] with an explicit worker-thread count.
+///
+/// Results are independent of `threads` — each run is a pure function of
+/// its configuration — which the determinism test below pins down.
+pub fn compare_policies_with_threads(
+    policies: &[PolicyKind],
+    seeds: &[u64],
+    threads: usize,
+    make_config: impl Fn(PolicyKind, u64) -> RunConfig + Sync,
+) -> Result<Comparison> {
     let mut jobs: Vec<(usize, RunConfig)> = Vec::new();
     for (pi, &policy) in policies.iter().enumerate() {
         for &seed in seeds {
             jobs.push((pi, make_config(policy, seed)));
         }
     }
-    let results = run_jobs(jobs)?;
+    let results = run_jobs_on(jobs, threads)?;
 
     let mut per_policy: Vec<Vec<RunOutcome>> = (0..policies.len()).map(|_| Vec::new()).collect();
     for (pi, outcome) in results {
@@ -111,12 +123,23 @@ pub fn compare_policies(
     Ok(Comparison { rows })
 }
 
-/// Runs a set of independent configurations in parallel, preserving labels.
-pub fn run_jobs<L: Send>(jobs: Vec<(L, RunConfig)>) -> Result<Vec<(L, RunOutcome)>> {
-    let threads = std::thread::available_parallelism()
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(jobs.len().max(1));
+}
+
+/// Runs a set of independent configurations in parallel, preserving labels.
+pub fn run_jobs<L: Send>(jobs: Vec<(L, RunConfig)>) -> Result<Vec<(L, RunOutcome)>> {
+    run_jobs_on(jobs, default_threads())
+}
+
+/// [`run_jobs`] with an explicit worker-thread count (1 = sequential).
+pub fn run_jobs_on<L: Send>(
+    jobs: Vec<(L, RunConfig)>,
+    threads: usize,
+) -> Result<Vec<(L, RunOutcome)>> {
+    let threads = threads.min(jobs.len().max(1));
     if threads <= 1 {
         return jobs
             .into_iter()
@@ -130,9 +153,14 @@ pub fn run_jobs<L: Send>(jobs: Vec<(L, RunConfig)>) -> Result<Vec<(L, RunOutcome
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let job = queue.lock().expect("queue poisoned").pop();
-                let Some((idx, (label, cfg))) = job else { break };
+                let Some((idx, (label, cfg))) = job else {
+                    break;
+                };
                 let outcome = Simulation::run(&cfg).map(|o| (label, o));
-                results.lock().expect("results poisoned").push((idx, outcome));
+                results
+                    .lock()
+                    .expect("results poisoned")
+                    .push((idx, outcome));
             });
         }
     });
@@ -193,5 +221,20 @@ mod tests {
         // Labels preserved in order.
         let labels: Vec<&str> = par.iter().map(|(l, _)| *l).collect();
         assert_eq!(labels, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn compare_policies_is_thread_count_invariant() {
+        // The full grid on 1 worker thread and on several must aggregate to
+        // bit-identical rows: scheduling order cannot leak into results.
+        let policies = [
+            PolicyKind::UpdatedPointer,
+            PolicyKind::Random,
+            PolicyKind::MostGarbage,
+        ];
+        let seeds = [11, 12, 13];
+        let sequential = compare_policies_with_threads(&policies, &seeds, 1, small_cfg).unwrap();
+        let parallel = compare_policies_with_threads(&policies, &seeds, 4, small_cfg).unwrap();
+        assert_eq!(sequential.rows, parallel.rows);
     }
 }

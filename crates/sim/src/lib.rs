@@ -37,7 +37,7 @@ pub mod run;
 pub mod summary;
 
 pub use chart::{render_chart, ChartMetric};
-pub use experiment::{compare_policies, Comparison, PolicyRow};
+pub use experiment::{compare_policies, compare_policies_with_threads, Comparison, PolicyRow};
 pub use metrics::{RunTotals, SamplePoint, TimeSeries};
 pub use replay::Replayer;
 pub use run::{RunConfig, RunOutcome, Simulation};

@@ -170,10 +170,9 @@ mod tests {
         let db = small_db();
         let collector = Collector::with_kind(policy, 50, seed, 16);
         let mut r = Replayer::new(db, collector);
-        let events: Vec<Event> =
-            SyntheticWorkload::new(WorkloadParams::small().with_seed(seed))
-                .unwrap()
-                .collect();
+        let events: Vec<Event> = SyntheticWorkload::new(WorkloadParams::small().with_seed(seed))
+            .unwrap()
+            .collect();
         r.apply_all(&events).unwrap();
         assert_eq!(r.events_applied(), events.len() as u64);
         r

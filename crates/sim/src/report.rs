@@ -183,7 +183,11 @@ pub fn format_partition_profile(
             p.objects,
             p.remembered_pointers,
             p.out_of_partition_objects,
-            if p.is_empty_designated { "  (empty)" } else { "" },
+            if p.is_empty_designated {
+                "  (empty)"
+            } else {
+                ""
+            },
         );
     }
     out
@@ -252,7 +256,10 @@ mod tests {
             .lines()
             .find(|l| l.starts_with("MostGarbage"))
             .expect("baseline row present");
-        assert!(baseline_line.trim_end().ends_with("1.000"), "{baseline_line}");
+        assert!(
+            baseline_line.trim_end().ends_with("1.000"),
+            "{baseline_line}"
+        );
     }
 
     #[test]
@@ -305,7 +312,8 @@ mod tests {
         assert!(txt.contains("objects"));
         // With an oracle report, garbage is attributed per partition.
         db.write_slot(r, SlotId(0), None).unwrap();
-        let report = pgc_odb::oracle::analyze(&db);
+        let mut scratch = pgc_odb::oracle::OracleScratch::new();
+        let report = pgc_odb::oracle::analyze_with(&db, &mut scratch);
         let txt = format_partition_profile(&db.partition_profile(), Some(&report));
         assert!(!txt.contains(" -"), "oracle column filled in: {txt}");
     }

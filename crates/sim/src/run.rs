@@ -10,6 +10,7 @@
 use crate::metrics::{RunTotals, SamplePoint, TimeSeries};
 use crate::replay::Replayer;
 use pgc_core::{build_policy, Collector, PolicyKind, Trigger};
+use pgc_odb::oracle::OracleScratch;
 use pgc_odb::{oracle, Database, DbStats};
 use pgc_types::{DbConfig, Result};
 use pgc_workload::generator::GenStats;
@@ -144,22 +145,24 @@ impl Simulation {
         let mut generator = SyntheticWorkload::new(cfg.workload.clone())?;
         let mut replayer = cfg.build_replayer()?;
         let mut series = TimeSeries::new();
+        // One scratch per run: every sampling/final oracle pass reuses it.
+        let mut scratch = OracleScratch::new();
         let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
         let mut next_sample = sample_every;
 
         for event in generator.by_ref() {
             replayer.apply(&event)?;
             if replayer.events_applied() >= next_sample {
-                take_sample(&mut series, &replayer);
+                take_sample(&mut series, &replayer, &mut scratch);
                 next_sample += sample_every;
             }
         }
         if cfg.sample_every.is_some() {
-            take_sample(&mut series, &replayer);
+            take_sample(&mut series, &replayer, &mut scratch);
         }
 
         let gen_stats = generator.stats();
-        Ok(finish(cfg, replayer, series, gen_stats))
+        Ok(finish(cfg, replayer, series, gen_stats, &mut scratch))
     }
 
     /// Replays a recorded trace under `cfg` (the configured workload
@@ -170,25 +173,32 @@ impl Simulation {
     ) -> Result<RunOutcome> {
         let mut replayer = cfg.build_replayer()?;
         let mut series = TimeSeries::new();
+        let mut scratch = OracleScratch::new();
         let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
         let mut next_sample = sample_every;
         for event in events {
             replayer.apply(event)?;
             if replayer.events_applied() >= next_sample {
-                take_sample(&mut series, &replayer);
+                take_sample(&mut series, &replayer, &mut scratch);
                 next_sample += sample_every;
             }
         }
         if cfg.sample_every.is_some() {
-            take_sample(&mut series, &replayer);
+            take_sample(&mut series, &replayer, &mut scratch);
         }
-        Ok(finish(cfg, replayer, series, GenStats::default()))
+        Ok(finish(
+            cfg,
+            replayer,
+            series,
+            GenStats::default(),
+            &mut scratch,
+        ))
     }
 }
 
-fn take_sample(series: &mut TimeSeries, replayer: &Replayer) {
+fn take_sample(series: &mut TimeSeries, replayer: &Replayer, scratch: &mut OracleScratch) {
     let db = replayer.db();
-    let report = oracle::analyze(db);
+    let report = oracle::analyze_with(db, scratch);
     series.push(SamplePoint {
         events: replayer.events_applied(),
         resident_bytes: db.resident_bytes(),
@@ -203,10 +213,11 @@ fn finish(
     replayer: Replayer,
     series: TimeSeries,
     gen_stats: GenStats,
+    scratch: &mut OracleScratch,
 ) -> RunOutcome {
     let events = replayer.events_applied();
     let db = replayer.db();
-    let final_report = oracle::analyze(db);
+    let final_report = oracle::analyze_with(db, scratch);
     let io = db.io_stats();
     let db_stats = db.stats();
     let totals = RunTotals {
@@ -255,10 +266,10 @@ mod tests {
 
     #[test]
     fn no_collection_never_collects_and_uses_most_space() {
-        let nc = Simulation::run(&RunConfig::small().with_policy(PolicyKind::NoCollection))
-            .unwrap();
-        let up = Simulation::run(&RunConfig::small().with_policy(PolicyKind::UpdatedPointer))
-            .unwrap();
+        let nc =
+            Simulation::run(&RunConfig::small().with_policy(PolicyKind::NoCollection)).unwrap();
+        let up =
+            Simulation::run(&RunConfig::small().with_policy(PolicyKind::UpdatedPointer)).unwrap();
         assert_eq!(nc.totals.collections, 0);
         assert_eq!(nc.totals.gc_ios, 0);
         assert_eq!(nc.totals.reclaimed_bytes, Bytes::ZERO);
@@ -332,10 +343,9 @@ mod trigger_tests {
         cfg.workload.deletions_per_round = 0; // no overwrites at all
         let overwrite_based = Simulation::run(&cfg.clone()).unwrap();
         assert_eq!(overwrite_based.totals.collections, 0);
-        let alloc_based = Simulation::run(
-            &cfg.with_trigger(Trigger::AllocationBytes(Bytes::from_kib(32))),
-        )
-        .unwrap();
+        let alloc_based =
+            Simulation::run(&cfg.with_trigger(Trigger::AllocationBytes(Bytes::from_kib(32))))
+                .unwrap();
         assert!(alloc_based.totals.collections > 0);
     }
 

@@ -265,7 +265,10 @@ mod tests {
         let s = set();
         assert_eq!(s.partition_count(), 2);
         assert_eq!(s.empty_partition(), PartitionId(0));
-        assert_eq!(s.collectable_ids().collect::<Vec<_>>(), vec![PartitionId(1)]);
+        assert_eq!(
+            s.collectable_ids().collect::<Vec<_>>(),
+            vec![PartitionId(1)]
+        );
         assert_eq!(s.total_footprint(), Bytes(4096));
     }
 
@@ -330,8 +333,8 @@ mod tests {
     fn rotate_empty_swaps_roles() {
         let mut s = set();
         s.allocate(Bytes(500), None).unwrap(); // into P1
-        // Collector copies survivors into P0, then P1 is reset and becomes
-        // the empty partition.
+                                               // Collector copies survivors into P0, then P1 is reset and becomes
+                                               // the empty partition.
         assert!(s.allocate_in(PartitionId(0), Bytes(500)).unwrap().is_some());
         s.rotate_empty(PartitionId(1)).unwrap();
         assert_eq!(s.empty_partition(), PartitionId(1));
@@ -370,7 +373,7 @@ mod tests {
     fn first_fit_ignores_preferred_partition() {
         let mut s = PartitionSet::new(1024, 2).with_placement(PlacementPolicy::FirstFit);
         s.grow(); // P2
-        // Prefer P2, but FirstFit starts from the lowest-id partition.
+                  // Prefer P2, but FirstFit starts from the lowest-id partition.
         let pl = s.allocate(Bytes(100), Some(PartitionId(2))).unwrap();
         assert_eq!(pl.partition, PartitionId(1));
     }

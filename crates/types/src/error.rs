@@ -65,7 +65,10 @@ impl fmt::Display for PgcError {
             ),
             PgcError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
             PgcError::CollectEmptyPartition(p) => {
-                write!(f, "cannot collect {p}: it is the designated empty partition")
+                write!(
+                    f,
+                    "cannot collect {p}: it is the designated empty partition"
+                )
             }
             PgcError::TraceFormat(msg) => write!(f, "malformed trace: {msg}"),
             PgcError::TraceIo(msg) => write!(f, "trace I/O error: {msg}"),

@@ -14,14 +14,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod config;
 pub mod error;
+pub mod fast_hash;
 pub mod ids;
 pub mod rng;
 pub mod units;
 
+pub use bitset::DenseBitSet;
 pub use config::{DbConfig, PlacementPolicy};
 pub use error::{PgcError, Result};
+pub use fast_hash::{fast_hash_u64, FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
 pub use ids::{Oid, PageId, PartitionId, PointerLoc, SlotId};
 pub use rng::SimRng;
 pub use units::{Bytes, PageCount, DEFAULT_PAGE_SIZE};

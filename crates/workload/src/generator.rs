@@ -393,7 +393,9 @@ mod tests {
         let a: Vec<Event> = SyntheticWorkload::new(small()).unwrap().collect();
         let b: Vec<Event> = SyntheticWorkload::new(small()).unwrap().collect();
         assert_eq!(a, b);
-        let c: Vec<Event> = SyntheticWorkload::new(small().with_seed(12)).unwrap().collect();
+        let c: Vec<Event> = SyntheticWorkload::new(small().with_seed(12))
+            .unwrap()
+            .collect();
         assert_ne!(a, c);
     }
 
@@ -430,7 +432,10 @@ mod tests {
         let s = g.stats();
         let large_bytes = s.large_objects * g.params().large_object_size;
         let frac = large_bytes as f64 / s.bytes_allocated.get() as f64;
-        assert!((0.08..0.35).contains(&frac), "large-object byte fraction = {frac}");
+        assert!(
+            (0.08..0.35).contains(&frac),
+            "large-object byte fraction = {frac}"
+        );
     }
 
     #[test]

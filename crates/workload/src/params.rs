@@ -171,7 +171,10 @@ impl WorkloadParams {
             (self.p_skip_edge, "p_skip_edge"),
             (self.p_modify_on_visit, "p_modify_on_visit"),
             (self.dense_edge_fraction, "dense_edge_fraction"),
-            (self.large_object_byte_fraction, "large_object_byte_fraction"),
+            (
+                self.large_object_byte_fraction,
+                "large_object_byte_fraction",
+            ),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 let _ = name;

@@ -175,7 +175,9 @@ impl<R: Read> TraceReader<R> {
     fn read_event(&mut self) -> Result<Option<Event>> {
         // A clean EOF at a tag boundary ends the stream.
         let mut tag = [0u8; 1];
-        if self.source.read(&mut tag).map_err(io_err)? == 0 { return Ok(None) }
+        if self.source.read(&mut tag).map_err(io_err)? == 0 {
+            return Ok(None);
+        }
         let event = match tag[0] {
             TAG_CREATE_ROOT => Event::CreateRoot {
                 node: NodeId(self.read_u64()?),

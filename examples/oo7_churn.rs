@@ -17,7 +17,9 @@ use pgc::sim::{RunConfig, Simulation};
 use pgc::workload::{AssemblyParams, AssemblyWorkload, Event};
 
 fn main() {
-    let params = AssemblyParams::default().with_seed(7).with_replacements(800);
+    let params = AssemblyParams::default()
+        .with_seed(7)
+        .with_replacements(800);
     let events: Vec<Event> = AssemblyWorkload::new(params.clone())
         .expect("valid params")
         .collect();
@@ -34,10 +36,9 @@ fn main() {
     // (whole-composite replacement), so the paper's overwrite trigger
     // underfires; the allocation-paced trigger extension fits it.
     for policy in [PolicyKind::UpdatedPointer, PolicyKind::MostGarbage] {
-        let cfg = RunConfig::paper(policy, 7)
-            .with_trigger(pgc::core::Trigger::AllocationBytes(
-                pgc::types::Bytes::from_kib(256),
-            ));
+        let cfg = RunConfig::paper(policy, 7).with_trigger(pgc::core::Trigger::AllocationBytes(
+            pgc::types::Bytes::from_kib(256),
+        ));
         let out = Simulation::run_trace(&cfg, &events).expect("replay");
         println!(
             "{:<16} total I/Os {:>6}  collections {:>3}  reclaimed {:>6.0} KB  leftover {:>5.0} KB (nepotism {:.0} KB)",

@@ -20,7 +20,12 @@ fn main() {
 
     println!("policy             : {}", outcome.policy);
     println!("application events : {}", t.events);
-    println!("page I/Os          : {} app + {} gc = {}", t.app_ios, t.gc_ios, t.total_ios());
+    println!(
+        "page I/Os          : {} app + {} gc = {}",
+        t.app_ios,
+        t.gc_ios,
+        t.total_ios()
+    );
     println!("collections        : {}", t.collections);
     println!(
         "garbage reclaimed  : {:.0} KB of {:.0} KB generated ({:.1}%)",

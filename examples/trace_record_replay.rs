@@ -18,7 +18,9 @@ fn main() {
 
     // 1. Record: generate a workload once and persist it.
     let params = WorkloadParams::small().with_seed(2024);
-    let events: Vec<Event> = SyntheticWorkload::new(params).expect("valid params").collect();
+    let events: Vec<Event> = SyntheticWorkload::new(params)
+        .expect("valid params")
+        .collect();
     let file = BufWriter::new(File::create(&path).expect("create trace file"));
     let written = write_trace(file, &events).expect("encode trace");
     let bytes = std::fs::metadata(&path).expect("stat").len();
@@ -30,8 +32,8 @@ fn main() {
     );
 
     // 2. Replay the identical stream under two policies.
-    let replayed: Vec<Event> = read_trace(BufReader::new(File::open(&path).expect("open")))
-        .expect("decode trace");
+    let replayed: Vec<Event> =
+        read_trace(BufReader::new(File::open(&path).expect("open"))).expect("decode trace");
     assert_eq!(replayed, events, "codec round-trip must be lossless");
 
     for policy in [PolicyKind::UpdatedPointer, PolicyKind::MutatedPartition] {
@@ -48,8 +50,8 @@ fn main() {
 
     // 3. Replaying is bit-for-bit equivalent to generating live.
     let live = Simulation::run(&RunConfig::small().with_seed(2024)).expect("live run");
-    let from_trace = Simulation::run_trace(&RunConfig::small().with_seed(2024), &replayed)
-        .expect("trace run");
+    let from_trace =
+        Simulation::run_trace(&RunConfig::small().with_seed(2024), &replayed).expect("trace run");
     assert_eq!(live.totals, from_trace.totals);
     println!("live generation and trace replay agree exactly ✓");
 

@@ -1,0 +1,46 @@
+# Project task runner. `just <recipe>`; plain `just` lists recipes.
+
+default:
+    @just --list
+
+# Tier-1 verification: the build-and-test gate every change must pass.
+verify:
+    cargo build --release
+    cargo test -q
+
+# Lint gate: clippy across every target, warnings are errors.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Formatting gate.
+fmt-check:
+    cargo fmt --all -- --check
+
+fmt:
+    cargo fmt --all
+
+# All gates in one go.
+check: fmt-check clippy verify
+
+# Regenerate BENCH_hotpath.json (perf-regression numbers). Embeds the
+# recorded pre-change baseline when BENCH_baseline.json is present.
+bench-report:
+    cargo run --release -p pgc-bench --bin perf_report
+
+# Record the pre-change baseline (BENCH_baseline.json): build the shared
+# measurement binary against the last pre-dense-structures commit in a
+# scratch worktree, with only the offline-RNG change patched in so both
+# trees replay identical event streams.
+bench-baseline ref="5e4c50c":
+    git worktree add --force target/seed-baseline {{ref}}
+    cp Cargo.lock Cargo.toml target/seed-baseline/
+    for c in bench buffer core odb sim storage types workload; do cp crates/$c/Cargo.toml target/seed-baseline/crates/$c/Cargo.toml; done
+    cp crates/types/src/rng.rs target/seed-baseline/crates/types/src/rng.rs
+    cp crates/bench/src/bin/perf_baseline.rs target/seed-baseline/crates/bench/src/bin/perf_baseline.rs
+    cd target/seed-baseline && cargo build --release --offline -p pgc-bench --bin perf_baseline
+    ./target/seed-baseline/target/release/perf_baseline
+    git worktree remove --force target/seed-baseline
+
+# Dependency-free micro-benchmarks (PGC_BENCH_QUICK=1 for a fast pass).
+bench:
+    cargo bench -p pgc-bench

@@ -38,11 +38,10 @@ fn replacements_generate_cyclic_garbage() {
     // Without any collection, the orphaned composites (rings + documents)
     // pile up as garbage the oracle can see.
     let events = small_events(2);
-    let out = Simulation::run_trace(&small_cfg(PolicyKind::NoCollection), &events)
-        .expect("replay");
+    let out = Simulation::run_trace(&small_cfg(PolicyKind::NoCollection), &events).expect("replay");
     let params = AssemblyParams::small();
-    let composite_bytes = (params.atomics_per_composite as u64 + 1) * params.small_size
-        + params.document_size;
+    let composite_bytes =
+        (params.atomics_per_composite as u64 + 1) * params.small_size + params.document_size;
     // 60 replacements orphan 60 composites (minus whatever the final state
     // retains; replacements always orphan the *old* occupant).
     assert!(
@@ -60,7 +59,9 @@ fn updated_pointer_beats_the_greedy_oracle_on_cyclic_churn() {
     // follows the overwrite hints to reclaimable garbage. Checked at full
     // partition geometry where composites straddle partitions.
     let events: Vec<Event> = AssemblyWorkload::new(
-        AssemblyParams::default().with_seed(3).with_replacements(300),
+        AssemblyParams::default()
+            .with_seed(3)
+            .with_replacements(300),
     )
     .expect("params")
     .collect();

@@ -155,7 +155,10 @@ fn client_server_mode_reports_network_traffic() {
         .with_seed(12);
     cfg.db = cfg.db.with_client_cache_pages(4);
     let tiered = Simulation::run(&cfg).expect("run");
-    assert!(tiered.totals.total_net_ops() > 0, "client misses cost messages");
+    assert!(
+        tiered.totals.total_net_ops() > 0,
+        "client misses cost messages"
+    );
     // The server buffer shields the disk: tiered disk I/O never exceeds
     // what the client requested over the network.
     assert!(tiered.totals.total_ios() <= tiered.totals.total_net_ops());

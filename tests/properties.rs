@@ -1,12 +1,16 @@
-//! Property-based tests over the core data structures and the collector's
+//! Property-style tests over the core data structures and the collector's
 //! safety invariants.
+//!
+//! The workspace builds offline with no property-testing crate, so each
+//! property runs as a seeded loop: `SimRng` generates many random cases per
+//! property, and a failure message always names the seed that produced it,
+//! which makes any failure replayable with a one-line unit test.
 
 use pgc::buffer::{Access, BufferPool};
 use pgc::core::{Collector, PolicyKind};
 use pgc::odb::{oracle, Database};
-use pgc::types::{Bytes, DbConfig, Oid, PageId, SlotId};
+use pgc::types::{Bytes, DbConfig, Oid, PageId, SimRng, SlotId};
 use pgc::workload::{read_trace, write_trace, Event, NodeId};
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
 // LRU buffer pool vs a naive reference model
@@ -42,30 +46,37 @@ impl NaiveLru {
     }
 }
 
-proptest! {
-    #[test]
-    fn lru_matches_reference_model(
-        capacity in 1usize..12,
-        ops in prop::collection::vec((0u64..24, 0u8..3), 1..400),
-    ) {
+fn access_kind(rng: &mut SimRng) -> Access {
+    match rng.below(3) {
+        0 => Access::Read,
+        1 => Access::Write,
+        _ => Access::WriteNew,
+    }
+}
+
+#[test]
+fn lru_matches_reference_model() {
+    for seed in 0..40u64 {
+        let mut rng = SimRng::new(seed);
+        let capacity = rng.range_inclusive(1, 11) as usize;
         let mut pool = BufferPool::new(capacity);
-        let mut model = NaiveLru { capacity, ..NaiveLru::default() };
-        for (page, kind) in ops {
-            let kind = match kind {
-                0 => Access::Read,
-                1 => Access::Write,
-                _ => Access::WriteNew,
-            };
+        let mut model = NaiveLru {
+            capacity,
+            ..NaiveLru::default()
+        };
+        for _ in 0..rng.range_inclusive(1, 400) {
+            let page = rng.below(24);
+            let kind = access_kind(&mut rng);
             pool.access(PageId(page), kind);
             model.access(page, kind);
             pool.check_invariants();
         }
         let stats = pool.stats();
-        prop_assert_eq!(stats.app_disk_reads, model.disk_reads);
-        prop_assert_eq!(stats.app_disk_writes, model.disk_writes);
-        prop_assert_eq!(pool.resident_pages(), model.entries.len());
+        assert_eq!(stats.app_disk_reads, model.disk_reads, "seed {seed}");
+        assert_eq!(stats.app_disk_writes, model.disk_writes, "seed {seed}");
+        assert_eq!(pool.resident_pages(), model.entries.len(), "seed {seed}");
         for (page, _) in &model.entries {
-            prop_assert!(pool.is_resident(PageId(*page)));
+            assert!(pool.is_resident(PageId(*page)), "seed {seed}");
         }
     }
 }
@@ -74,52 +85,61 @@ proptest! {
 // Trace codec round-trips arbitrary event sequences
 // ---------------------------------------------------------------------
 
-fn arb_event() -> impl Strategy<Value = Event> {
-    prop_oneof![
-        (any::<u64>(), 1u32..100_000, 0u16..8).prop_map(|(n, size, slots)| Event::CreateRoot {
-            node: NodeId(n),
-            size: Bytes(size as u64),
-            slots,
-        }),
-        (any::<u64>(), any::<u64>(), 0u16..8, 1u32..100_000, 0u16..8).prop_map(
-            |(n, p, ps, size, slots)| Event::CreateChild {
-                node: NodeId(n),
-                parent: NodeId(p),
-                parent_slot: ps,
-                size: Bytes(size as u64),
-                slots,
-            }
-        ),
-        (any::<u64>(), 0u16..8, prop::option::of(any::<u64>())).prop_map(|(o, s, n)| {
-            Event::WritePointer {
-                owner: NodeId(o),
-                slot: s,
-                new: n.map(NodeId),
-            }
-        }),
-        any::<u64>().prop_map(|o| Event::AddSlot { owner: NodeId(o) }),
-        any::<u64>().prop_map(|n| Event::Visit { node: NodeId(n) }),
-        any::<u64>().prop_map(|n| Event::DataWrite { node: NodeId(n) }),
-    ]
+fn random_event(rng: &mut SimRng) -> Event {
+    match rng.below(6) {
+        0 => Event::CreateRoot {
+            node: NodeId(rng.next_u64()),
+            size: Bytes(rng.range_inclusive(1, 100_000)),
+            slots: rng.below(8) as u16,
+        },
+        1 => Event::CreateChild {
+            node: NodeId(rng.next_u64()),
+            parent: NodeId(rng.next_u64()),
+            parent_slot: rng.below(8) as u16,
+            size: Bytes(rng.range_inclusive(1, 100_000)),
+            slots: rng.below(8) as u16,
+        },
+        2 => Event::WritePointer {
+            owner: NodeId(rng.next_u64()),
+            slot: rng.below(8) as u16,
+            new: rng.chance(0.5).then(|| NodeId(rng.next_u64())),
+        },
+        3 => Event::AddSlot {
+            owner: NodeId(rng.next_u64()),
+        },
+        4 => Event::Visit {
+            node: NodeId(rng.next_u64()),
+        },
+        _ => Event::DataWrite {
+            node: NodeId(rng.next_u64()),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn trace_codec_round_trips(events in prop::collection::vec(arb_event(), 0..200)) {
+#[test]
+fn trace_codec_round_trips() {
+    for seed in 0..50u64 {
+        let mut rng = SimRng::new(seed);
+        let events: Vec<Event> = (0..rng.below(200))
+            .map(|_| random_event(&mut rng))
+            .collect();
         let mut buf = Vec::new();
         write_trace(&mut buf, &events).expect("encode");
         let back = read_trace(buf.as_slice()).expect("decode");
-        prop_assert_eq!(back, events);
+        assert_eq!(back, events, "seed {seed}");
     }
+}
 
-    #[test]
-    fn truncated_traces_never_panic(
-        events in prop::collection::vec(arb_event(), 1..50),
-        cut in any::<prop::sample::Index>(),
-    ) {
+#[test]
+fn truncated_traces_never_panic() {
+    for seed in 0..50u64 {
+        let mut rng = SimRng::new(seed);
+        let events: Vec<Event> = (0..rng.range_inclusive(1, 50))
+            .map(|_| random_event(&mut rng))
+            .collect();
         let mut buf = Vec::new();
         write_trace(&mut buf, &events).expect("encode");
-        let cut_at = 8 + cut.index(buf.len().saturating_sub(8));
+        let cut_at = 8 + rng.below(buf.len().saturating_sub(8).max(1) as u64) as usize;
         buf.truncate(cut_at);
         // Must yield Ok (clean prefix) or a TraceFormat error — no panic.
         let _ = read_trace(buf.as_slice());
@@ -136,42 +156,51 @@ proptest! {
 #[derive(Debug, Clone)]
 enum Op {
     NewRoot,
-    NewChild { parent: usize, slot: u8 },
-    Unlink { owner: usize, slot: u8 },
-    Relink { owner: usize, slot: u8, target: usize },
+    NewChild {
+        parent: usize,
+        slot: u8,
+    },
+    Unlink {
+        owner: usize,
+        slot: u8,
+    },
+    Relink {
+        owner: usize,
+        slot: u8,
+        target: usize,
+    },
     Collect,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => Just(Op::NewRoot),
-        8 => (any::<prop::sample::Index>(), 0u8..2).prop_map(|(p, s)| Op::NewChild {
-            parent: p.index(usize::MAX - 1),
-            slot: s
-        }),
-        4 => (any::<prop::sample::Index>(), 0u8..2).prop_map(|(o, s)| Op::Unlink {
-            owner: o.index(usize::MAX - 1),
-            slot: s
-        }),
-        2 => (any::<prop::sample::Index>(), 0u8..2, any::<prop::sample::Index>()).prop_map(
-            |(o, s, t)| Op::Relink {
-                owner: o.index(usize::MAX - 1),
-                slot: s,
-                target: t.index(usize::MAX - 1)
-            }
-        ),
-        1 => Just(Op::Collect),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    // Weights mirror the old generator: 2/8/4/2/1.
+    match rng.below(17) {
+        0..=1 => Op::NewRoot,
+        2..=9 => Op::NewChild {
+            parent: rng.next_u64() as usize >> 1,
+            slot: rng.below(2) as u8,
+        },
+        10..=13 => Op::Unlink {
+            owner: rng.next_u64() as usize >> 1,
+            slot: rng.below(2) as u8,
+        },
+        14..=15 => Op::Relink {
+            owner: rng.next_u64() as usize >> 1,
+            slot: rng.below(2) as u8,
+            target: rng.next_u64() as usize >> 1,
+        },
+        _ => Op::Collect,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn collector_never_reclaims_reachable_objects(
-        ops in prop::collection::vec(arb_op(), 1..120),
-        policy_idx in 0usize..PolicyKind::ALL.len(),
-    ) {
-        let policy = PolicyKind::ALL[policy_idx];
+#[test]
+fn collector_never_reclaims_reachable_objects() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(seed);
+        let policy = PolicyKind::ALL[rng.pick_index(PolicyKind::ALL.len())];
+        let ops: Vec<Op> = (0..rng.range_inclusive(1, 120))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let cfg = DbConfig::default()
             .with_page_size(512)
             .with_partition_pages(8)
@@ -186,9 +215,13 @@ proptest! {
                     objects.push(db.create_root(Bytes(64), 2).expect("root"));
                 }
                 Op::NewChild { parent, slot } => {
-                    if objects.is_empty() { continue; }
+                    if objects.is_empty() {
+                        continue;
+                    }
                     let p = objects[parent % objects.len()];
-                    if !db.objects().contains(p) { continue; }
+                    if !db.objects().contains(p) {
+                        continue;
+                    }
                     let (c, info) = db
                         .create_object(Bytes(64), 2, p, SlotId(slot as u16))
                         .expect("child");
@@ -196,31 +229,49 @@ proptest! {
                     objects.push(c);
                 }
                 Op::Unlink { owner, slot } => {
-                    if objects.is_empty() { continue; }
+                    if objects.is_empty() {
+                        continue;
+                    }
                     let o = objects[owner % objects.len()];
-                    if !db.objects().contains(o) { continue; }
+                    if !db.objects().contains(o) {
+                        continue;
+                    }
                     // Only mutate reachable objects, like a real app.
-                    if !oracle::reachable_set(&db).contains(&o) { continue; }
+                    if !oracle::reachable_set(&db).contains(&o) {
+                        continue;
+                    }
                     let info = db.write_slot(o, SlotId(slot as u16), None).expect("write");
                     collector.observe_write(&info);
                 }
-                Op::Relink { owner, slot, target } => {
-                    if objects.is_empty() { continue; }
+                Op::Relink {
+                    owner,
+                    slot,
+                    target,
+                } => {
+                    if objects.is_empty() {
+                        continue;
+                    }
                     let o = objects[owner % objects.len()];
                     let t = objects[target % objects.len()];
-                    if !db.objects().contains(o) || !db.objects().contains(t) { continue; }
+                    if !db.objects().contains(o) || !db.objects().contains(t) {
+                        continue;
+                    }
                     let reachable = oracle::reachable_set(&db);
-                    if !reachable.contains(&o) || !reachable.contains(&t) { continue; }
-                    let info = db.write_slot(o, SlotId(slot as u16), Some(t)).expect("write");
+                    if !reachable.contains(&o) || !reachable.contains(&t) {
+                        continue;
+                    }
+                    let info = db
+                        .write_slot(o, SlotId(slot as u16), Some(t))
+                        .expect("write");
                     collector.observe_write(&info);
                 }
                 Op::Collect => {
                     let reachable_before = oracle::reachable_set(&db);
                     collector.force_collect(&mut db).expect("collect");
                     for oid in &reachable_before {
-                        prop_assert!(
+                        assert!(
                             db.objects().contains(*oid),
-                            "{policy}: reclaimed reachable object {oid}"
+                            "seed {seed}, {policy}: reclaimed reachable object {oid}"
                         );
                     }
                 }
@@ -233,7 +284,7 @@ proptest! {
         let reachable = oracle::reachable_set(&db);
         for oid in reachable {
             let rec = db.objects().get(oid).expect("reachable object exists");
-            prop_assert!(rec.weight >= 1 && rec.weight <= 16);
+            assert!(rec.weight >= 1 && rec.weight <= 16, "seed {seed}");
         }
     }
 }
@@ -242,19 +293,19 @@ proptest! {
 // Workload generator: every generated trace is applicable
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    #[test]
-    fn any_seeded_workload_replays_cleanly(seed in 0u64..1000) {
-        let mut params = pgc::workload::WorkloadParams::small().with_seed(seed);
+#[test]
+fn any_seeded_workload_replays_cleanly() {
+    for seed in 0..16u64 {
+        let mut params = pgc::workload::WorkloadParams::small().with_seed(seed * 61 + 7);
         params.target_allocated = Bytes::from_kib(64);
         params.tree_nodes_min = 8;
         params.tree_nodes_max = 40;
-        let events: Vec<Event> =
-            pgc::workload::SyntheticWorkload::new(params).expect("params").collect();
+        let events: Vec<Event> = pgc::workload::SyntheticWorkload::new(params)
+            .expect("params")
+            .collect();
         let cfg = pgc::sim::RunConfig::small();
         let out = pgc::sim::Simulation::run_trace(&cfg, &events).expect("replay");
-        prop_assert_eq!(out.totals.events, events.len() as u64);
+        assert_eq!(out.totals.events, events.len() as u64, "seed {seed}");
     }
 }
 
@@ -262,34 +313,41 @@ proptest! {
 // Page-span arithmetic
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn page_spans_cover_exactly_the_extent(
-        partition in 0u32..32,
-        offset in 0u64..(48 * 8192),
-        size in 1u64..(64 * 1024),
-    ) {
-        use pgc::storage::{page_span, ObjAddr};
-        const PAGE: u64 = 8192;
-        const PARTITION_PAGES: u64 = 48;
+#[test]
+fn page_spans_cover_exactly_the_extent() {
+    use pgc::storage::{page_span, ObjAddr};
+    const PAGE: u64 = 8192;
+    const PARTITION_PAGES: u64 = 48;
+    for seed in 0..200u64 {
+        let mut rng = SimRng::new(seed);
+        let partition = rng.below(32) as u32;
         // Clamp the extent inside the partition, as the allocator does.
-        let offset = offset.min(PARTITION_PAGES * PAGE - 1);
-        let size = size.min(PARTITION_PAGES * PAGE - offset);
+        let offset = rng.below(PARTITION_PAGES * PAGE);
+        let size = rng
+            .range_inclusive(1, 64 * 1024)
+            .min(PARTITION_PAGES * PAGE - offset);
         let addr = ObjAddr::new(pgc::types::PartitionId(partition), offset);
         let pages: Vec<u64> = page_span(addr, Bytes(size), PAGE as usize, PARTITION_PAGES)
             .map(|p| p.index())
             .collect();
         // Non-empty, consecutive, within the partition's global page range.
-        prop_assert!(!pages.is_empty());
+        assert!(!pages.is_empty(), "seed {seed}");
         for w in pages.windows(2) {
-            prop_assert_eq!(w[1], w[0] + 1);
+            assert_eq!(w[1], w[0] + 1, "seed {seed}");
         }
         let base = partition as u64 * PARTITION_PAGES;
-        prop_assert!(pages[0] >= base);
-        prop_assert!(*pages.last().unwrap() < base + PARTITION_PAGES);
+        assert!(pages[0] >= base, "seed {seed}");
+        assert!(
+            *pages.last().unwrap() < base + PARTITION_PAGES,
+            "seed {seed}"
+        );
         // First and last pages contain the extent's first and last bytes.
-        prop_assert_eq!(pages[0], base + offset / PAGE);
-        prop_assert_eq!(*pages.last().unwrap(), base + (offset + size - 1) / PAGE);
+        assert_eq!(pages[0], base + offset / PAGE, "seed {seed}");
+        assert_eq!(
+            *pages.last().unwrap(),
+            base + (offset + size - 1) / PAGE,
+            "seed {seed}"
+        );
     }
 }
 
@@ -297,34 +355,38 @@ proptest! {
 // Partition allocator vs a byte-accurate reference model
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn partition_set_matches_reference_accounting(
-        sizes in prop::collection::vec(1u64..3000, 1..120),
-    ) {
-        use pgc::storage::PartitionSet;
-        const CAPACITY: u64 = 4096;
+#[test]
+fn partition_set_matches_reference_accounting() {
+    use pgc::storage::PartitionSet;
+    const CAPACITY: u64 = 4096;
+    for seed in 0..40u64 {
+        let mut rng = SimRng::new(seed);
         let mut set = PartitionSet::new(1024, 4);
         // Reference: per-partition bump cursors.
         let mut cursors: Vec<u64> = vec![0, 0]; // P0 (empty), P1
-        for size in sizes {
+        for _ in 0..rng.range_inclusive(1, 120) {
+            let size = rng.range_inclusive(1, 2999);
             let placement = set.allocate(Bytes(size), None).expect("fits a partition");
             let idx = placement.partition.as_usize();
             if placement.grew {
-                prop_assert_eq!(idx, cursors.len(), "growth appends partitions");
+                assert_eq!(idx, cursors.len(), "seed {seed}: growth appends partitions");
                 cursors.push(0);
             }
             // Never the designated empty partition.
-            prop_assert_ne!(placement.partition, set.empty_partition());
+            assert_ne!(placement.partition, set.empty_partition(), "seed {seed}");
             // Offsets are exactly the reference bump cursor.
-            prop_assert_eq!(placement.offset, cursors[idx]);
+            assert_eq!(placement.offset, cursors[idx], "seed {seed}");
             cursors[idx] += size;
-            prop_assert!(cursors[idx] <= CAPACITY, "no partition overflows");
+            assert!(
+                cursors[idx] <= CAPACITY,
+                "seed {seed}: no partition overflows"
+            );
         }
         // Footprint matches the number of partitions.
-        prop_assert_eq!(
+        assert_eq!(
             set.total_footprint().get(),
-            CAPACITY * cursors.len() as u64
+            CAPACITY * cursors.len() as u64,
+            "seed {seed}"
         );
     }
 }
@@ -333,21 +395,17 @@ proptest! {
 // Client/server pool: conservation properties
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn tiered_pool_disk_traffic_never_exceeds_network_traffic(
-        client in 1usize..6,
-        server in 1usize..10,
-        ops in prop::collection::vec((0u64..30, 0u8..3), 1..300),
-    ) {
-        use pgc::buffer::{Access, TieredPool};
+#[test]
+fn tiered_pool_disk_traffic_never_exceeds_network_traffic() {
+    use pgc::buffer::TieredPool;
+    for seed in 0..40u64 {
+        let mut rng = SimRng::new(seed);
+        let client = rng.range_inclusive(1, 5) as usize;
+        let server = rng.range_inclusive(1, 9) as usize;
         let mut pool = TieredPool::new(client, server);
-        for (page, kind) in ops {
-            let kind = match kind {
-                0 => Access::Read,
-                1 => Access::Write,
-                _ => Access::WriteNew,
-            };
+        for _ in 0..rng.range_inclusive(1, 300) {
+            let page = rng.below(30);
+            let kind = access_kind(&mut rng);
             pool.access(PageId(page), kind);
             pool.check_invariants();
         }
@@ -355,10 +413,14 @@ proptest! {
         // Every disk read was triggered by a network fetch that missed the
         // server buffer; every disk write by a dirty page that first
         // travelled client -> server.
-        prop_assert!(s.disk_reads_app + s.disk_reads_gc
-            <= s.net_reads_app + s.net_reads_gc);
-        prop_assert!(s.disk_writes_app + s.disk_writes_gc
-            <= s.net_writebacks_app + s.net_writebacks_gc);
+        assert!(
+            s.disk_reads_app + s.disk_reads_gc <= s.net_reads_app + s.net_reads_gc,
+            "seed {seed}"
+        );
+        assert!(
+            s.disk_writes_app + s.disk_writes_gc <= s.net_writebacks_app + s.net_writebacks_gc,
+            "seed {seed}"
+        );
     }
 }
 
@@ -366,17 +428,63 @@ proptest! {
 // Summary statistics vs a naive implementation
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn summary_matches_naive_statistics(
-        samples in prop::collection::vec(-1.0e6f64..1.0e6, 2..50),
-    ) {
+#[test]
+fn summary_matches_naive_statistics() {
+    for seed in 0..40u64 {
+        let mut rng = SimRng::new(seed);
+        let samples: Vec<f64> = (0..rng.range_inclusive(2, 49))
+            .map(|_| (rng.unit() - 0.5) * 2.0e6)
+            .collect();
         let s = pgc::sim::Summary::of(&samples);
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((s.mean - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.std_dev - var.sqrt()).abs() <= 1e-6 * (1.0 + var.sqrt()));
-        prop_assert_eq!(s.n, samples.len());
+        assert!(
+            (s.mean - mean).abs() <= 1e-6 * (1.0 + mean.abs()),
+            "seed {seed}"
+        );
+        assert!(
+            (s.std_dev - var.sqrt()).abs() <= 1e-6 * (1.0 + var.sqrt()),
+            "seed {seed}"
+        );
+        assert_eq!(s.n, samples.len(), "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dense oracle vs the retained hash-set reference (tentpole guarantee)
+// ---------------------------------------------------------------------
+
+#[test]
+fn dense_oracle_matches_reference_after_real_workloads() {
+    use pgc::odb::oracle::OracleScratch;
+    // Drive real small workloads (not just synthetic graphs) to states with
+    // garbage, nepotism, and relocation history, then require report
+    // equality — including `nepotism_bytes` — between implementations.
+    let mut scratch = OracleScratch::new();
+    for seed in 0..6u64 {
+        let cfg = pgc::sim::RunConfig::small().with_seed(seed);
+        let mut params = cfg.workload.clone();
+        params.target_allocated = Bytes::from_kib(128);
+        let events: Vec<Event> = pgc::workload::SyntheticWorkload::new(params)
+            .expect("params")
+            .collect();
+        let db = Database::new(cfg.db.clone()).expect("db");
+        let collector = Collector::with_kind(PolicyKind::UpdatedPointer, 25, 1, 16);
+        let mut replayer = pgc::sim::Replayer::new(db, collector);
+        for (i, event) in events.iter().enumerate() {
+            replayer.apply(event).expect("apply");
+            if i % 500 == 0 {
+                let expected = oracle::reference::analyze(replayer.db());
+                let got = oracle::analyze_with(replayer.db(), &mut scratch);
+                assert_eq!(got, expected, "seed {seed}, event {i}");
+            }
+        }
+        let expected = oracle::reference::analyze(replayer.db());
+        assert_eq!(
+            oracle::analyze_with(replayer.db(), &mut scratch),
+            expected,
+            "seed {seed}, final state"
+        );
     }
 }
