@@ -4,12 +4,12 @@
 
 use pgc_bench::microbench::Runner;
 use pgc_core::{build_policy, PolicyKind};
-use pgc_odb::{Database, PointerTarget, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, Database, PointerTarget, PointerWriteInfo};
 use pgc_types::{Bytes, DbConfig, Oid, PartitionId, SlotId};
 use std::hint::black_box;
 
-fn overwrite_event(p: u32) -> PointerWriteInfo {
-    PointerWriteInfo {
+fn overwrite_event(p: u32) -> BarrierEvent {
+    BarrierEvent::PointerWrite(PointerWriteInfo {
         owner: Oid(1),
         owner_partition: PartitionId(p),
         slot: SlotId(0),
@@ -20,7 +20,7 @@ fn overwrite_event(p: u32) -> PointerWriteInfo {
         }),
         new: None,
         during_creation: false,
-    }
+    })
 }
 
 /// A populated small database for selection benchmarks.
@@ -56,8 +56,8 @@ fn main() {
     ] {
         let mut policy = build_policy(kind, 7, 16);
         let mut i = 0u32;
-        r.bench(&format!("policy/on_pointer_write/{}", kind.name()), || {
-            policy.on_pointer_write(black_box(&overwrite_event(i % 8)));
+        r.bench(&format!("policy/on_event/{}", kind.name()), || {
+            policy.on_event(black_box(&overwrite_event(i % 8)));
             i += 1;
         });
     }
@@ -70,7 +70,7 @@ fn main() {
     ] {
         let mut policy = build_policy(kind, 7, 16);
         for i in 0..100 {
-            policy.on_pointer_write(&overwrite_event(i % 8));
+            policy.on_event(&overwrite_event(i % 8));
         }
         r.bench(&format!("policy/select/{}", kind.name()), || {
             black_box(policy.select(&db))

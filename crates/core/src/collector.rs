@@ -1,15 +1,18 @@
-//! The policy + scheduler bundle that drives collections.
+//! The policy + scheduler bundle that pumps the barrier event bus.
 //!
 //! [`Collector`] is what a simulation (or an embedding application) holds:
-//! it forwards every write-barrier event to both the scheduler (counting
-//! overwrites) and the policy (accumulating hints), and when the trigger
-//! fires it asks the policy for a victim and runs the copying collection.
+//! it drains the [`Database`]'s event log and broadcasts every
+//! [`BarrierEvent`] to the selection policy, to any registered shadow
+//! observers, and to the trigger scheduler. When the trigger fires it asks
+//! the policy for a victim, runs the copying collection, and pumps the
+//! resulting collection events back through the same bus so every listener
+//! sees one consistent stream.
 
 use crate::policies::build_policy;
 use crate::policy::{PolicyKind, SelectionPolicy};
 use crate::scheduler::{GcScheduler, Trigger};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
-use pgc_types::{Bytes, PartitionId, Result};
+use pgc_odb::{BarrierEvent, BarrierObserver, CollectionOutcome, Database, ObserverRegistry};
+use pgc_types::Result;
 
 /// A complete partitioned garbage collector: selection policy + trigger.
 ///
@@ -22,22 +25,28 @@ use pgc_types::{Bytes, PartitionId, Result};
 /// let mut gc = Collector::with_kind(PolicyKind::UpdatedPointer, 1, 0, 16);
 ///
 /// let root = db.create_root(Bytes(100), 1).unwrap();
-/// let (_child, info) = db.create_object(Bytes(100), 1, root, SlotId(0)).unwrap();
-/// gc.observe_write(&info);
+/// db.create_object(Bytes(100), 1, root, SlotId(0)).unwrap();
+/// assert!(!gc.sync(&mut db), "creation stores are no overwrites");
 ///
-/// let info = db.write_slot(root, SlotId(0), None).unwrap(); // the overwrite
-/// assert!(gc.observe_write(&info), "threshold 1: due immediately");
+/// db.write_slot(root, SlotId(0), None).unwrap(); // the overwrite
+/// assert!(gc.sync(&mut db), "threshold 1: due immediately");
 /// let outcome = gc.maybe_collect(&mut db).unwrap().unwrap();
 /// assert_eq!(outcome.garbage_objects, 1);
 /// ```
 pub struct Collector {
     policy: Box<dyn SelectionPolicy>,
     scheduler: GcScheduler,
+    /// Bystanders on the bus: shadow scoreboards, tracers, metrics taps.
+    /// They see the same stream as the policy but never pick the victim.
+    observers: ObserverRegistry,
     /// Partitions collected per activation. The paper collects exactly one
     /// ("a full implementation might allow more than one partition to be
     /// collected at a time, if doing so was determined to be of
     /// importance") — values above 1 exist for that ablation.
     batch: u32,
+    /// Reused drain buffer so the per-operation pump allocates nothing in
+    /// steady state.
+    scratch: Vec<BarrierEvent>,
 }
 
 impl Collector {
@@ -47,7 +56,9 @@ impl Collector {
         Self {
             policy,
             scheduler: GcScheduler::new(overwrite_threshold),
+            observers: ObserverRegistry::new(),
             batch: 1,
+            scratch: Vec::new(),
         }
     }
 
@@ -56,7 +67,9 @@ impl Collector {
         Self {
             policy,
             scheduler: GcScheduler::with_trigger(trigger),
+            observers: ObserverRegistry::new(),
             batch: 1,
+            scratch: Vec::new(),
         }
     }
 
@@ -78,6 +91,20 @@ impl Collector {
         Self::new(build_policy(kind, seed, max_weight), overwrite_threshold)
     }
 
+    /// Registers a bystander observer on the bus. It receives every event
+    /// the driving policy receives — including the driver's own
+    /// `CollectionCompleted` records — plus the [`BarrierObserver::on_trigger`]
+    /// callback at each activation, but it never influences victim
+    /// selection or trigger timing.
+    pub fn add_observer(&mut self, observer: Box<dyn BarrierObserver>) {
+        self.observers.register(observer);
+    }
+
+    /// Number of registered bystander observers.
+    pub fn observer_count(&self) -> usize {
+        self.observers.len()
+    }
+
     /// Which policy this collector runs.
     pub fn policy_kind(&self) -> PolicyKind {
         self.policy.kind()
@@ -88,37 +115,53 @@ impl Collector {
         &self.scheduler
     }
 
-    /// Feeds one write-barrier event to the policy and the trigger.
+    /// Delivers one event to the policy, the observers, and the trigger.
     /// Returns `true` if a collection is now due.
-    pub fn observe_write(&mut self, info: &PointerWriteInfo) -> bool {
-        self.policy.on_pointer_write(info);
-        if info.is_overwrite() {
-            self.scheduler.note_overwrite()
-        } else {
-            self.scheduler.is_due()
+    ///
+    /// Normally events arrive via [`Collector::sync`]; this entry point
+    /// exists for tests and for embedders that fabricate their own stream.
+    pub fn observe_event(&mut self, event: &BarrierEvent) -> bool {
+        self.policy.on_event(event);
+        self.observers.broadcast(event);
+        match event {
+            BarrierEvent::PointerWrite(info) if info.is_overwrite() => {
+                self.scheduler.note_overwrite()
+            }
+            BarrierEvent::Allocation { size, grew, .. } => {
+                // `PartitionGrowth` carries no trigger weight of its own:
+                // the allocation that caused it already reports `grew`.
+                self.scheduler.note_allocation(*size, *grew)
+            }
+            _ => self.scheduler.is_due(),
         }
     }
 
-    /// Feeds one data (non-pointer) write to the policy. Only the
-    /// unenhanced YNY policy reacts; data writes never advance the paper's
-    /// trigger.
-    pub fn observe_data_write(&mut self, partition: PartitionId) -> bool {
-        self.policy.on_data_write(partition);
+    /// Drains the database's pending barrier events through the bus.
+    /// Returns `true` if a collection is now due.
+    pub fn sync(&mut self, db: &mut Database) -> bool {
+        // Fast path: reads (`visit`) and slot growth log nothing, and in a
+        // traversal-heavy trace they dominate — skip the drain entirely.
+        if db.events().is_empty() {
+            return self.scheduler.is_due();
+        }
+        self.scratch.clear();
+        db.drain_events_into(&mut self.scratch);
+        // Events are `Copy`; an index loop lets `observe_event` borrow
+        // `self` mutably without juggling the scratch buffer's ownership.
+        for i in 0..self.scratch.len() {
+            let event = self.scratch[i];
+            self.observe_event(&event);
+        }
+        self.scratch.clear();
         self.scheduler.is_due()
     }
 
-    /// Feeds one allocation to the trigger (relevant for the
-    /// allocation-bytes and partition-growth triggers). Returns `true` if
-    /// a collection is now due.
-    pub fn observe_allocation(&mut self, bytes: Bytes, grew: bool) -> bool {
-        self.scheduler.note_allocation(bytes, grew)
-    }
-
-    /// If the trigger is due, selects a victim and collects it. Returns the
-    /// outcome, or `None` when no collection happened (trigger not due, the
-    /// policy declined, or there is nothing to collect).
+    /// If the trigger is due (after draining any pending events), selects a
+    /// victim and collects it. Returns the outcome, or `None` when no
+    /// collection happened (trigger not due, the policy declined, or there
+    /// is nothing to collect).
     pub fn maybe_collect(&mut self, db: &mut Database) -> Result<Option<CollectionOutcome>> {
-        if !self.scheduler.is_due() {
+        if !self.sync(db) {
             return Ok(None);
         }
         self.force_collect(db)
@@ -128,15 +171,31 @@ impl Collector {
     /// window whether or not the policy declined, so `NoCollection` pays no
     /// compounding bookkeeping). With a batch size above 1, selection and
     /// collection repeat up to `batch` times per activation.
+    ///
+    /// Activation order on the bus: any pending events are drained first;
+    /// then a [`BarrierEvent::TriggerTick`] marks the activation; then
+    /// every observer's `on_trigger` sees the *pre-collection* database —
+    /// this is where shadow scoreboards record the victim they would have
+    /// picked — and only then does the driving policy select and collect.
     pub fn force_collect(&mut self, db: &mut Database) -> Result<Option<CollectionOutcome>> {
+        self.sync(db);
         self.scheduler.collection_done();
+        let tick = BarrierEvent::TriggerTick {
+            activation: self.scheduler.triggers(),
+        };
+        self.policy.on_event(&tick);
+        self.observers.broadcast(&tick);
+        self.observers.notify_trigger(db);
         let mut last = None;
         for _ in 0..self.batch {
             let Some(victim) = self.policy.select(db) else {
                 break;
             };
             let outcome = db.collect_partition(victim)?;
-            self.policy.on_collection(&outcome);
+            // Pump the collection's own events (copies, reclaims, the
+            // completion record) so scoreboards reset before the next
+            // batched selection.
+            self.sync(db);
             last = Some(outcome);
         }
         Ok(last)
@@ -148,6 +207,7 @@ impl std::fmt::Debug for Collector {
         f.debug_struct("Collector")
             .field("policy", &self.policy.name())
             .field("scheduler", &self.scheduler)
+            .field("observers", &self.observers.len())
             .finish()
     }
 }
@@ -155,7 +215,9 @@ impl std::fmt::Debug for Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgc_types::{Bytes, DbConfig, SlotId};
+    use pgc_types::{Bytes, DbConfig, Oid, PartitionId, SlotId};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn db() -> Database {
         Database::new(
@@ -170,12 +232,11 @@ mod tests {
     fn collects_when_due_and_resets() {
         let mut d = db();
         let r = d.create_root(Bytes(100), 2).unwrap();
-        let (a, info_a) = d.create_object(Bytes(100), 2, r, SlotId(0)).unwrap();
-        let _ = a;
+        d.create_object(Bytes(100), 2, r, SlotId(0)).unwrap();
         let mut c = Collector::with_kind(PolicyKind::UpdatedPointer, 1, 0, 16);
-        assert!(!c.observe_write(&info_a), "creation store is no overwrite");
-        let info = d.write_slot(r, SlotId(0), None).unwrap();
-        assert!(c.observe_write(&info), "one overwrite hits threshold 1");
+        assert!(!c.sync(&mut d), "creation stores are no overwrites");
+        d.write_slot(r, SlotId(0), None).unwrap();
+        assert!(c.sync(&mut d), "one overwrite hits threshold 1");
         let out = c.maybe_collect(&mut d).unwrap();
         let out = out.expect("collection happened");
         assert_eq!(out.garbage_objects, 1);
@@ -190,8 +251,8 @@ mod tests {
         let r = d.create_root(Bytes(100), 2).unwrap();
         d.create_object(Bytes(100), 2, r, SlotId(0)).unwrap();
         let mut c = Collector::with_kind(PolicyKind::NoCollection, 1, 0, 16);
-        let info = d.write_slot(r, SlotId(0), None).unwrap();
-        assert!(c.observe_write(&info));
+        d.write_slot(r, SlotId(0), None).unwrap();
+        assert!(c.sync(&mut d));
         assert!(c.maybe_collect(&mut d).unwrap().is_none());
         assert_eq!(d.stats().collections, 0);
         assert!(!c.scheduler().is_due(), "window reset even when declining");
@@ -203,10 +264,10 @@ mod tests {
         let r = d.create_root(Bytes(100), 2).unwrap();
         // A subtree that will die.
         let (a, _) = d.create_object(Bytes(100), 2, r, SlotId(0)).unwrap();
-        let (_b, _) = d.create_object(Bytes(100), 2, a, SlotId(0)).unwrap();
+        d.create_object(Bytes(100), 2, a, SlotId(0)).unwrap();
         let mut c = Collector::with_kind(PolicyKind::UpdatedPointer, 1, 0, 16);
-        let info = d.write_slot(r, SlotId(0), None).unwrap();
-        c.observe_write(&info);
+        d.write_slot(r, SlotId(0), None).unwrap();
+        c.sync(&mut d);
         let out = c.maybe_collect(&mut d).unwrap().unwrap();
         assert_eq!(out.garbage_objects, 2, "a and b reclaimed");
         assert!(d.objects().contains(r));
@@ -220,9 +281,9 @@ mod tests {
         let (a, _) = d.create_object(Bytes(8100), 2, r, SlotId(0)).unwrap();
         d.write_slot(r, SlotId(0), None).unwrap();
         let (b, _) = d.create_object(Bytes(8100), 2, r, SlotId(1)).unwrap();
-        let info = d.write_slot(r, SlotId(1), None).unwrap();
+        d.write_slot(r, SlotId(1), None).unwrap();
         let mut c = Collector::with_kind(PolicyKind::MostGarbage, 1, 0, 16).with_batch(2);
-        c.observe_write(&info);
+        c.sync(&mut d);
         c.maybe_collect(&mut d).unwrap();
         assert_eq!(d.stats().collections, 2, "batch of two");
         assert!(!d.objects().contains(a));
@@ -233,12 +294,19 @@ mod tests {
     fn allocation_trigger_fires_without_overwrites() {
         let mut d = db();
         let r = d.create_root(Bytes(100), 2).unwrap();
+        d.clear_events();
         let mut c = Collector::with_trigger(
             build_policy(PolicyKind::Occupancy, 0, 16),
             Trigger::AllocationBytes(Bytes(1000)),
         );
-        assert!(!c.observe_allocation(Bytes(500), false));
-        assert!(c.observe_allocation(Bytes(600), false));
+        let alloc = |size| BarrierEvent::Allocation {
+            oid: Oid(9),
+            partition: PartitionId(1),
+            size,
+            grew: false,
+        };
+        assert!(!c.observe_event(&alloc(Bytes(500))));
+        assert!(c.observe_event(&alloc(Bytes(600))));
         let out = c.maybe_collect(&mut d).unwrap();
         assert!(out.is_some());
         assert!(d.objects().contains(r), "live root survives");
@@ -248,12 +316,19 @@ mod tests {
     fn growth_trigger_fires_on_partition_growth() {
         let mut d = db();
         d.create_root(Bytes(100), 2).unwrap();
+        d.clear_events();
         let mut c = Collector::with_trigger(
             build_policy(PolicyKind::Occupancy, 0, 16),
             Trigger::PartitionGrowth,
         );
-        assert!(!c.observe_allocation(Bytes(100), false));
-        assert!(c.observe_allocation(Bytes(8100), true));
+        let alloc = |size, grew| BarrierEvent::Allocation {
+            oid: Oid(9),
+            partition: PartitionId(1),
+            size,
+            grew,
+        };
+        assert!(!c.observe_event(&alloc(Bytes(100), false)));
+        assert!(c.observe_event(&alloc(Bytes(8100), true)));
         assert!(c.maybe_collect(&mut d).unwrap().is_some());
     }
 
@@ -261,11 +336,16 @@ mod tests {
     fn data_writes_reach_only_the_yny_policy() {
         let mut d = db();
         d.create_root(Bytes(100), 2).unwrap();
+        d.clear_events();
         let mut yny = Collector::with_kind(PolicyKind::YnyMutated, 100, 0, 16);
         let mut enhanced = Collector::with_kind(PolicyKind::MutatedPartition, 100, 0, 16);
+        let dw = BarrierEvent::DataWrite {
+            oid: Oid(1),
+            partition: PartitionId(1),
+        };
         for _ in 0..3 {
-            yny.observe_data_write(pgc_types::PartitionId(1));
-            enhanced.observe_data_write(pgc_types::PartitionId(1));
+            yny.observe_event(&dw);
+            enhanced.observe_event(&dw);
         }
         // Force a selection: YNY has a score for P1, enhanced does not
         // (falls back to fullest). Both should pick P1 here since it is
@@ -274,6 +354,62 @@ mod tests {
         assert_eq!(yny.policy_kind(), PolicyKind::YnyMutated);
         assert_eq!(enhanced.policy_kind(), PolicyKind::MutatedPartition);
         assert!(yny.force_collect(&mut d).unwrap().is_some());
+    }
+
+    /// A bystander that tallies what it sees on the bus.
+    #[derive(Default)]
+    struct Tap {
+        state: Rc<RefCell<TapState>>,
+    }
+
+    #[derive(Default)]
+    struct TapState {
+        events: usize,
+        ticks: u64,
+        completions: usize,
+        trigger_views: usize,
+    }
+
+    impl BarrierObserver for Tap {
+        fn on_event(&mut self, event: &BarrierEvent) {
+            let mut s = self.state.borrow_mut();
+            s.events += 1;
+            match event {
+                BarrierEvent::TriggerTick { .. } => s.ticks += 1,
+                BarrierEvent::CollectionCompleted(_) => s.completions += 1,
+                _ => {}
+            }
+        }
+
+        fn on_trigger(&mut self, db: &Database) {
+            assert!(db.partition_count() > 0);
+            self.state.borrow_mut().trigger_views += 1;
+        }
+    }
+
+    #[test]
+    fn observers_see_the_full_driver_stream() {
+        let mut d = db();
+        let tap = Tap::default();
+        let state = Rc::clone(&tap.state);
+        let mut c = Collector::with_kind(PolicyKind::UpdatedPointer, 1, 0, 16);
+        c.add_observer(Box::new(tap));
+        assert_eq!(c.observer_count(), 1);
+
+        let r = d.create_root(Bytes(100), 2).unwrap();
+        d.create_object(Bytes(100), 2, r, SlotId(0)).unwrap();
+        d.write_slot(r, SlotId(0), None).unwrap();
+        let out = c.maybe_collect(&mut d).unwrap();
+        assert!(out.is_some());
+
+        let s = state.borrow();
+        assert_eq!(s.ticks, 1, "one activation, one tick");
+        assert_eq!(s.trigger_views, 1, "on_trigger ran at the activation");
+        assert_eq!(
+            s.completions, 1,
+            "the driver's collection record reached the bystander"
+        );
+        assert!(s.events > 3, "mutation events were broadcast too");
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! partitioned garbage collection of object databases, plus the trigger
 //! machinery that decides *when* to collect.
 //!
-//! * [`policy`] — the [`SelectionPolicy`] trait (what a policy may observe:
-//!   write-barrier events; what it must produce: a victim partition) and
-//!   [`PolicyKind`], the enumeration of every implemented policy.
+//! * [`policy`] — the [`SelectionPolicy`] trait: every honest policy is a
+//!   [`pgc_odb::BarrierObserver`] over the typed [`pgc_odb::BarrierEvent`]
+//!   stream (what a policy may observe) that must produce a victim
+//!   partition on demand; plus [`PolicyKind`], the enumeration of every
+//!   implemented policy.
 //! * [`policies`] — the six policies evaluated in the paper
 //!   (`NoCollection`, `Random`, `MutatedPartition`, `UpdatedPointer`,
 //!   `WeightedPointer`, `MostGarbage`) and two extensions used for
@@ -14,8 +16,10 @@
 //! * [`scheduler`] — the paper's trigger: collect after a fixed number of
 //!   pointer overwrites, independent of the selection policy so that every
 //!   policy performs the same number of collections.
-//! * [`collector`] — [`collector::Collector`], the bundle of policy +
-//!   scheduler that drives [`pgc_odb::Database::collect_partition`].
+//! * [`collector`] — [`collector::Collector`], the pump that drains the
+//!   database's event log to the policy, the scheduler, and any registered
+//!   bystander observers (shadow scoreboards), and drives
+//!   [`pgc_odb::Database::collect_partition`] when the trigger fires.
 //!
 //! The copying *mechanism* itself lives in `pgc-odb` (it is shared, fixed
 //! machinery); this crate decides **which** partition it runs on and

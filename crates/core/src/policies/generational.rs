@@ -14,7 +14,7 @@
 //! the object table, which is equivalent in outcome.
 
 use crate::policy::{fallback_victim, PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The youngest-partition policy.
@@ -28,12 +28,17 @@ impl Generational {
     }
 }
 
+impl BarrierObserver for Generational {
+    // Mean birth is recomputed from the object table at `select`; a real
+    // system would instead maintain two counters per partition from
+    // `Allocation`/`ObjectCopied`/`ObjectReclaimed` events.
+    fn on_event(&mut self, _event: &BarrierEvent) {}
+}
+
 impl SelectionPolicy for Generational {
     fn kind(&self) -> PolicyKind {
         PolicyKind::Generational
     }
-
-    fn on_pointer_write(&mut self, _info: &PointerWriteInfo) {}
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         let objects = db.objects();
@@ -59,8 +64,6 @@ impl SelectionPolicy for Generational {
         }
         best.map(|(p, _)| p).or_else(|| fallback_victim(db))
     }
-
-    fn on_collection(&mut self, _outcome: &CollectionOutcome) {}
 }
 
 #[cfg(test)]

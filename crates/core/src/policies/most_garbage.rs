@@ -10,7 +10,7 @@
 
 use crate::policy::{fallback_victim, PolicyKind, SelectionPolicy};
 use pgc_odb::oracle::OracleScratch;
-use pgc_odb::{oracle, CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{oracle, BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The oracle-backed near-optimal policy.
@@ -31,12 +31,16 @@ impl MostGarbage {
     }
 }
 
+impl BarrierObserver for MostGarbage {
+    // The oracle needs no barrier hints: its knowledge comes from the
+    // `select`-time database view.
+    fn on_event(&mut self, _event: &BarrierEvent) {}
+}
+
 impl SelectionPolicy for MostGarbage {
     fn kind(&self) -> PolicyKind {
         PolicyKind::MostGarbage
     }
-
-    fn on_pointer_write(&mut self, _info: &PointerWriteInfo) {}
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         let report = oracle::analyze_with(db, &mut self.scratch);
@@ -47,8 +51,6 @@ impl SelectionPolicy for MostGarbage {
             // fairness condition).
             .or_else(|| fallback_victim(db))
     }
-
-    fn on_collection(&mut self, _outcome: &CollectionOutcome) {}
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use crate::policies::scoreboard::ScoreBoard;
 use crate::policy::{PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The mutation-count policy.
@@ -34,34 +34,36 @@ impl MutatedPartition {
     }
 }
 
+impl BarrierObserver for MutatedPartition {
+    fn on_event(&mut self, event: &BarrierEvent) {
+        match event {
+            // "increment the counter associated with the partition being
+            // written into" — the partition containing the mutated object.
+            BarrierEvent::PointerWrite(info) => self.scores.bump(info.owner_partition, 1),
+            BarrierEvent::CollectionCompleted(outcome) => self.scores.reset(outcome.victim),
+            _ => {}
+        }
+    }
+}
+
 impl SelectionPolicy for MutatedPartition {
     fn kind(&self) -> PolicyKind {
         PolicyKind::MutatedPartition
     }
 
-    fn on_pointer_write(&mut self, info: &PointerWriteInfo) {
-        // "increment the counter associated with the partition being
-        // written into" — the partition containing the mutated object.
-        self.scores.bump(info.owner_partition, 1);
-    }
-
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         self.scores.select_max(db)
-    }
-
-    fn on_collection(&mut self, outcome: &CollectionOutcome) {
-        self.scores.reset(outcome.victim);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgc_odb::PointerTarget;
+    use pgc_odb::{CollectionOutcome, PointerTarget, PointerWriteInfo};
     use pgc_types::{Bytes, DbConfig, Oid, SlotId};
 
-    fn info(owner_partition: u32, old: Option<u32>, during_creation: bool) -> PointerWriteInfo {
-        PointerWriteInfo {
+    fn info(owner_partition: u32, old: Option<u32>, during_creation: bool) -> BarrierEvent {
+        BarrierEvent::PointerWrite(PointerWriteInfo {
             owner: Oid(1),
             owner_partition: PartitionId(owner_partition),
             slot: SlotId(0),
@@ -72,7 +74,7 @@ mod tests {
             }),
             new: None,
             during_creation,
-        }
+        })
     }
 
     fn db() -> Database {
@@ -88,9 +90,9 @@ mod tests {
     #[test]
     fn counts_writes_by_owner_partition() {
         let mut p = MutatedPartition::new();
-        p.on_pointer_write(&info(1, None, false));
-        p.on_pointer_write(&info(1, Some(2), false));
-        p.on_pointer_write(&info(2, None, false));
+        p.on_event(&info(1, None, false));
+        p.on_event(&info(1, Some(2), false));
+        p.on_event(&info(2, None, false));
         assert_eq!(p.score(PartitionId(1)), 2);
         assert_eq!(p.score(PartitionId(2)), 1);
     }
@@ -99,8 +101,20 @@ mod tests {
     fn creation_time_stores_count_too() {
         // The documented weakness: creation inflates the counter.
         let mut p = MutatedPartition::new();
-        p.on_pointer_write(&info(1, None, true));
+        p.on_event(&info(1, None, true));
         assert_eq!(p.score(PartitionId(1)), 1);
+    }
+
+    #[test]
+    fn allocations_alone_do_not_score() {
+        let mut p = MutatedPartition::new();
+        p.on_event(&BarrierEvent::Allocation {
+            oid: Oid(1),
+            partition: PartitionId(1),
+            size: Bytes(100),
+            grew: false,
+        });
+        assert_eq!(p.score(PartitionId(1)), 0);
     }
 
     #[test]
@@ -108,13 +122,13 @@ mod tests {
         let d = db();
         let mut p = MutatedPartition::new();
         for _ in 0..5 {
-            p.on_pointer_write(&info(1, None, false));
+            p.on_event(&info(1, None, false));
         }
         for _ in 0..3 {
-            p.on_pointer_write(&info(2, None, false));
+            p.on_event(&info(2, None, false));
         }
         assert_eq!(p.select(&d), Some(PartitionId(1)));
-        p.on_collection(&CollectionOutcome {
+        p.on_event(&BarrierEvent::CollectionCompleted(CollectionOutcome {
             victim: PartitionId(1),
             target: PartitionId(0),
             live_objects: 0,
@@ -124,7 +138,7 @@ mod tests {
             forwarded_pointers: 0,
             gc_reads: 0,
             gc_writes: 0,
-        });
+        }));
         assert_eq!(p.score(PartitionId(1)), 0);
         assert_eq!(p.select(&d), Some(PartitionId(2)));
     }

@@ -6,7 +6,7 @@
 //! can cost more total I/O than collecting nothing at all.
 
 use crate::policy::{PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The never-collect policy.
@@ -20,19 +20,20 @@ impl NoCollection {
     }
 }
 
+impl BarrierObserver for NoCollection {
+    // Ignores everything — including `CollectionCompleted` events, which
+    // it can legitimately receive as a *shadow* scoreboard riding a
+    // collecting driver policy's event stream.
+    fn on_event(&mut self, _event: &BarrierEvent) {}
+}
+
 impl SelectionPolicy for NoCollection {
     fn kind(&self) -> PolicyKind {
         PolicyKind::NoCollection
     }
 
-    fn on_pointer_write(&mut self, _info: &PointerWriteInfo) {}
-
     fn select(&mut self, _db: &Database) -> Option<PartitionId> {
         None
-    }
-
-    fn on_collection(&mut self, _outcome: &CollectionOutcome) {
-        unreachable!("NoCollection never selects a partition");
     }
 }
 

@@ -7,7 +7,7 @@
 //! data is".
 
 use crate::policy::{PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The fullest-partition policy.
@@ -21,19 +21,20 @@ impl Occupancy {
     }
 }
 
+impl BarrierObserver for Occupancy {
+    // Purely structural: everything it needs is in the `select`-time view.
+    fn on_event(&mut self, _event: &BarrierEvent) {}
+}
+
 impl SelectionPolicy for Occupancy {
     fn kind(&self) -> PolicyKind {
         PolicyKind::Occupancy
     }
 
-    fn on_pointer_write(&mut self, _info: &PointerWriteInfo) {}
-
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         // fallback_victim is exactly "most used bytes, ties low".
         crate::policy::fallback_victim(db)
     }
-
-    fn on_collection(&mut self, _outcome: &CollectionOutcome) {}
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! a fresh partition would be a guaranteed no-op collection.
 
 use crate::policy::{PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::{PartitionId, SimRng};
 
 /// The random-selection baseline.
@@ -24,12 +24,15 @@ impl Random {
     }
 }
 
+impl BarrierObserver for Random {
+    // Random consumes no hints; its generator advances only at `select`.
+    fn on_event(&mut self, _event: &BarrierEvent) {}
+}
+
 impl SelectionPolicy for Random {
     fn kind(&self) -> PolicyKind {
         PolicyKind::Random
     }
-
-    fn on_pointer_write(&mut self, _info: &PointerWriteInfo) {}
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         let candidates: Vec<PartitionId> = db
@@ -47,8 +50,6 @@ impl SelectionPolicy for Random {
         }
         Some(*self.rng.pick(&candidates))
     }
-
-    fn on_collection(&mut self, _outcome: &CollectionOutcome) {}
 }
 
 #[cfg(test)]

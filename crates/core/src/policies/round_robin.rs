@@ -7,7 +7,7 @@
 //! is just coverage.
 
 use crate::policy::{PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The cyclic-order policy.
@@ -23,12 +23,15 @@ impl RoundRobin {
     }
 }
 
+impl BarrierObserver for RoundRobin {
+    // Position advances only at `select`; barrier traffic is irrelevant.
+    fn on_event(&mut self, _event: &BarrierEvent) {}
+}
+
 impl SelectionPolicy for RoundRobin {
     fn kind(&self) -> PolicyKind {
         PolicyKind::RoundRobin
     }
-
-    fn on_pointer_write(&mut self, _info: &PointerWriteInfo) {}
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         let n = db.partition_count() as u32;
@@ -53,8 +56,6 @@ impl SelectionPolicy for RoundRobin {
         }
         None
     }
-
-    fn on_collection(&mut self, _outcome: &CollectionOutcome) {}
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 
 use crate::policies::scoreboard::ScoreBoard;
 use crate::policy::{PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The recency-weighted overwritten-pointer policy.
@@ -35,37 +35,43 @@ impl UpdatedDecay {
     }
 }
 
+impl BarrierObserver for UpdatedDecay {
+    fn on_event(&mut self, event: &BarrierEvent) {
+        match event {
+            BarrierEvent::PointerWrite(info) => {
+                if let Some(old) = info.old {
+                    // Scores are doubled relative to UpdatedPointer so that
+                    // one round of decay still leaves integer resolution.
+                    self.scores.bump(old.partition, 2);
+                }
+            }
+            BarrierEvent::CollectionCompleted(outcome) => {
+                self.scores.reset(outcome.victim);
+                self.scores.decay_all();
+            }
+            _ => {}
+        }
+    }
+}
+
 impl SelectionPolicy for UpdatedDecay {
     fn kind(&self) -> PolicyKind {
         PolicyKind::UpdatedDecay
     }
 
-    fn on_pointer_write(&mut self, info: &PointerWriteInfo) {
-        if let Some(old) = info.old {
-            // Scores are doubled relative to UpdatedPointer so that one
-            // round of decay still leaves integer resolution.
-            self.scores.bump(old.partition, 2);
-        }
-    }
-
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         self.scores.select_max(db)
-    }
-
-    fn on_collection(&mut self, outcome: &CollectionOutcome) {
-        self.scores.reset(outcome.victim);
-        self.scores.decay_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgc_odb::PointerTarget;
+    use pgc_odb::{CollectionOutcome, PointerTarget, PointerWriteInfo};
     use pgc_types::{Bytes, Oid, SlotId};
 
-    fn overwrite(old_partition: u32) -> PointerWriteInfo {
-        PointerWriteInfo {
+    fn overwrite(old_partition: u32) -> BarrierEvent {
+        BarrierEvent::PointerWrite(PointerWriteInfo {
             owner: Oid(1),
             owner_partition: PartitionId(0),
             slot: SlotId(0),
@@ -76,11 +82,11 @@ mod tests {
             }),
             new: None,
             during_creation: false,
-        }
+        })
     }
 
-    fn collected(victim: u32) -> CollectionOutcome {
-        CollectionOutcome {
+    fn collected(victim: u32) -> BarrierEvent {
+        BarrierEvent::CollectionCompleted(CollectionOutcome {
             victim: PartitionId(victim),
             target: PartitionId(0),
             live_objects: 0,
@@ -90,28 +96,28 @@ mod tests {
             forwarded_pointers: 0,
             gc_reads: 0,
             gc_writes: 0,
-        }
+        })
     }
 
     #[test]
     fn scores_decay_across_collections() {
         let mut p = UpdatedDecay::new();
         for _ in 0..8 {
-            p.on_pointer_write(&overwrite(1));
+            p.on_event(&overwrite(1));
         }
         assert_eq!(p.score(PartitionId(1)), 16);
-        p.on_collection(&collected(9));
+        p.on_event(&collected(9));
         assert_eq!(p.score(PartitionId(1)), 8, "halved");
-        p.on_collection(&collected(9));
+        p.on_event(&collected(9));
         assert_eq!(p.score(PartitionId(1)), 4);
     }
 
     #[test]
     fn victim_is_zeroed_not_just_decayed() {
         let mut p = UpdatedDecay::new();
-        p.on_pointer_write(&overwrite(1));
-        p.on_pointer_write(&overwrite(2));
-        p.on_collection(&collected(1));
+        p.on_event(&overwrite(1));
+        p.on_event(&overwrite(2));
+        p.on_event(&collected(1));
         assert_eq!(p.score(PartitionId(1)), 0);
         assert_eq!(p.score(PartitionId(2)), 1);
     }
@@ -121,15 +127,15 @@ mod tests {
         let mut p = UpdatedDecay::new();
         // Old burst into partition 1.
         for _ in 0..10 {
-            p.on_pointer_write(&overwrite(1));
+            p.on_event(&overwrite(1));
         }
         // Several collections of other partitions pass...
         for _ in 0..4 {
-            p.on_collection(&collected(9));
+            p.on_event(&collected(9));
         }
         // ...then a modest fresh burst into partition 2 wins.
         for _ in 0..3 {
-            p.on_pointer_write(&overwrite(2));
+            p.on_event(&overwrite(2));
         }
         assert!(p.score(PartitionId(2)) > p.score(PartitionId(1)));
     }

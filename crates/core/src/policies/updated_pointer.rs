@@ -9,7 +9,7 @@
 
 use crate::policies::scoreboard::ScoreBoard;
 use crate::policy::{PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The overwritten-pointer policy (the paper's best implementable policy).
@@ -30,34 +30,38 @@ impl UpdatedPointer {
     }
 }
 
+impl BarrierObserver for UpdatedPointer {
+    fn on_event(&mut self, event: &BarrierEvent) {
+        match event {
+            BarrierEvent::PointerWrite(info) => {
+                if let Some(old) = info.old {
+                    self.scores.bump(old.partition, 1);
+                }
+            }
+            BarrierEvent::CollectionCompleted(outcome) => self.scores.reset(outcome.victim),
+            _ => {}
+        }
+    }
+}
+
 impl SelectionPolicy for UpdatedPointer {
     fn kind(&self) -> PolicyKind {
         PolicyKind::UpdatedPointer
     }
 
-    fn on_pointer_write(&mut self, info: &PointerWriteInfo) {
-        if let Some(old) = info.old {
-            self.scores.bump(old.partition, 1);
-        }
-    }
-
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         self.scores.select_max(db)
-    }
-
-    fn on_collection(&mut self, outcome: &CollectionOutcome) {
-        self.scores.reset(outcome.victim);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgc_odb::PointerTarget;
+    use pgc_odb::{CollectionOutcome, PointerTarget, PointerWriteInfo};
     use pgc_types::{Bytes, DbConfig, Oid, SlotId};
 
-    fn overwrite(owner_partition: u32, old_partition: u32) -> PointerWriteInfo {
-        PointerWriteInfo {
+    fn overwrite(owner_partition: u32, old_partition: u32) -> BarrierEvent {
+        BarrierEvent::PointerWrite(PointerWriteInfo {
             owner: Oid(1),
             owner_partition: PartitionId(owner_partition),
             slot: SlotId(0),
@@ -68,18 +72,18 @@ mod tests {
             }),
             new: None,
             during_creation: false,
-        }
+        })
     }
 
-    fn fresh_store(owner_partition: u32) -> PointerWriteInfo {
-        PointerWriteInfo {
+    fn fresh_store(owner_partition: u32) -> BarrierEvent {
+        BarrierEvent::PointerWrite(PointerWriteInfo {
             owner: Oid(1),
             owner_partition: PartitionId(owner_partition),
             slot: SlotId(0),
             old: None,
             new: None,
             during_creation: true,
-        }
+        })
     }
 
     fn db() -> Database {
@@ -95,7 +99,7 @@ mod tests {
     #[test]
     fn credits_old_targets_partition_not_owners() {
         let mut p = UpdatedPointer::new();
-        p.on_pointer_write(&overwrite(1, 2));
+        p.on_event(&overwrite(1, 2));
         assert_eq!(p.score(PartitionId(1)), 0);
         assert_eq!(p.score(PartitionId(2)), 1);
     }
@@ -104,8 +108,8 @@ mod tests {
     fn creation_stores_do_not_count() {
         // The very property that makes this policy beat MutatedPartition.
         let mut p = UpdatedPointer::new();
-        p.on_pointer_write(&fresh_store(1));
-        p.on_pointer_write(&fresh_store(1));
+        p.on_event(&fresh_store(1));
+        p.on_event(&fresh_store(1));
         assert_eq!(p.score(PartitionId(1)), 0);
     }
 
@@ -113,11 +117,11 @@ mod tests {
     fn selects_most_overwritten_into() {
         let d = db();
         let mut p = UpdatedPointer::new();
-        p.on_pointer_write(&overwrite(1, 2));
-        p.on_pointer_write(&overwrite(1, 2));
-        p.on_pointer_write(&overwrite(2, 1));
+        p.on_event(&overwrite(1, 2));
+        p.on_event(&overwrite(1, 2));
+        p.on_event(&overwrite(2, 1));
         assert_eq!(p.select(&d), Some(PartitionId(2)));
-        p.on_collection(&CollectionOutcome {
+        p.on_event(&BarrierEvent::CollectionCompleted(CollectionOutcome {
             victim: PartitionId(2),
             target: PartitionId(0),
             live_objects: 0,
@@ -127,7 +131,7 @@ mod tests {
             forwarded_pointers: 0,
             gc_reads: 0,
             gc_writes: 0,
-        });
+        }));
         assert_eq!(p.select(&d), Some(PartitionId(1)));
     }
 }

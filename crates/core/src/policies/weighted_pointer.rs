@@ -15,7 +15,7 @@
 
 use crate::policies::scoreboard::ScoreBoard;
 use crate::policy::{PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The weight-scored overwrite policy.
@@ -48,35 +48,39 @@ impl WeightedPointer {
     }
 }
 
+impl BarrierObserver for WeightedPointer {
+    fn on_event(&mut self, event: &BarrierEvent) {
+        match event {
+            BarrierEvent::PointerWrite(info) => {
+                if let Some(old) = info.old {
+                    let score = self.score_for_weight(old.weight);
+                    self.scores.bump(old.partition, score);
+                }
+            }
+            BarrierEvent::CollectionCompleted(outcome) => self.scores.reset(outcome.victim),
+            _ => {}
+        }
+    }
+}
+
 impl SelectionPolicy for WeightedPointer {
     fn kind(&self) -> PolicyKind {
         PolicyKind::WeightedPointer
     }
 
-    fn on_pointer_write(&mut self, info: &PointerWriteInfo) {
-        if let Some(old) = info.old {
-            self.scores
-                .bump(old.partition, self.score_for_weight(old.weight));
-        }
-    }
-
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         self.scores.select_max(db)
-    }
-
-    fn on_collection(&mut self, outcome: &CollectionOutcome) {
-        self.scores.reset(outcome.victim);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgc_odb::PointerTarget;
+    use pgc_odb::{PointerTarget, PointerWriteInfo};
     use pgc_types::{Bytes, DbConfig, Oid, SlotId};
 
-    fn overwrite(old_partition: u32, weight: u8) -> PointerWriteInfo {
-        PointerWriteInfo {
+    fn overwrite(old_partition: u32, weight: u8) -> BarrierEvent {
+        BarrierEvent::PointerWrite(PointerWriteInfo {
             owner: Oid(1),
             owner_partition: PartitionId(0),
             slot: SlotId(0),
@@ -87,7 +91,7 @@ mod tests {
             }),
             new: None,
             during_creation: false,
-        }
+        })
     }
 
     #[test]
@@ -105,10 +109,10 @@ mod tests {
         let mut p = WeightedPointer::new(16);
         // 1000 leaf overwrites into partition 1...
         for _ in 0..1000 {
-            p.on_pointer_write(&overwrite(1, 16));
+            p.on_event(&overwrite(1, 16));
         }
         // ...lose to a single depth-2 overwrite into partition 2.
-        p.on_pointer_write(&overwrite(2, 2));
+        p.on_event(&overwrite(2, 2));
         assert!(p.score(PartitionId(2)) > p.score(PartitionId(1)));
     }
 
@@ -121,15 +125,15 @@ mod tests {
         let r = db.create_root(Bytes(100), 2).unwrap();
         db.create_object(Bytes(4000), 2, r, SlotId(0)).unwrap();
         let mut p = WeightedPointer::new(16);
-        p.on_pointer_write(&overwrite(1, 10));
-        p.on_pointer_write(&overwrite(2, 3));
+        p.on_event(&overwrite(1, 10));
+        p.on_event(&overwrite(2, 3));
         assert_eq!(p.select(&db), Some(PartitionId(2)));
     }
 
     #[test]
     fn non_overwrites_score_nothing() {
         let mut p = WeightedPointer::new(16);
-        p.on_pointer_write(&PointerWriteInfo {
+        p.on_event(&BarrierEvent::PointerWrite(PointerWriteInfo {
             owner: Oid(1),
             owner_partition: PartitionId(1),
             slot: SlotId(0),
@@ -140,7 +144,7 @@ mod tests {
                 weight: 1,
             }),
             during_creation: true,
-        });
+        }));
         assert_eq!(p.score(PartitionId(1)), 0);
         assert_eq!(p.score(PartitionId(2)), 0);
     }

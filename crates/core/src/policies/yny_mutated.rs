@@ -9,7 +9,7 @@
 
 use crate::policies::scoreboard::ScoreBoard;
 use crate::policy::{PolicyKind, SelectionPolicy};
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The all-mutations-count policy.
@@ -30,42 +30,49 @@ impl YnyMutated {
     }
 }
 
+impl BarrierObserver for YnyMutated {
+    fn on_event(&mut self, event: &BarrierEvent) {
+        match event {
+            BarrierEvent::PointerWrite(info) => self.scores.bump(info.owner_partition, 1),
+            // The distinguishing feature: data mutations count too.
+            BarrierEvent::DataWrite { partition, .. } => self.scores.bump(*partition, 1),
+            BarrierEvent::CollectionCompleted(outcome) => self.scores.reset(outcome.victim),
+            _ => {}
+        }
+    }
+}
+
 impl SelectionPolicy for YnyMutated {
     fn kind(&self) -> PolicyKind {
         PolicyKind::YnyMutated
     }
 
-    fn on_pointer_write(&mut self, info: &PointerWriteInfo) {
-        self.scores.bump(info.owner_partition, 1);
-    }
-
-    fn on_data_write(&mut self, partition: PartitionId) {
-        // The distinguishing feature: data mutations count too.
-        self.scores.bump(partition, 1);
-    }
-
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         self.scores.select_max(db)
-    }
-
-    fn on_collection(&mut self, outcome: &CollectionOutcome) {
-        self.scores.reset(outcome.victim);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pgc_odb::PointerWriteInfo;
     use pgc_types::{Bytes, DbConfig, Oid, SlotId};
 
-    fn pointer_write(owner_partition: u32) -> PointerWriteInfo {
-        PointerWriteInfo {
+    fn pointer_write(owner_partition: u32) -> BarrierEvent {
+        BarrierEvent::PointerWrite(PointerWriteInfo {
             owner: Oid(1),
             owner_partition: PartitionId(owner_partition),
             slot: SlotId(0),
             old: None,
             new: None,
             during_creation: false,
+        })
+    }
+
+    fn data_write(partition: u32) -> BarrierEvent {
+        BarrierEvent::DataWrite {
+            oid: Oid(1),
+            partition: PartitionId(partition),
         }
     }
 
@@ -73,8 +80,8 @@ mod tests {
     fn data_writes_count_unlike_the_enhanced_policy() {
         let mut yny = YnyMutated::new();
         let mut enhanced = crate::policies::MutatedPartition::new();
-        yny.on_data_write(PartitionId(1));
-        enhanced.on_data_write(PartitionId(1)); // default no-op
+        yny.on_event(&data_write(1));
+        enhanced.on_event(&data_write(1)); // ignored: the enhancement
         assert_eq!(yny.score(PartitionId(1)), 1);
         assert_eq!(enhanced.score(PartitionId(1)), 0);
     }
@@ -82,7 +89,7 @@ mod tests {
     #[test]
     fn pointer_writes_count_for_both() {
         let mut yny = YnyMutated::new();
-        yny.on_pointer_write(&pointer_write(2));
+        yny.on_event(&pointer_write(2));
         assert_eq!(yny.score(PartitionId(2)), 1);
     }
 
@@ -95,9 +102,9 @@ mod tests {
         let r = db.create_root(Bytes(100), 2).unwrap();
         db.create_object(Bytes(4000), 2, r, SlotId(0)).unwrap();
         let mut p = YnyMutated::new();
-        p.on_pointer_write(&pointer_write(2));
+        p.on_event(&pointer_write(2));
         for _ in 0..5 {
-            p.on_data_write(PartitionId(1));
+            p.on_event(&data_write(1));
         }
         // Data-mutation-heavy P1 outranks pointer-mutated P2 — exactly the
         // mistake the paper's enhancement avoids.

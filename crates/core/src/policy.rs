@@ -1,14 +1,16 @@
 //! The selection-policy abstraction.
 //!
-//! A policy observes the stream of write-barrier events (that is *all* an
-//! implementable policy can see — the paper's policies are deliberately
-//! restricted to per-partition counters fed by the barrier) and, when the
-//! scheduler fires, names the partition to collect. The near-optimal
-//! `MostGarbage` policy additionally consults the simulation oracle, which
-//! is why the trait hands `select` a full view of the database; honest
-//! policies only use its cheap structural accessors.
+//! A policy observes the barrier event bus (that is *all* an implementable
+//! policy can see — the paper's policies are deliberately restricted to
+//! per-partition counters fed by the barrier), so [`SelectionPolicy`] is a
+//! [`BarrierObserver`] first: scoreboard maintenance is
+//! [`BarrierObserver::on_event`] handling. When the scheduler fires, the
+//! policy names the partition to collect. The near-optimal `MostGarbage`
+//! policy additionally consults the simulation oracle, which is why the
+//! trait hands `select` a full view of the database; honest policies only
+//! use its cheap structural accessors.
 
-use pgc_odb::{CollectionOutcome, Database, PointerWriteInfo};
+use pgc_odb::{BarrierObserver, Database};
 use pgc_types::PartitionId;
 use std::fmt;
 use std::str::FromStr;
@@ -138,33 +140,27 @@ impl FromStr for PolicyKind {
 
 /// A partition selection policy.
 ///
-/// Lifecycle per simulation: the policy observes every write-barrier event
-/// via [`SelectionPolicy::on_pointer_write`]; when the scheduler triggers a
-/// collection, [`SelectionPolicy::select`] names the victim; after the
-/// collection completes, [`SelectionPolicy::on_collection`] lets the policy
-/// reset its per-partition state for the collected partition.
-pub trait SelectionPolicy {
+/// Lifecycle per simulation: the policy observes the barrier event stream
+/// through its [`BarrierObserver::on_event`] implementation —
+/// [`pgc_odb::BarrierEvent::PointerWrite`] feeds the scoreboards,
+/// [`pgc_odb::BarrierEvent::DataWrite`] is counted only by the unenhanced
+/// Yong/Naughton/Yu policy (ignoring it *is* the paper's enhancement), and
+/// [`pgc_odb::BarrierEvent::CollectionCompleted`] resets the victim's
+/// per-partition state. When the scheduler triggers a collection,
+/// [`SelectionPolicy::select`] names the victim.
+///
+/// A policy must tolerate `CollectionCompleted` events for collections it
+/// did not request: in shadow-scoreboard mode (see `pgc_sim`), shadow
+/// policies ride a driver policy's event stream and observe the driver's
+/// collections.
+pub trait SelectionPolicy: BarrierObserver {
     /// Which policy this is.
     fn kind(&self) -> PolicyKind;
-
-    /// Observes one write-barrier event. Called for every pointer store,
-    /// including creation-time slot initialization.
-    fn on_pointer_write(&mut self, info: &PointerWriteInfo);
-
-    /// Observes a non-pointer (data) mutation of an object in `partition`.
-    /// Only the unenhanced Yong/Naughton/Yu policy cares; the default
-    /// ignores it — which *is* the paper's enhancement.
-    fn on_data_write(&mut self, partition: PartitionId) {
-        let _ = partition;
-    }
 
     /// Chooses the partition to collect, or `None` to skip collection
     /// (only `NoCollection` does that, and a policy with an entirely empty
     /// database may). Must never return the designated empty partition.
     fn select(&mut self, db: &Database) -> Option<PartitionId>;
-
-    /// Notification that a collection completed.
-    fn on_collection(&mut self, outcome: &CollectionOutcome);
 
     /// The policy's display name.
     fn name(&self) -> &'static str {

@@ -26,6 +26,7 @@
 //! All page traffic in here is charged to [`IoContext::Collector`].
 
 use crate::db::Database;
+use crate::events::BarrierEvent;
 use pgc_buffer::{Access, IoContext};
 use pgc_storage::ObjAddr;
 use pgc_types::{Bytes, Oid, PartitionId, PgcError, Result, SlotId};
@@ -127,6 +128,12 @@ impl Database {
 
                 live_objects += 1;
                 live_bytes += size;
+                self.events.push(BarrierEvent::ObjectCopied {
+                    oid,
+                    from: victim,
+                    to: target,
+                    size,
+                });
 
                 for child in children {
                     if self.objects.get(child)?.addr.partition == victim {
@@ -189,6 +196,11 @@ impl Database {
                 .note_departure(rec.size);
             garbage_objects += 1;
             garbage_bytes += rec.size;
+            self.events.push(BarrierEvent::ObjectReclaimed {
+                oid,
+                partition: victim,
+                size: rec.size,
+            });
         }
 
         // --- 4. Retire the victim: its pages hold only dead data. ---
@@ -203,7 +215,7 @@ impl Database {
         self.stats.reclaimed_objects += garbage_objects;
 
         let io_after = self.buffer.stats();
-        Ok(CollectionOutcome {
+        let outcome = CollectionOutcome {
             victim,
             target,
             live_objects,
@@ -213,7 +225,9 @@ impl Database {
             forwarded_pointers,
             gc_reads: io_after.disk.gc_disk_reads - io_before.disk.gc_disk_reads,
             gc_writes: io_after.disk.gc_disk_writes - io_before.disk.gc_disk_writes,
-        })
+        };
+        self.events.push(BarrierEvent::CollectionCompleted(outcome));
+        Ok(outcome)
     }
 
     /// Charges collector writes for copying an object to `addr`: the first
@@ -446,6 +460,38 @@ mod tests {
         assert_eq!(out.live_objects, 2);
         assert!(d.objects().contains(r1));
         assert!(d.objects().contains(r2));
+    }
+
+    #[test]
+    fn collection_emits_copy_reclaim_and_completion_events() {
+        let mut d = db();
+        let (root, _) = chain(&mut d, 4);
+        let victim = d.objects().get(root).unwrap().addr.partition;
+        d.write_slot(root, SlotId(0), None).unwrap();
+        d.clear_events();
+        let out = d.collect_partition(victim).unwrap();
+        let events = d.events().events();
+        let copied = events
+            .iter()
+            .filter(|e| {
+                matches!(e, BarrierEvent::ObjectCopied { from, to, .. }
+                if *from == victim && *to == out.target)
+            })
+            .count() as u64;
+        let reclaimed = events
+            .iter()
+            .filter(|e| {
+                matches!(e, BarrierEvent::ObjectReclaimed { partition, .. }
+                if *partition == victim)
+            })
+            .count() as u64;
+        assert_eq!(copied, out.live_objects);
+        assert_eq!(reclaimed, out.garbage_objects);
+        assert_eq!(
+            events.last(),
+            Some(&BarrierEvent::CollectionCompleted(out)),
+            "completion event is logged last"
+        );
     }
 
     #[test]

@@ -1,30 +1,29 @@
-//! The [`Database`] facade: application-visible operations with full I/O
-//! charging and write-barrier side effects.
+//! The [`Database`] facade: construction, read-only views, event-log
+//! access, and invariant checks.
 //!
-//! Every operation an application (or the synthetic workload) performs goes
-//! through here:
+//! The database is layered:
 //!
-//! * [`Database::create_root`] / [`Database::create_object`] — allocate
-//!   storage (near the parent when possible, growing the database when
-//!   nothing fits), register the object, and — for non-roots — store the
-//!   parent's pointer through the write barrier.
-//! * [`Database::write_slot`] — the **write barrier** (Sec. 4.1): charges
-//!   the page write, maintains remembered sets and out-of-partition sets
-//!   for pointers crossing partition boundaries, maintains object weights,
-//!   counts overwrites (the GC trigger), and emits a [`PointerWriteInfo`]
-//!   for the selection policies to observe.
-//! * [`Database::visit`] / [`Database::data_write`] /
-//!   [`Database::read_slot`] — reads and non-pointer mutations, charged at
-//!   page granularity.
+//! * **This module** owns the state (`partitions`, `objects`, `buffer`,
+//!   `remsets`, `roots`, `stats`, and the barrier [`EventLog`]) and the
+//!   read-only surface.
+//! * [`crate::engine`] is the **mutation engine**: object creation, the
+//!   write barrier ([`Database::write_slot`]), visits and data writes —
+//!   every state change, with full I/O charging and
+//!   [`crate::events::BarrierEvent`] emission.
+//! * [`crate::collect`] is the **collector mechanism**: breadth-first
+//!   copying collection of one partition, emitting per-object copy/reclaim
+//!   events and a completion event on the same bus.
 //!
-//! The collector lives in [`crate::collect`] and manipulates the same state
-//! through `pub(crate)` access.
+//! Events accumulate in the internal log until a pump (the `pgc_core`
+//! collector wrapper or the `pgc_sim` replayer) drains them with
+//! [`Database::drain_events_into`]; standalone users can inspect them via
+//! [`Database::events`] or discard them with [`Database::clear_events`].
 
+use crate::events::{BarrierEvent, EventLog};
 use crate::remset::RemsetTable;
-use crate::stats::{DbStats, PointerTarget, PointerWriteInfo};
-use crate::weights;
-use pgc_buffer::{Access, IoStats, NetStats, PageStore};
-use pgc_storage::{page_span, ObjAddr, ObjectRecord, ObjectTable, PageSpan, PartitionSet};
+use crate::stats::DbStats;
+use pgc_buffer::{IoStats, NetStats, PageStore};
+use pgc_storage::{page_span, ObjAddr, ObjectTable, PageSpan, PartitionSet};
 use pgc_types::{Bytes, DbConfig, Oid, PartitionId, Result, SlotId};
 use std::collections::BTreeSet;
 
@@ -70,6 +69,9 @@ pub struct PartitionProfile {
 /// let outcome = db.collect_partition(home).unwrap();
 /// assert_eq!(outcome.garbage_objects, 1);
 /// assert!(!db.objects().contains(child));
+///
+/// // Every mutation above also landed on the barrier event bus.
+/// assert!(!db.events().is_empty());
 /// ```
 #[derive(Debug, Clone)]
 pub struct Database {
@@ -80,6 +82,7 @@ pub struct Database {
     pub(crate) remsets: RemsetTable,
     pub(crate) roots: BTreeSet<Oid>,
     pub(crate) stats: DbStats,
+    pub(crate) events: EventLog,
 }
 
 impl Database {
@@ -97,223 +100,34 @@ impl Database {
             remsets: RemsetTable::new(),
             roots: BTreeSet::new(),
             stats: DbStats::default(),
+            events: EventLog::new(),
             cfg,
         })
     }
 
     // ---------------------------------------------------------------
-    // Creation
+    // The barrier event bus
     // ---------------------------------------------------------------
 
-    /// Creates a database root object (a tree root in the synthetic
-    /// workload). Roots are the entree into the database: they are never
-    /// garbage.
-    pub fn create_root(&mut self, size: Bytes, slot_count: usize) -> Result<Oid> {
-        let oid = self.create_unlinked(size, slot_count, None, weights::ROOT_WEIGHT)?;
-        self.roots.insert(oid);
-        Ok(oid)
+    /// Shared view of the buffered (undrained) barrier events.
+    #[inline]
+    pub fn events(&self) -> &EventLog {
+        &self.events
     }
 
-    /// Creates an object placed near `parent` and stores the pointer
-    /// `parent.slot := new` through the write barrier. Returns the new oid
-    /// and the barrier event (with `during_creation = true`).
-    pub fn create_object(
-        &mut self,
-        size: Bytes,
-        slot_count: usize,
-        parent: Oid,
-        parent_slot: SlotId,
-    ) -> Result<(Oid, PointerWriteInfo)> {
-        let parent_rec = self.objects.get(parent)?;
-        let preferred = parent_rec.addr.partition;
-        let weight = weights::child_weight(parent_rec.weight, self.cfg.max_weight);
-        let oid = self.create_unlinked(size, slot_count, Some(preferred), weight)?;
-        let info = self.store_pointer(parent, parent_slot, Some(oid), true)?;
-        Ok((oid, info))
+    /// Moves all buffered barrier events to the end of `sink`, leaving the
+    /// log empty. The pump calls this after every operation and broadcasts
+    /// the drained events to its observer registry.
+    #[inline]
+    pub fn drain_events_into(&mut self, sink: &mut Vec<BarrierEvent>) {
+        self.events.drain_into(sink);
     }
 
-    fn create_unlinked(
-        &mut self,
-        size: Bytes,
-        slot_count: usize,
-        preferred: Option<PartitionId>,
-        weight: u8,
-    ) -> Result<Oid> {
-        let placement = self.partitions.allocate(size, preferred)?;
-        let addr = ObjAddr::new(placement.partition, placement.offset);
-        self.charge_new_extent(addr, size);
-        let oid = self.objects.reserve_oid();
-        self.objects.register(
-            oid,
-            ObjectRecord {
-                addr,
-                size,
-                slots: vec![None; slot_count],
-                weight,
-                birth: 0, // stamped by the table's allocation clock
-            },
-        );
-        self.stats.objects_created += 1;
-        self.stats.bytes_allocated += size;
-        Ok(oid)
-    }
-
-    /// Charges buffer traffic for materializing a freshly allocated extent:
-    /// the first page is a plain write when the extent begins mid-page
-    /// (other objects already live there), and every page that *begins*
-    /// inside the extent is brand new.
-    fn charge_new_extent(&mut self, addr: ObjAddr, size: Bytes) {
-        let mut first = !addr.offset.is_multiple_of(self.cfg.page_size as u64);
-        let span = self.span_of(addr, size);
-        for page in span {
-            let kind = if first {
-                Access::Write
-            } else {
-                Access::WriteNew
-            };
-            self.buffer.access(page, kind);
-            first = false;
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // The write barrier
-    // ---------------------------------------------------------------
-
-    /// Stores `new` into `owner.slot` through the write barrier.
-    pub fn write_slot(
-        &mut self,
-        owner: Oid,
-        slot: SlotId,
-        new: Option<Oid>,
-    ) -> Result<PointerWriteInfo> {
-        self.store_pointer(owner, slot, new, false)
-    }
-
-    fn store_pointer(
-        &mut self,
-        owner: Oid,
-        slot: SlotId,
-        new: Option<Oid>,
-        during_creation: bool,
-    ) -> Result<PointerWriteInfo> {
-        let (owner_addr, owner_size, old) = {
-            let rec = self.objects.get(owner)?;
-            (rec.addr, rec.size, rec.slot(owner, slot)?)
-        };
-        let owner_partition = owner_addr.partition;
-
-        // The store dirties the owner's page(s). Reading the overwritten
-        // value (UpdatedPointer's hint) touches the same pages, so it costs
-        // nothing extra — the paper makes the same observation.
-        let span = self.span_of(owner_addr, owner_size);
-        self.buffer.access_span(span, Access::Write);
-
-        let old_target = match old {
-            Some(t) => {
-                let rec = self.objects.get(t)?;
-                Some(PointerTarget {
-                    oid: t,
-                    partition: rec.addr.partition,
-                    weight: rec.weight,
-                })
-            }
-            None => None,
-        };
-        let new_target = match new {
-            Some(t) => {
-                let rec = self.objects.get(t)?;
-                Some(PointerTarget {
-                    oid: t,
-                    partition: rec.addr.partition,
-                    weight: rec.weight,
-                })
-            }
-            None => None,
-        };
-
-        let loc = pgc_types::PointerLoc::new(owner, slot);
-        if let Some(t) = old_target {
-            if t.partition != owner_partition {
-                self.remsets
-                    .remove_edge(loc, owner_partition, t.oid, t.partition);
-            }
-        }
-        if let Some(t) = new_target {
-            if t.partition != owner_partition {
-                self.remsets
-                    .add_edge(loc, owner_partition, t.oid, t.partition);
-            }
-        }
-
-        self.objects.get_mut(owner)?.slots[slot.as_usize()] = new;
-
-        if let Some(t) = new_target {
-            weights::note_edge(&mut self.objects, owner, t.oid, self.cfg.max_weight)?;
-        }
-
-        self.stats.pointer_writes += 1;
-        if old_target.is_some() {
-            self.stats.pointer_overwrites += 1;
-        }
-
-        Ok(PointerWriteInfo {
-            owner,
-            owner_partition,
-            slot,
-            old: old_target,
-            new: new_target,
-            during_creation,
-        })
-    }
-
-    /// Appends a new (initially null) pointer slot to an object — how the
-    /// workload threads dense edges through existing tree nodes. Charges a
-    /// page write (the object's header/slot area changes). Returns the new
-    /// slot's id.
-    pub fn add_slot(&mut self, owner: Oid) -> Result<SlotId> {
-        let (addr, size, n) = {
-            let rec = self.objects.get(owner)?;
-            (rec.addr, rec.size, rec.slots.len())
-        };
-        let span = self.span_of(addr, size);
-        self.buffer.access_span(span, Access::Write);
-        self.objects.get_mut(owner)?.slots.push(None);
-        Ok(SlotId(n as u16))
-    }
-
-    // ---------------------------------------------------------------
-    // Reads and data writes
-    // ---------------------------------------------------------------
-
-    /// Visits (reads) an object: faults in its pages.
-    pub fn visit(&mut self, oid: Oid) -> Result<()> {
-        let rec = self.objects.get(oid)?;
-        let span = self.span_of(rec.addr, rec.size);
-        self.buffer.access_span(span, Access::Read);
-        self.stats.reads += 1;
-        Ok(())
-    }
-
-    /// Reads one pointer slot (faults in the object's pages).
-    pub fn read_slot(&mut self, oid: Oid, slot: SlotId) -> Result<Option<Oid>> {
-        let rec = self.objects.get(oid)?;
-        let value = rec.slot(oid, slot)?;
-        let span = self.span_of(rec.addr, rec.size);
-        self.buffer.access_span(span, Access::Read);
-        Ok(value)
-    }
-
-    /// Mutates an object's non-pointer data. Dirties its pages but does not
-    /// go through the pointer write barrier — the enhancement the paper
-    /// makes to `MutatedPartition` is precisely that such writes are *not*
-    /// counted.
-    pub fn data_write(&mut self, oid: Oid) -> Result<()> {
-        let rec = self.objects.get(oid)?;
-        let span = self.span_of(rec.addr, rec.size);
-        self.buffer.access_span(span, Access::Write);
-        self.stats.data_writes += 1;
-        Ok(())
+    /// Discards all buffered barrier events (for standalone users that do
+    /// not pump the bus).
+    #[inline]
+    pub fn clear_events(&mut self) {
+        self.events.clear();
     }
 
     // ---------------------------------------------------------------
@@ -646,6 +460,16 @@ mod tests {
         d.create_object(Bytes(200), 2, r, SlotId(0)).unwrap();
         assert_eq!(d.resident_bytes(), Bytes(300));
         assert_eq!(d.total_footprint(), Bytes(2 * 4096));
+    }
+
+    #[test]
+    fn failed_operations_log_no_events() {
+        let mut d = db();
+        let r = d.create_root(Bytes(100), 2).unwrap();
+        d.clear_events();
+        assert!(d.write_slot(r, SlotId(9), None).is_err());
+        assert!(d.data_write(Oid(99)).is_err());
+        assert!(d.events().is_empty());
     }
 }
 

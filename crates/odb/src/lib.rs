@@ -4,9 +4,16 @@
 //! combines the physical model from `pgc-storage` with the I/O cost model
 //! from `pgc-buffer` and adds the semantic machinery of Sec. 4.1:
 //!
-//! * [`db`] — the [`Database`] facade: object creation with near-parent
-//!   placement, pointer stores through the **write barrier**, visits and
-//!   data writes, all charged page I/O through the buffer pool.
+//! * [`db`] — the [`Database`] facade: state ownership, read-only views,
+//!   and access to the barrier event log.
+//! * [`engine`] — the mutation engine behind the facade: object creation
+//!   with near-parent placement, pointer stores through the **write
+//!   barrier**, visits and data writes, all charged page I/O through the
+//!   buffer pool and all reported on the event bus.
+//! * [`events`] — the typed **barrier event bus**: the [`BarrierEvent`]
+//!   enum (every signal an implementable policy may observe), the
+//!   [`BarrierObserver`] trait, and the [`ObserverRegistry`] that
+//!   delivers drained events to any number of taps.
 //! * [`remset`] — remembered sets (locations of inter-partition pointers
 //!   *into* each partition) and out-of-partition sets (objects *with*
 //!   pointers out of each partition), maintained exactly at the write
@@ -33,6 +40,8 @@
 
 pub mod collect;
 pub mod db;
+pub mod engine;
+pub mod events;
 pub mod global;
 pub mod oracle;
 pub mod remset;
@@ -41,6 +50,7 @@ pub mod weights;
 
 pub use collect::CollectionOutcome;
 pub use db::{Database, PartitionProfile};
+pub use events::{BarrierEvent, BarrierObserver, EventLog, ObserverRegistry};
 pub use global::FullCollectionOutcome;
 pub use oracle::OracleReport;
 pub use remset::RemsetTable;

@@ -12,6 +12,11 @@
 //!   Figures 4–5).
 //! * [`run`] — [`run::RunConfig`] + [`run::Simulation`]: one complete
 //!   simulation from a parameter set or a recorded trace.
+//! * [`shadow`] — shadow-scoreboard policy races: one driver policy makes
+//!   the collection decisions while every other honest policy's scoreboard
+//!   rides the same barrier event bus and records the victim it *would*
+//!   have picked, yielding a per-collection agreement matrix from a single
+//!   replay.
 //! * [`summary`] — mean / standard deviation over the ten-seed repetitions
 //!   the paper reports.
 //! * [`experiment`] — multi-policy, multi-seed comparisons
@@ -34,6 +39,7 @@ pub mod paper;
 pub mod replay;
 pub mod report;
 pub mod run;
+pub mod shadow;
 pub mod summary;
 
 pub use chart::{render_chart, ChartMetric};
@@ -41,4 +47,5 @@ pub use experiment::{compare_policies, compare_policies_with_threads, Comparison
 pub use metrics::{RunTotals, SamplePoint, TimeSeries};
 pub use replay::Replayer;
 pub use run::{RunConfig, RunOutcome, Simulation};
+pub use shadow::{agreement_table, run_race, RaceOutcome, RaceRecord, ShadowPick};
 pub use summary::Summary;

@@ -1,11 +1,13 @@
 //! Applying workload events to a database under a collector.
 //!
-//! The replayer is the junction of the whole system: every event charges
-//! its page I/O through the database, every pointer store flows through the
-//! write barrier to the selection policy, and collections run the moment
-//! the overwrite trigger fires — matching the paper's setup, in which
-//! collector invocation is "independent of the partition choice" so every
-//! policy sees the same trigger points.
+//! The replayer is the junction of the whole system: every workload event
+//! charges its page I/O through the database, which logs typed
+//! [`pgc_odb::BarrierEvent`]s; after each operation the replayer pumps the
+//! log through [`Collector::sync`], which broadcasts the events to the
+//! selection policy (and any shadow observers) and reports whether the
+//! trigger fired. Collections run the moment it does — matching the
+//! paper's setup, in which collector invocation is "independent of the
+//! partition choice" so every policy sees the same trigger points.
 //!
 //! Workload events name objects by dense [`NodeId`]s; the replayer owns the
 //! `NodeId → Oid` map, so the same trace (recorded or generated) can drive
@@ -47,6 +49,12 @@ impl Replayer {
         &self.collector
     }
 
+    /// Mutable access to the collector, e.g. to register shadow observers
+    /// before the first event is applied.
+    pub fn collector_mut(&mut self) -> &mut Collector {
+        &mut self.collector
+    }
+
     /// Number of events applied so far.
     pub fn events_applied(&self) -> u64 {
         self.events_applied
@@ -64,22 +72,24 @@ impl Replayer {
 
     fn oid(&self, node: NodeId) -> Result<Oid> {
         self.oid_of(node)
-            .ok_or(pgc_types::PgcError::UnknownObject(Oid(node.index())))
+            .ok_or(pgc_types::PgcError::UnknownNode(node.index()))
     }
 
-    /// Applies one event (charging I/O, feeding the policy, collecting when
-    /// due).
+    /// Applies one event (charging I/O, pumping the barrier bus, collecting
+    /// when due).
+    ///
+    /// The pump is uniform: whatever the operation logged — allocations,
+    /// growth, pointer or data writes — is drained through the collector
+    /// after the operation completes, and the due-check covers the whole
+    /// batch. Operations that log nothing (`AddSlot`, `Visit`) drain an
+    /// empty log, and the sticky trigger can never be due there because any
+    /// due state is consumed at the operation that caused it.
     pub fn apply(&mut self, event: &Event) -> Result<()> {
         match *event {
             Event::CreateRoot { node, size, slots } => {
                 debug_assert_eq!(node.as_usize(), self.node_map.len(), "ids must be dense");
-                let parts_before = self.db.partition_count();
                 let oid = self.db.create_root(size, slots as usize)?;
                 self.node_map.push(oid);
-                let grew = self.db.partition_count() > parts_before;
-                if self.collector.observe_allocation(size, grew) {
-                    self.run_collection()?;
-                }
             }
             Event::CreateChild {
                 node,
@@ -90,24 +100,15 @@ impl Replayer {
             } => {
                 debug_assert_eq!(node.as_usize(), self.node_map.len(), "ids must be dense");
                 let parent_oid = self.oid(parent)?;
-                let parts_before = self.db.partition_count();
-                let (oid, info) =
+                let (oid, _info) =
                     self.db
                         .create_object(size, slots as usize, parent_oid, SlotId(parent_slot))?;
                 self.node_map.push(oid);
-                let grew = self.db.partition_count() > parts_before;
-                self.collector.observe_write(&info);
-                if self.collector.observe_allocation(size, grew) {
-                    self.run_collection()?;
-                }
             }
             Event::WritePointer { owner, slot, new } => {
                 let owner_oid = self.oid(owner)?;
                 let new_oid = new.map(|n| self.oid(n)).transpose()?;
-                let info = self.db.write_slot(owner_oid, SlotId(slot), new_oid)?;
-                if self.collector.observe_write(&info) {
-                    self.run_collection()?;
-                }
+                self.db.write_slot(owner_oid, SlotId(slot), new_oid)?;
             }
             Event::AddSlot { owner } => {
                 let owner_oid = self.oid(owner)?;
@@ -118,10 +119,11 @@ impl Replayer {
             }
             Event::DataWrite { node } => {
                 let oid = self.oid(node)?;
-                let partition = self.db.objects().get(oid)?.addr.partition;
                 self.db.data_write(oid)?;
-                self.collector.observe_data_write(partition);
             }
+        }
+        if self.collector.sync(&mut self.db) {
+            self.run_collection()?;
         }
         self.events_applied += 1;
         Ok(())
@@ -264,6 +266,12 @@ mod tests {
             Collector::with_kind(PolicyKind::Random, 50, 1, 16),
         );
         let bad = Event::Visit { node: NodeId(99) };
-        assert!(r.apply(&bad).is_err());
+        let err = r.apply(&bad).unwrap_err();
+        // The error names the workload node, not a fabricated object id —
+        // the two id spaces are unrelated.
+        assert!(
+            matches!(err, pgc_types::PgcError::UnknownNode(99)),
+            "got {err:?}"
+        );
     }
 }

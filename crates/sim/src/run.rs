@@ -11,7 +11,7 @@ use crate::metrics::{RunTotals, SamplePoint, TimeSeries};
 use crate::replay::Replayer;
 use pgc_core::{build_policy, Collector, PolicyKind, Trigger};
 use pgc_odb::oracle::OracleScratch;
-use pgc_odb::{oracle, Database, DbStats};
+use pgc_odb::{oracle, CollectionOutcome, Database, DbStats};
 use pgc_types::{DbConfig, Result};
 use pgc_workload::generator::GenStats;
 use pgc_workload::{Event, SyntheticWorkload, WorkloadParams};
@@ -102,17 +102,27 @@ impl RunConfig {
         self
     }
 
-    fn build_replayer(&self) -> Result<Replayer> {
+    /// The seed every policy instance for this run derives from. The
+    /// Random policy's stream is decorrelated from the workload's by
+    /// hashing, but still derived from the run seed for reproducibility.
+    /// Shadow scoreboards use the same derivation so a shadow `Random`
+    /// replays the exact choices its independent run would make.
+    pub fn policy_seed(&self) -> u64 {
+        self.workload.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5
+    }
+
+    /// The effective trigger (explicit override or the paper's
+    /// overwrite-count default).
+    pub fn effective_trigger(&self) -> Trigger {
+        self.trigger
+            .unwrap_or(Trigger::OverwriteCount(self.db.gc_overwrite_threshold))
+    }
+
+    pub(crate) fn build_replayer(&self) -> Result<Replayer> {
         let db = Database::new(self.db.clone())?;
-        // The Random policy's stream is decorrelated from the workload's by
-        // hashing, but still derived from the run seed for reproducibility.
-        let policy_seed = self.workload.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5;
-        let trigger = self
-            .trigger
-            .unwrap_or(Trigger::OverwriteCount(self.db.gc_overwrite_threshold));
         let collector = Collector::with_trigger(
-            build_policy(self.policy, policy_seed, self.db.max_weight),
-            trigger,
+            build_policy(self.policy, self.policy_seed(), self.db.max_weight),
+            self.effective_trigger(),
         )
         .with_batch(self.collect_batch);
         Ok(Replayer::new(db, collector))
@@ -134,6 +144,10 @@ pub struct RunOutcome {
     pub db_stats: DbStats,
     /// Workload generator counters (zeroed for trace replays).
     pub gen_stats: GenStats,
+    /// Every collection the run performed, in order. Comparable across
+    /// runs: two runs agree on a prefix exactly when their policies picked
+    /// the same victims at the same trigger points.
+    pub collections: Vec<CollectionOutcome>,
 }
 
 /// Entry points for running simulations.
@@ -208,7 +222,7 @@ fn take_sample(series: &mut TimeSeries, replayer: &Replayer, scratch: &mut Oracl
     });
 }
 
-fn finish(
+pub(crate) fn finish(
     cfg: &RunConfig,
     replayer: Replayer,
     series: TimeSeries,
@@ -235,6 +249,7 @@ fn finish(
         app_net_ops: db.net_stats().app_reads + db.net_stats().app_writebacks,
         gc_net_ops: db.net_stats().gc_reads + db.net_stats().gc_writebacks,
     };
+    let (_db, _collector, collections) = replayer.into_parts();
     RunOutcome {
         policy: cfg.policy,
         seed: cfg.workload.seed,
@@ -242,6 +257,7 @@ fn finish(
         series,
         db_stats,
         gen_stats,
+        collections,
     }
 }
 
@@ -292,6 +308,12 @@ mod tests {
             prev = p.events;
             assert!(p.footprint >= p.resident_bytes);
         }
+    }
+
+    #[test]
+    fn collection_log_matches_totals() {
+        let out = Simulation::run(&RunConfig::small().with_seed(7)).unwrap();
+        assert_eq!(out.collections.len() as u64, out.totals.collections);
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub enum PgcError {
     /// An operation referenced an object id that is not (or is no longer)
     /// present in the object table.
     UnknownObject(Oid),
+    /// A replayed workload event referenced a node index that was never
+    /// materialised as an object (the payload is the raw node index, not
+    /// an [`Oid`] — the two id spaces are unrelated).
+    UnknownNode(u64),
     /// An operation referenced a slot index beyond the object's slot count.
     SlotOutOfRange {
         /// The object whose slots were indexed.
@@ -53,6 +57,9 @@ impl fmt::Display for PgcError {
         match self {
             PgcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PgcError::UnknownObject(oid) => write!(f, "unknown object {oid}"),
+            PgcError::UnknownNode(index) => {
+                write!(f, "workload node n#{index} has no materialised object")
+            }
             PgcError::SlotOutOfRange { oid, slot, len } => {
                 write!(f, "slot s{slot} out of range for {oid} (has {len} slots)")
             }
@@ -105,6 +112,9 @@ mod tests {
 
         let e = PgcError::CollectEmptyPartition(PartitionId(4));
         assert!(e.to_string().contains("P4"));
+
+        let e = PgcError::UnknownNode(99);
+        assert!(e.to_string().contains("n#99"));
     }
 
     #[test]

@@ -22,25 +22,24 @@ const DOCUMENT_SIZE: Bytes = Bytes(64 * 1024);
 const REVISIONS: usize = 400;
 
 /// Builds one project: a root assembly with `fanout` sub-assemblies, each
-/// carrying a design document leaf. Returns the project root.
-fn build_project(db: &mut Database, collector: &mut Collector, fanout: usize) -> Oid {
+/// carrying a design document leaf. Returns the project root. The barrier
+/// events these mutations log stay queued in the database until the next
+/// [`Collector::sync`] pumps them to the policy.
+fn build_project(db: &mut Database, fanout: usize) -> Oid {
     let root = db.create_root(ASSEMBLY_SIZE, fanout).expect("create root");
     for slot in 0..fanout {
-        attach_assembly(db, collector, root, SlotId(slot as u16));
+        attach_assembly(db, root, SlotId(slot as u16));
     }
     root
 }
 
 /// Attaches a fresh sub-assembly (with its document) at `parent.slot`.
-fn attach_assembly(db: &mut Database, collector: &mut Collector, parent: Oid, slot: SlotId) {
-    let (assembly, info) = db
+fn attach_assembly(db: &mut Database, parent: Oid, slot: SlotId) {
+    let (assembly, _info) = db
         .create_object(ASSEMBLY_SIZE, 1, parent, slot)
         .expect("create assembly");
-    collector.observe_write(&info);
-    let (_doc, info) = db
-        .create_object(DOCUMENT_SIZE, 0, assembly, SlotId(0))
+    db.create_object(DOCUMENT_SIZE, 0, assembly, SlotId(0))
         .expect("create document");
-    collector.observe_write(&info);
 }
 
 fn main() {
@@ -50,9 +49,8 @@ fn main() {
     let mut rng = SimRng::new(7);
 
     // Three projects, eight assemblies each.
-    let projects: Vec<Oid> = (0..3)
-        .map(|_| build_project(&mut db, &mut collector, 8))
-        .collect();
+    let projects: Vec<Oid> = (0..3).map(|_| build_project(&mut db, 8)).collect();
+    collector.sync(&mut db); // pump the build-phase events
     println!(
         "built {} projects: {} objects, {:.1} MB live",
         projects.len(),
@@ -73,9 +71,9 @@ fn main() {
         }
 
         // The overwrite that orphans the old assembly + document.
-        let info = db.write_slot(project, slot, None).expect("unlink");
-        let due = collector.observe_write(&info);
-        attach_assembly(&mut db, &mut collector, project, slot);
+        db.write_slot(project, slot, None).expect("unlink");
+        let due = collector.sync(&mut db);
+        attach_assembly(&mut db, project, slot);
 
         if due {
             if let Some(outcome) = collector.maybe_collect(&mut db).expect("collect") {

@@ -222,10 +222,9 @@ fn collector_never_reclaims_reachable_objects() {
                     if !db.objects().contains(p) {
                         continue;
                     }
-                    let (c, info) = db
+                    let (c, _info) = db
                         .create_object(Bytes(64), 2, p, SlotId(slot as u16))
                         .expect("child");
-                    collector.observe_write(&info);
                     objects.push(c);
                 }
                 Op::Unlink { owner, slot } => {
@@ -240,8 +239,7 @@ fn collector_never_reclaims_reachable_objects() {
                     if !oracle::reachable_set(&db).contains(&o) {
                         continue;
                     }
-                    let info = db.write_slot(o, SlotId(slot as u16), None).expect("write");
-                    collector.observe_write(&info);
+                    db.write_slot(o, SlotId(slot as u16), None).expect("write");
                 }
                 Op::Relink {
                     owner,
@@ -260,12 +258,13 @@ fn collector_never_reclaims_reachable_objects() {
                     if !reachable.contains(&o) || !reachable.contains(&t) {
                         continue;
                     }
-                    let info = db
-                        .write_slot(o, SlotId(slot as u16), Some(t))
+                    db.write_slot(o, SlotId(slot as u16), Some(t))
                         .expect("write");
-                    collector.observe_write(&info);
                 }
                 Op::Collect => {
+                    // `force_collect` pumps the accumulated barrier events
+                    // through the bus before selecting, so the policy's
+                    // scoreboard is current at selection time.
                     let reachable_before = oracle::reachable_set(&db);
                     collector.force_collect(&mut db).expect("collect");
                     for oid in &reachable_before {
