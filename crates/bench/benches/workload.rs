@@ -1,7 +1,9 @@
 //! Micro-benchmarks for the workload generator and the trace codec.
 
 use pgc_bench::microbench::Runner;
-use pgc_workload::{read_trace, write_trace, Event, SyntheticWorkload, WorkloadParams};
+use pgc_workload::{
+    read_trace, write_trace, EncodedTrace, Event, SyntheticWorkload, WorkloadParams,
+};
 use std::hint::black_box;
 
 fn small_events() -> Vec<Event> {
@@ -38,5 +40,23 @@ fn main() {
     );
     r.bench("trace/decode", || {
         black_box(read_trace(encoded.as_slice()).unwrap().len())
+    });
+
+    // The shared-trace engine: record straight into the contiguous buffer,
+    // and walk it with the zero-allocation cursor (what every policy worker
+    // pays per replayed event).
+    r.bench("encoded/record_small", || {
+        let trace = EncodedTrace::record(WorkloadParams::small().with_seed(3)).unwrap();
+        black_box(trace.events())
+    });
+    let trace = EncodedTrace::record(WorkloadParams::small().with_seed(3)).unwrap();
+    r.bench("encoded/cursor_replay", || {
+        let mut n = 0u64;
+        let mut cursor = trace.cursor();
+        while let Some(event) = cursor.next_event().unwrap() {
+            black_box(&event);
+            n += 1;
+        }
+        black_box(n)
     });
 }

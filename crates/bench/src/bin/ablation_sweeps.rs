@@ -29,8 +29,11 @@
 
 use pgc_bench::{emit, CommonArgs};
 use pgc_core::{PolicyKind, Trigger};
-use pgc_sim::{compare_policies, report, RunConfig, Simulation};
+use pgc_sim::{
+    compare_policies_cached, default_threads, report, Comparison, RunConfig, Simulation,
+};
 use pgc_types::Bytes;
+use pgc_workload::TraceCache;
 use std::fmt::Write as _;
 
 fn base(args: &CommonArgs, policy: PolicyKind, seed: u64) -> RunConfig {
@@ -46,6 +49,17 @@ fn main() {
     }
     let seeds = args.seed_list();
     let mut out = String::new();
+    // Every sweep below varies database-side knobs (trigger, partition
+    // size, buffer, batch, placement) over the same workload parameters, so
+    // one shared trace cache records each seed's trace once and every sweep
+    // point replays it.
+    let cache = TraceCache::new();
+    let threads = default_threads();
+    let run = |policies: &[PolicyKind],
+               make: &(dyn Fn(PolicyKind, u64) -> RunConfig + Sync)|
+     -> Comparison {
+        compare_policies_cached(policies, &seeds, threads, &cache, make).expect("runs")
+    };
 
     // --- 1. Trigger threshold sweep (UpdatedPointer). ---
     let _ = writeln!(
@@ -58,12 +72,11 @@ fn main() {
         "threshold", "total I/Os", "collections", "max stor KB", "frac %"
     );
     for threshold in [100u64, 150, 250, 400, 800] {
-        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+        let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
             let mut cfg = base(&args, p, s);
             cfg.db = cfg.db.with_gc_overwrite_threshold(threshold);
             cfg
-        })
-        .expect("runs");
+        });
         let r = &cmp.rows[0];
         let _ = writeln!(
             out,
@@ -84,12 +97,11 @@ fn main() {
         "pages", "total I/Os", "gc I/Os", "max stor KB", "frac %"
     );
     for pages in [24u64, 48, 72, 100] {
-        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+        let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
             let mut cfg = base(&args, p, s);
             cfg.db = cfg.db.with_partition_pages(pages);
             cfg
-        })
-        .expect("runs");
+        });
         let r = &cmp.rows[0];
         let _ = writeln!(
             out,
@@ -109,12 +121,11 @@ fn main() {
         "ratio", "buffer pgs", "app I/Os", "gc I/Os"
     );
     for (label, buffer_pages) in [("0.5x", 24u64), ("1.0x", 48), ("2.0x", 96), ("4.0x", 192)] {
-        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+        let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
             let mut cfg = base(&args, p, s);
             cfg.db = cfg.db.with_buffer_pages(buffer_pages);
             cfg
-        })
-        .expect("runs");
+        });
         let r = &cmp.rows[0];
         let _ = writeln!(
             out,
@@ -132,7 +143,7 @@ fn main() {
         PolicyKind::UpdatedPointer,
         PolicyKind::MostGarbage,
     ];
-    let cmp = compare_policies(&all, &seeds, |p, s| base(&args, p, s)).expect("runs");
+    let cmp = run(&all, &|p, s| base(&args, p, s));
     out.push_str(&report::format_table2(&cmp));
 
     // --- 5. Partitioned vs complete collection: distributed garbage. ---
@@ -195,10 +206,9 @@ fn main() {
         ("partition-growth", Trigger::PartitionGrowth),
     ];
     for (label, trigger) in triggers {
-        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+        let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
             base(&args, p, s).with_trigger(trigger)
-        })
-        .expect("runs");
+        });
         let r = &cmp.rows[0];
         let _ = writeln!(
             out,
@@ -218,10 +228,9 @@ fn main() {
         "batch", "total I/Os", "activations", "max stor KB", "frac %"
     );
     for batch in [1u32, 2, 4] {
-        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+        let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
             base(&args, p, s).with_collect_batch(batch)
-        })
-        .expect("runs");
+        });
         let r = &cmp.rows[0];
         let _ = writeln!(
             out,
@@ -237,7 +246,7 @@ fn main() {
     // --- 8. The paper's enhancement: MutatedPartition vs original YNY,
     //        plus the generational transplant. ---
     let _ = writeln!(out, "\n== Ablation 8: related-work baselines ==");
-    let cmp = compare_policies(
+    let cmp = run(
         &[
             PolicyKind::YnyMutated,
             PolicyKind::MutatedPartition,
@@ -246,10 +255,8 @@ fn main() {
             PolicyKind::UpdatedDecay,
             PolicyKind::MostGarbage,
         ],
-        &seeds,
-        |p, s| base(&args, p, s),
-    )
-    .expect("runs");
+        &|p, s| base(&args, p, s),
+    );
     out.push_str(&report::format_table4(&cmp));
 
     // --- 9. Placement policy (clustering premise). ---
@@ -264,12 +271,11 @@ fn main() {
         ("first-fit", pgc_types::PlacementPolicy::FirstFit),
         ("spread", pgc_types::PlacementPolicy::Spread),
     ] {
-        let cmp = compare_policies(&[PolicyKind::UpdatedPointer], &seeds, |p, s| {
+        let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
             let mut cfg = base(&args, p, s);
             cfg.db = cfg.db.with_placement(placement);
             cfg
-        })
-        .expect("runs");
+        });
         let r = &cmp.rows[0];
         let _ = writeln!(
             out,

@@ -10,19 +10,32 @@
 
 use pgc_bench::{emit, CommonArgs};
 use pgc_core::PolicyKind;
-use pgc_sim::{compare_policies, experiment, paper, report, Comparison};
+use pgc_sim::{compare_policies_cached, default_threads, experiment, paper, report, Comparison};
+use pgc_workload::TraceCache;
 use std::fmt::Write as _;
 
 fn main() {
     let args = CommonArgs::parse();
     let mut full = String::new();
+    // One trace cache for the whole evaluation: sections whose workload
+    // parameters coincide (the tables share the headline workload; the
+    // figures reuse it at other scales) replay the same recorded trace
+    // instead of regenerating it.
+    let cache = TraceCache::new();
+    let threads = default_threads();
 
     // Tables 2-4 share one experiment.
-    let headline = compare_policies(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-        let mut cfg = paper::headline(policy, seed);
-        cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-        cfg
-    })
+    let headline = compare_policies_cached(
+        &PolicyKind::PAPER,
+        &args.seed_list(),
+        threads,
+        &cache,
+        |policy, seed| {
+            let mut cfg = paper::headline(policy, seed);
+            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+            cfg
+        },
+    )
     .expect("headline experiment runs");
     let _ = writeln!(full, "== Table 2: Throughput (page I/Os) ==");
     full.push_str(&report::format_table2(&headline));
@@ -34,11 +47,17 @@ fn main() {
     // Table 5: connectivity sweep.
     let mut t5: Vec<(f64, Comparison)> = Vec::new();
     for (connectivity, dense) in paper::TABLE5_CONNECTIVITY {
-        let cmp = compare_policies(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-            let mut cfg = paper::connectivity(policy, seed, dense);
-            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-            cfg
-        })
+        let cmp = compare_policies_cached(
+            &PolicyKind::PAPER,
+            &args.seed_list(),
+            threads,
+            &cache,
+            |policy, seed| {
+                let mut cfg = paper::connectivity(policy, seed, dense);
+                cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+                cfg
+            },
+        )
         .expect("connectivity experiment runs");
         t5.push((connectivity, cmp));
     }
@@ -54,7 +73,7 @@ fn main() {
             (policy, cfg)
         })
         .collect();
-    let series = experiment::run_jobs(jobs).expect("time series runs");
+    let series = experiment::run_jobs_cached(jobs, threads, &cache).expect("time series runs");
     let _ = writeln!(
         full,
         "\n== Figures 4 & 5: time series (final samples; full CSV via fig4/fig5 binaries) =="
@@ -81,11 +100,17 @@ fn main() {
     let sweep_seeds: Vec<u64> = (1..=args.seeds.min(3)).collect();
     let mut f6: Vec<(u64, Comparison)> = Vec::new();
     for mib in paper::FIG6_SIZES_MIB {
-        let cmp = compare_policies(&PolicyKind::PAPER, &sweep_seeds, |policy, seed| {
-            let mut cfg = paper::scaled(policy, seed, mib);
-            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-            cfg
-        })
+        let cmp = compare_policies_cached(
+            &PolicyKind::PAPER,
+            &sweep_seeds,
+            threads,
+            &cache,
+            |policy, seed| {
+                let mut cfg = paper::scaled(policy, seed, mib);
+                cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+                cfg
+            },
+        )
         .expect("scalability experiment runs");
         f6.push((mib, cmp));
     }

@@ -14,8 +14,7 @@
 use pgc_core::PolicyKind;
 use pgc_sim::{RunConfig, Simulation};
 use pgc_workload::{
-    read_trace, AssemblyParams, AssemblyWorkload, Event, SyntheticWorkload, TraceWriter,
-    WorkloadParams,
+    read_trace, AssemblyParams, AssemblyWorkload, EncodedTrace, Event, TraceWriter, WorkloadParams,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -48,23 +47,33 @@ fn record(args: &[String]) -> Result<(), String> {
     let [kind, seed, path] = args else { usage() };
     let seed: u64 = seed.parse().map_err(|_| "seed must be an integer")?;
     let file = File::create(path).map_err(|e| e.to_string())?;
-    let mut writer = TraceWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
-    let events: Box<dyn Iterator<Item = Event>> = match kind.as_str() {
-        "tree" => Box::new(
-            SyntheticWorkload::new(WorkloadParams::default().with_seed(seed))
-                .map_err(|e| e.to_string())?,
-        ),
-        "assembly" => Box::new(
-            AssemblyWorkload::new(AssemblyParams::default().with_seed(seed))
-                .map_err(|e| e.to_string())?,
-        ),
+    let n = match kind.as_str() {
+        // The tree workload records straight into the shared-trace engine's
+        // encoded buffer; the file bytes are identical to the streaming
+        // writer's.
+        "tree" => {
+            let trace = EncodedTrace::record(WorkloadParams::default().with_seed(seed))
+                .map_err(|e| e.to_string())?;
+            trace
+                .write_to(BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            trace.events()
+        }
+        "assembly" => {
+            let mut writer = TraceWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
+            let events: Box<dyn Iterator<Item = Event>> = Box::new(
+                AssemblyWorkload::new(AssemblyParams::default().with_seed(seed))
+                    .map_err(|e| e.to_string())?,
+            );
+            for e in events {
+                writer.write_event(&e).map_err(|e| e.to_string())?;
+            }
+            let n = writer.events_written();
+            writer.finish().map_err(|e| e.to_string())?;
+            n
+        }
         other => return Err(format!("unknown workload '{other}' (tree|assembly)")),
     };
-    for e in events {
-        writer.write_event(&e).map_err(|e| e.to_string())?;
-    }
-    let n = writer.events_written();
-    writer.finish().map_err(|e| e.to_string())?;
     println!("recorded {n} events to {path}");
     Ok(())
 }

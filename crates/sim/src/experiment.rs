@@ -1,16 +1,32 @@
-//! Multi-run experiments: policy comparisons over seed sets.
+//! Multi-run experiments: policy comparisons over seed sets, on the
+//! shared-trace engine.
 //!
 //! The paper's tables aggregate ten same-configuration runs per policy,
 //! differing only in random seed. [`compare_policies`] runs the full
 //! (policy × seed) grid — in parallel across OS threads, since runs are
 //! independent — and reduces each policy's runs to [`Summary`] statistics
 //! per metric.
+//!
+//! The grid is trace-driven the way the paper's evaluation is: the
+//! scheduler groups jobs by workload parameters ([`WorkloadParams::digest`]),
+//! records each distinct trace exactly once — in parallel across seeds —
+//! into a [`TraceCache`], then fans the shared [`pgc_workload::EncodedTrace`]
+//! out to every policy worker, which replays it with
+//! [`Simulation::run_encoded`]. An 11-policy sweep therefore pays the
+//! synthetic generator once per seed instead of once per job, and every
+//! policy consumes byte-identical input. Results are collected into
+//! pre-sized per-job slots (no shared lock on the completion path, no
+//! post-sort), and remain independent of the worker-thread count — each
+//! run is a pure function of its configuration, which the determinism
+//! tests below pin down.
 
 use crate::run::{RunConfig, RunOutcome, Simulation};
 use crate::summary::Summary;
 use pgc_core::PolicyKind;
 use pgc_types::Result;
-use std::sync::Mutex;
+use pgc_workload::{TraceCache, WorkloadParams};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Aggregated metrics for one policy across seeds — one table row.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,13 +119,32 @@ pub fn compare_policies_with_threads(
     threads: usize,
     make_config: impl Fn(PolicyKind, u64) -> RunConfig + Sync,
 ) -> Result<Comparison> {
+    compare_policies_cached(policies, seeds, threads, &TraceCache::new(), make_config)
+}
+
+/// [`compare_policies_with_threads`] replaying from (and recording into) an
+/// explicit [`TraceCache`], so several comparisons over overlapping
+/// parameter sets — e.g. the tables and figures of one full evaluation —
+/// share recorded traces across calls.
+pub fn compare_policies_cached(
+    policies: &[PolicyKind],
+    seeds: &[u64],
+    threads: usize,
+    cache: &TraceCache,
+    make_config: impl Fn(PolicyKind, u64) -> RunConfig + Sync,
+) -> Result<Comparison> {
+    // Seed-major job order: all policies replaying one seed's trace are
+    // adjacent in the schedule, so the shared buffer stays hot. Aggregation
+    // below is policy-major regardless of job order, and within one policy
+    // outcomes land in seed order either way, so the reduced rows are
+    // bit-identical to any other job ordering.
     let mut jobs: Vec<(usize, RunConfig)> = Vec::new();
-    for (pi, &policy) in policies.iter().enumerate() {
-        for &seed in seeds {
+    for &seed in seeds {
+        for (pi, &policy) in policies.iter().enumerate() {
             jobs.push((pi, make_config(policy, seed)));
         }
     }
-    let results = run_jobs_on(jobs, threads)?;
+    let results = run_jobs_cached(jobs, threads, cache)?;
 
     let mut per_policy: Vec<Vec<RunOutcome>> = (0..policies.len()).map(|_| Vec::new()).collect();
     for (pi, outcome) in results {
@@ -123,50 +158,103 @@ pub fn compare_policies_with_threads(
     Ok(Comparison { rows })
 }
 
-fn default_threads() -> usize {
+/// The default worker-thread count: one per available core.
+pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
 /// Runs a set of independent configurations in parallel, preserving labels.
-pub fn run_jobs<L: Send>(jobs: Vec<(L, RunConfig)>) -> Result<Vec<(L, RunOutcome)>> {
+pub fn run_jobs<L: Send + Sync>(jobs: Vec<(L, RunConfig)>) -> Result<Vec<(L, RunOutcome)>> {
     run_jobs_on(jobs, default_threads())
 }
 
 /// [`run_jobs`] with an explicit worker-thread count (1 = sequential).
-pub fn run_jobs_on<L: Send>(
+pub fn run_jobs_on<L: Send + Sync>(
     jobs: Vec<(L, RunConfig)>,
     threads: usize,
+) -> Result<Vec<(L, RunOutcome)>> {
+    run_jobs_cached(jobs, threads, &TraceCache::new())
+}
+
+/// The shared-trace scheduler: deduplicates the jobs' workload parameters,
+/// records each distinct trace once (in parallel), then replays every job
+/// from the shared encoded buffers.
+///
+/// Results land in pre-sized per-job [`OnceLock`] slots — label order is
+/// preserved by construction, with no completion-path lock and no post-sort.
+pub fn run_jobs_cached<L: Send + Sync>(
+    jobs: Vec<(L, RunConfig)>,
+    threads: usize,
+    cache: &TraceCache,
 ) -> Result<Vec<(L, RunOutcome)>> {
     let threads = threads.min(jobs.len().max(1));
     if threads <= 1 {
         return jobs
             .into_iter()
-            .map(|(label, cfg)| Simulation::run(&cfg).map(|o| (label, o)))
+            .map(|(label, cfg)| {
+                let trace = cache.get_or_record(&cfg.workload)?;
+                Simulation::run_encoded(&cfg, &trace).map(|o| (label, o))
+            })
             .collect();
     }
-    type Slot<L> = (usize, Result<(L, RunOutcome)>);
-    let queue = Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
-    let results: Mutex<Vec<Slot<L>>> = Mutex::new(Vec::new());
+
+    // Phase 1 — group by workload parameters and record each distinct
+    // trace exactly once, in parallel across the groups (the per-seed
+    // generator runs dominate this phase; policies share everything).
+    let mut unique: Vec<&WorkloadParams> = Vec::new();
+    for (_, cfg) in &jobs {
+        if !unique.contains(&&cfg.workload) {
+            unique.push(&cfg.workload);
+        }
+    }
+    let next_unique = AtomicUsize::new(0);
+    let recorded: Vec<OnceLock<Result<()>>> = (0..unique.len()).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..threads.min(unique.len()) {
             scope.spawn(|| loop {
-                let job = queue.lock().expect("queue poisoned").pop();
-                let Some((idx, (label, cfg))) = job else {
-                    break;
-                };
-                let outcome = Simulation::run(&cfg).map(|o| (label, o));
-                results
-                    .lock()
-                    .expect("results poisoned")
-                    .push((idx, outcome));
+                let i = next_unique.fetch_add(1, Ordering::Relaxed);
+                let Some(params) = unique.get(i) else { break };
+                let outcome = cache.get_or_record(params).map(drop);
+                assert!(recorded[i].set(outcome).is_ok(), "slot claimed once");
             });
         }
     });
-    let mut collected = results.into_inner().expect("results poisoned");
-    collected.sort_by_key(|(idx, _)| *idx);
-    collected.into_iter().map(|(_, r)| r).collect()
+    for slot in recorded {
+        slot.into_inner().expect("every slot recorded")?;
+    }
+
+    // Phase 2 — fan the shared traces out to the policy workers. Each
+    // worker claims job indices from an atomic counter and writes its
+    // outcome into that job's own slot.
+    let next_job = AtomicUsize::new(0);
+    let job_slots: Vec<Mutex<Option<(L, RunConfig)>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<OnceLock<Result<(L, RunOutcome)>>> =
+        (0..job_slots.len()).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = job_slots.get(i) else { break };
+                let (label, cfg) = slot
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each job index is claimed exactly once");
+                let outcome = cache
+                    .get_or_record(&cfg.workload)
+                    .and_then(|trace| Simulation::run_encoded(&cfg, &trace))
+                    .map(|o| (label, o));
+                assert!(results[i].set(outcome).is_ok(), "slot claimed once");
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every job slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -236,5 +324,44 @@ mod tests {
         let sequential = compare_policies_with_threads(&policies, &seeds, 1, small_cfg).unwrap();
         let parallel = compare_policies_with_threads(&policies, &seeds, 4, small_cfg).unwrap();
         assert_eq!(sequential.rows, parallel.rows);
+    }
+
+    #[test]
+    fn shared_trace_grid_matches_independent_generation() {
+        // The rewired scheduler must be observationally identical to
+        // running each (policy, seed) job with its own live generator.
+        let policies = [PolicyKind::UpdatedPointer, PolicyKind::MostGarbage];
+        let seeds = [5, 6];
+        let cmp = compare_policies(&policies, &seeds, small_cfg).unwrap();
+        for &policy in &policies {
+            let solo: Vec<RunOutcome> = seeds
+                .iter()
+                .map(|&seed| Simulation::run(&small_cfg(policy, seed)).unwrap())
+                .collect();
+            let expected = PolicyRow::from_runs(policy, &solo);
+            assert_eq!(cmp.row(policy), Some(&expected), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn trace_cache_is_shared_across_calls_and_records_once_per_seed() {
+        let cache = pgc_workload::TraceCache::new();
+        let policies = [PolicyKind::UpdatedPointer, PolicyKind::Random];
+        let seeds = [21, 22, 23];
+        let first = compare_policies_cached(&policies, &seeds, 4, &cache, small_cfg).unwrap();
+        assert_eq!(cache.len(), seeds.len(), "one trace per seed, not per job");
+        // A second comparison over the same seeds replays from the cache
+        // (no new entries) and reduces to bit-identical rows.
+        let second = compare_policies_cached(&policies, &seeds, 2, &cache, small_cfg).unwrap();
+        assert_eq!(cache.len(), seeds.len());
+        assert_eq!(first.rows, second.rows);
+    }
+
+    #[test]
+    fn run_jobs_propagates_recording_errors() {
+        let mut bad = small_cfg(PolicyKind::Random, 1);
+        bad.workload.tree_nodes_min = 0; // fails validation at record time
+        let jobs = vec![("ok", small_cfg(PolicyKind::Random, 1)), ("bad", bad)];
+        assert!(run_jobs_on(jobs, 2).is_err());
     }
 }

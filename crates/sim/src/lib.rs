@@ -20,7 +20,11 @@
 //! * [`summary`] — mean / standard deviation over the ten-seed repetitions
 //!   the paper reports.
 //! * [`experiment`] — multi-policy, multi-seed comparisons
-//!   ([`experiment::Comparison`]) and parameter sweeps.
+//!   ([`experiment::Comparison`]) and parameter sweeps, scheduled on the
+//!   shared-trace engine: each seed's workload is recorded once into a
+//!   [`pgc_workload::TraceCache`] and the encoded buffer is fanned out to
+//!   every policy worker, which replays it with
+//!   [`run::Simulation::run_encoded`].
 //! * [`paper`] — the exact configurations of the paper's experiments
 //!   (Tables 2–4 headline setup, Figure 6 size scaling, Table 5
 //!   connectivity sweep).
@@ -43,7 +47,10 @@ pub mod shadow;
 pub mod summary;
 
 pub use chart::{render_chart, ChartMetric};
-pub use experiment::{compare_policies, compare_policies_with_threads, Comparison, PolicyRow};
+pub use experiment::{
+    compare_policies, compare_policies_cached, compare_policies_with_threads, default_threads,
+    run_jobs, run_jobs_cached, run_jobs_on, Comparison, PolicyRow,
+};
 pub use metrics::{RunTotals, SamplePoint, TimeSeries};
 pub use replay::Replayer;
 pub use run::{RunConfig, RunOutcome, Simulation};

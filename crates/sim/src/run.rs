@@ -14,7 +14,7 @@ use pgc_odb::oracle::OracleScratch;
 use pgc_odb::{oracle, CollectionOutcome, Database, DbStats};
 use pgc_types::{DbConfig, Result};
 use pgc_workload::generator::GenStats;
-use pgc_workload::{Event, SyntheticWorkload, WorkloadParams};
+use pgc_workload::{EncodedTrace, Event, SyntheticWorkload, WorkloadParams};
 
 /// Everything needed to run one simulation.
 #[derive(Debug, Clone)]
@@ -179,6 +179,33 @@ impl Simulation {
         Ok(finish(cfg, replayer, series, gen_stats, &mut scratch))
     }
 
+    /// Replays a shared encoded trace under `cfg` — the generate-once /
+    /// replay-many half of [`Simulation::run`]. Events decode on the fly
+    /// from the trace's contiguous buffer (no intermediate `Vec<Event>`),
+    /// and the recorded generator counters stand in for a live generator's,
+    /// so the outcome — totals, victim sequence, statistics — is
+    /// bit-identical to `Simulation::run` on the parameters the trace was
+    /// recorded from (pinned by `tests/encoded_equivalence.rs`).
+    pub fn run_encoded(cfg: &RunConfig, trace: &EncodedTrace) -> Result<RunOutcome> {
+        let mut replayer = cfg.build_replayer()?;
+        let mut series = TimeSeries::new();
+        let mut scratch = OracleScratch::new();
+        let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
+        let mut next_sample = sample_every;
+        let mut cursor = trace.cursor();
+        while let Some(event) = cursor.next_event()? {
+            replayer.apply(&event)?;
+            if replayer.events_applied() >= next_sample {
+                take_sample(&mut series, &replayer, &mut scratch);
+                next_sample += sample_every;
+            }
+        }
+        if cfg.sample_every.is_some() {
+            take_sample(&mut series, &replayer, &mut scratch);
+        }
+        Ok(finish(cfg, replayer, series, trace.stats(), &mut scratch))
+    }
+
     /// Replays a recorded trace under `cfg` (the configured workload
     /// parameters are ignored except for the seed, which labels the run).
     pub fn run_trace<'a>(
@@ -329,6 +356,19 @@ mod tests {
         let a = Simulation::run(&RunConfig::small().with_seed(4)).unwrap();
         let b = Simulation::run(&RunConfig::small().with_seed(5)).unwrap();
         assert_ne!(a.totals, b.totals);
+    }
+
+    #[test]
+    fn encoded_replay_matches_live_run_including_series() {
+        let cfg = RunConfig::small().with_seed(6).with_sampling(5_000);
+        let live = Simulation::run(&cfg).unwrap();
+        let trace = EncodedTrace::record(cfg.workload.clone()).unwrap();
+        let replayed = Simulation::run_encoded(&cfg, &trace).unwrap();
+        assert_eq!(live.totals, replayed.totals);
+        assert_eq!(live.gen_stats, replayed.gen_stats, "header stats stand in");
+        assert_eq!(live.collections, replayed.collections, "victim sequences");
+        assert_eq!(live.db_stats, replayed.db_stats);
+        assert_eq!(live.series.points(), replayed.series.points());
     }
 
     #[test]

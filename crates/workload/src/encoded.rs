@@ -1,0 +1,423 @@
+//! Shared encoded traces: generate once, replay many.
+//!
+//! The paper's evaluation is trace-driven — one recorded application trace
+//! drives every policy with byte-identical input — yet a naive experiment
+//! grid re-runs the synthetic generator (mirror bookkeeping, attachment
+//! walks, per-node allocations) independently for every `(policy, seed)`
+//! job. This module is the generate-once / replay-many engine behind
+//! `pgc-sim`'s experiment scheduler:
+//!
+//! * [`EncodedTrace`] — one workload's whole event stream as a single
+//!   contiguous byte buffer in the PGCT body layout of [`crate::trace`]
+//!   (~12 bytes/event, a fraction of `size_of::<Event>()`), with a
+//!   [`TraceHeader`] carrying the seed, event count, and generator
+//!   counters. Recorded once per parameter set by [`EncodedTrace::record`].
+//! * [`TraceCursor`] — a zero-allocation iterator that decodes events on
+//!   the fly straight from the shared buffer; replaying a trace never
+//!   materializes an intermediate `Vec<Event>`.
+//! * [`TraceCache`] — an `Arc`-sharing cache keyed by
+//!   [`WorkloadParams::digest`], so concurrent experiment workers record
+//!   each distinct trace exactly once and replay it from shared memory.
+//!
+//! Replay is bit-identical to live generation by construction: the
+//! generator is a pure function of its parameters and the codec round-trips
+//! exactly (pinned by tests here and in `pgc-sim`).
+
+use crate::event::Event;
+use crate::generator::{GenStats, SyntheticWorkload};
+use crate::params::WorkloadParams;
+use crate::trace;
+use pgc_types::{FastHashMap, Result};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Metadata recorded alongside the encoded event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// The generator seed (`params.seed`, duplicated for convenience).
+    pub seed: u64,
+    /// Number of events in the stream.
+    pub events: u64,
+    /// Generator counters accumulated while recording ([`GenStats::default`]
+    /// when the trace was built from raw events rather than recorded).
+    pub stats: GenStats,
+}
+
+/// One workload's event stream, encoded into a single contiguous buffer.
+///
+/// ```
+/// use pgc_workload::{EncodedTrace, WorkloadParams};
+///
+/// let trace = EncodedTrace::record(WorkloadParams::small().with_seed(3)).unwrap();
+/// assert_eq!(trace.seed(), 3);
+/// let decoded = trace.cursor().count() as u64;
+/// assert_eq!(decoded, trace.events());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EncodedTrace {
+    header: TraceHeader,
+    params: WorkloadParams,
+    buf: Vec<u8>,
+}
+
+impl EncodedTrace {
+    /// Runs the synthetic generator for `params` and encodes its entire
+    /// output. This is the *only* generator execution a shared-trace
+    /// experiment pays per parameter set, however many policies replay it.
+    pub fn record(params: WorkloadParams) -> Result<Self> {
+        let mut generator = SyntheticWorkload::new(params.clone())?;
+        // The paper trace runs ~12.4 bytes/event and one event per ~21
+        // allocated bytes; seed the buffer near that to avoid regrowth.
+        let mut buf = Vec::with_capacity((params.target_allocated.get() / 2).min(1 << 28) as usize);
+        let mut events = 0u64;
+        for event in generator.by_ref() {
+            trace::encode_event(&mut buf, &event);
+            events += 1;
+        }
+        buf.shrink_to_fit();
+        Ok(Self {
+            header: TraceHeader {
+                seed: params.seed,
+                events,
+                stats: generator.stats(),
+            },
+            params,
+            buf,
+        })
+    }
+
+    /// Encodes an explicit event sequence (e.g. an assembly workload or a
+    /// hand-built test stream). `params` labels the trace for cache keying;
+    /// the header's generator counters are zeroed.
+    pub fn from_events<'a>(
+        params: WorkloadParams,
+        events: impl IntoIterator<Item = &'a Event>,
+    ) -> Self {
+        let mut buf = Vec::new();
+        let mut count = 0u64;
+        for event in events {
+            trace::encode_event(&mut buf, event);
+            count += 1;
+        }
+        Self {
+            header: TraceHeader {
+                seed: params.seed,
+                events: count,
+                stats: GenStats::default(),
+            },
+            params,
+            buf,
+        }
+    }
+
+    /// The trace metadata.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The parameters the trace was recorded from.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// The generator seed.
+    pub fn seed(&self) -> u64 {
+        self.header.seed
+    }
+
+    /// Number of events in the stream.
+    pub fn events(&self) -> u64 {
+        self.header.events
+    }
+
+    /// Generator counters recorded with the trace.
+    pub fn stats(&self) -> GenStats {
+        self.header.stats
+    }
+
+    /// Size of the encoded stream in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// A fresh decoding cursor over the shared buffer.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor {
+            buf: &self.buf,
+            pos: 0,
+            decoded: 0,
+            expected: self.header.events,
+        }
+    }
+
+    /// Decodes the whole stream into a vector (diagnostics and tests; the
+    /// simulator replays through [`EncodedTrace::cursor`] instead).
+    pub fn decode_all(&self) -> Result<Vec<Event>> {
+        let mut out = Vec::with_capacity(self.header.events as usize);
+        let mut cursor = self.cursor();
+        while let Some(event) = cursor.next_event()? {
+            out.push(event);
+        }
+        Ok(out)
+    }
+
+    /// Writes the stream as a PGCT trace file (magic + version header
+    /// followed by the body this trace already holds), returning the event
+    /// count. The output is byte-identical to recording the same workload
+    /// through [`crate::trace::TraceWriter`].
+    pub fn write_to<W: Write>(&self, mut sink: W) -> Result<u64> {
+        let io_err = |e: std::io::Error| pgc_types::PgcError::TraceIo(e.to_string());
+        sink.write_all(trace::MAGIC).map_err(io_err)?;
+        sink.write_all(&trace::VERSION.to_le_bytes())
+            .map_err(io_err)?;
+        sink.write_all(&self.buf).map_err(io_err)?;
+        sink.flush().map_err(io_err)?;
+        Ok(self.header.events)
+    }
+}
+
+/// Zero-allocation decoding iterator over an [`EncodedTrace`].
+///
+/// Events decode on the fly into the `Event` value the iterator yields
+/// (`Event` is `Copy`); nothing is allocated per event and the underlying
+/// buffer is shared, so any number of cursors can replay one trace
+/// concurrently.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    decoded: u64,
+    expected: u64,
+}
+
+impl TraceCursor<'_> {
+    /// Decodes the next event, or `Ok(None)` at the end of the stream.
+    /// Errors only on a corrupt buffer (impossible for traces built by
+    /// [`EncodedTrace::record`], which owns its encoding end to end).
+    #[inline]
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        let event = trace::decode_event(self.buf, &mut self.pos)?;
+        if event.is_some() {
+            self.decoded += 1;
+        } else if self.decoded != self.expected {
+            return Err(pgc_types::PgcError::TraceFormat(format!(
+                "encoded trace ended after {} of {} events",
+                self.decoded, self.expected
+            )));
+        }
+        Ok(event)
+    }
+
+    /// Events decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+}
+
+impl Iterator for TraceCursor<'_> {
+    type Item = Event;
+
+    /// Iterator view for trusted in-memory traces; panics on a corrupt
+    /// buffer (use [`TraceCursor::next_event`] to handle errors).
+    fn next(&mut self) -> Option<Event> {
+        self.next_event().expect("corrupt encoded trace")
+    }
+}
+
+/// One digest bucket: every recorded trace whose parameters share a digest.
+type CacheBucket = Vec<(WorkloadParams, Arc<EncodedTrace>)>;
+
+/// An `Arc`-sharing trace cache keyed by [`WorkloadParams::digest`].
+///
+/// The experiment scheduler in `pgc-sim` records each distinct parameter
+/// set once and fans the `Arc` out to every policy worker. Digest
+/// collisions are survived, not assumed away: entries store their full
+/// parameters and a hit requires equality.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    entries: Mutex<FastHashMap<u64, CacheBucket>>,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The trace for `params`, if already recorded.
+    pub fn get(&self, params: &WorkloadParams) -> Option<Arc<EncodedTrace>> {
+        let entries = self.entries.lock().expect("trace cache poisoned");
+        entries
+            .get(&params.digest())?
+            .iter()
+            .find(|(p, _)| p == params)
+            .map(|(_, t)| Arc::clone(t))
+    }
+
+    /// The trace for `params`, recording it first if absent. Recording runs
+    /// outside the lock (it is the expensive part); if two threads race on
+    /// the same parameters the first insertion wins and both return the
+    /// same shared trace.
+    pub fn get_or_record(&self, params: &WorkloadParams) -> Result<Arc<EncodedTrace>> {
+        if let Some(hit) = self.get(params) {
+            return Ok(hit);
+        }
+        let recorded = Arc::new(EncodedTrace::record(params.clone())?);
+        let mut entries = self.entries.lock().expect("trace cache poisoned");
+        let bucket = entries.entry(params.digest()).or_default();
+        if let Some((_, existing)) = bucket.iter().find(|(p, _)| p == params) {
+            return Ok(Arc::clone(existing));
+        }
+        bucket.push((params.clone(), Arc::clone(&recorded)));
+        Ok(recorded)
+    }
+
+    /// Number of distinct traces held.
+    pub fn len(&self) -> usize {
+        let entries = self.entries.lock().expect("trace cache poisoned");
+        entries.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes held across all encoded streams.
+    pub fn resident_bytes(&self) -> usize {
+        let entries = self.entries.lock().expect("trace cache poisoned");
+        entries.values().flatten().map(|(_, t)| t.byte_len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{read_trace, write_trace};
+
+    fn small(seed: u64) -> WorkloadParams {
+        WorkloadParams::small().with_seed(seed)
+    }
+
+    #[test]
+    fn record_matches_live_generation_exactly() {
+        let trace = EncodedTrace::record(small(5)).unwrap();
+        let mut live = SyntheticWorkload::new(small(5)).unwrap();
+        let events: Vec<Event> = live.by_ref().collect();
+        assert_eq!(trace.events(), events.len() as u64);
+        assert_eq!(trace.stats(), live.stats());
+        assert_eq!(trace.seed(), 5);
+        assert_eq!(trace.decode_all().unwrap(), events);
+        // Cursor iteration agrees with bulk decoding.
+        let streamed: Vec<Event> = trace.cursor().collect();
+        assert_eq!(streamed, events);
+    }
+
+    #[test]
+    fn cursor_is_restartable_and_tracks_progress() {
+        let trace = EncodedTrace::record(small(6)).unwrap();
+        let mut a = trace.cursor();
+        let first = a.next_event().unwrap().unwrap();
+        assert_eq!(a.decoded(), 1);
+        // A second cursor starts from the beginning, independently.
+        let mut b = trace.cursor();
+        assert_eq!(b.next_event().unwrap().unwrap(), first);
+        // Draining reaches the recorded count.
+        let mut c = trace.cursor();
+        while c.next_event().unwrap().is_some() {}
+        assert_eq!(c.decoded(), trace.events());
+    }
+
+    #[test]
+    fn from_events_round_trips_arbitrary_streams() {
+        let events = vec![
+            Event::CreateRoot {
+                node: crate::NodeId(0),
+                size: pgc_types::Bytes(100),
+                slots: 2,
+            },
+            Event::Visit {
+                node: crate::NodeId(0),
+            },
+        ];
+        let trace = EncodedTrace::from_events(small(1), &events);
+        assert_eq!(trace.events(), 2);
+        assert_eq!(trace.stats(), GenStats::default());
+        assert_eq!(trace.decode_all().unwrap(), events);
+    }
+
+    #[test]
+    fn write_to_is_byte_identical_to_the_file_codec() {
+        let params = small(7);
+        let trace = EncodedTrace::record(params.clone()).unwrap();
+        let events: Vec<Event> = SyntheticWorkload::new(params).unwrap().collect();
+        let mut via_writer = Vec::new();
+        write_trace(&mut via_writer, &events).unwrap();
+        let mut via_encoded = Vec::new();
+        trace.write_to(&mut via_encoded).unwrap();
+        assert_eq!(via_encoded, via_writer);
+        assert_eq!(read_trace(via_encoded.as_slice()).unwrap(), events);
+    }
+
+    #[test]
+    fn truncated_buffer_is_detected_by_the_cursor() {
+        let full = EncodedTrace::record(small(8)).unwrap();
+        let mut corrupt = full.clone();
+        corrupt.buf.truncate(corrupt.buf.len() - 3);
+        let mut cursor = corrupt.cursor();
+        let err = loop {
+            match cursor.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("truncation must not decode cleanly"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, pgc_types::PgcError::TraceFormat(_)));
+        // Truncating at an event boundary is caught by the header count.
+        let boundary = {
+            let mut t = full.clone();
+            let mut cursor = t.cursor();
+            cursor.next_event().unwrap();
+            let first_len = cursor.pos;
+            t.buf.truncate(first_len);
+            t
+        };
+        let mut cursor = boundary.cursor();
+        cursor.next_event().unwrap();
+        let err = cursor.next_event().unwrap_err();
+        assert!(
+            err.to_string().contains("ended after"),
+            "count mismatch must be reported, got {err}"
+        );
+    }
+
+    #[test]
+    fn cache_records_each_parameter_set_once() {
+        let cache = TraceCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_record(&small(1)).unwrap();
+        let b = cache.get_or_record(&small(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the Arc");
+        assert_eq!(cache.len(), 1);
+        let c = cache.get_or_record(&small(2)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.resident_bytes() >= a.byte_len() + c.byte_len());
+        assert!(cache.get(&small(3)).is_none());
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = TraceCache::new();
+        let traces: Vec<Arc<EncodedTrace>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| cache.get_or_record(&small(9)).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1, "racing recorders converge on one entry");
+        for t in &traces {
+            assert!(Arc::ptr_eq(t, &traces[0]));
+        }
+    }
+}

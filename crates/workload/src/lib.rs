@@ -21,6 +21,13 @@
 //!   build/traverse/mutate stream.
 //! * [`trace`] — a versioned binary trace codec (record to bytes/file,
 //!   replay as an event iterator), dependency-free.
+//! * [`encoded`] — the generate-once / replay-many engine:
+//!   [`encoded::EncodedTrace`] (one workload's stream as a compact shared
+//!   byte buffer plus header), [`encoded::TraceCursor`] (zero-allocation
+//!   replay), and [`encoded::TraceCache`] (`Arc`-sharing cache keyed by
+//!   [`params::WorkloadParams::digest`]) — what lets a multi-policy
+//!   experiment pay the generator cost once per seed instead of once per
+//!   `(policy, seed)` job.
 //! * [`assembly`] — a second application model, shaped like the OO7 design
 //!   library the paper cites: assembly hierarchies over cyclic composite
 //!   parts with large documents, churned by whole-composite replacement.
@@ -29,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod assembly;
+pub mod encoded;
 pub mod event;
 pub mod generator;
 pub mod mirror;
@@ -36,6 +44,7 @@ pub mod params;
 pub mod trace;
 
 pub use assembly::{AssemblyParams, AssemblyWorkload};
+pub use encoded::{EncodedTrace, TraceCache, TraceCursor, TraceHeader};
 pub use event::{Event, NodeId};
 pub use generator::SyntheticWorkload;
 pub use params::WorkloadParams;

@@ -4,7 +4,8 @@
 //! binaries override `target_allocated` (4–40 MB for Figure 6) and
 //! `dense_edge_fraction` (for Table 5's connectivity sweep).
 
-use pgc_types::{Bytes, PgcError, Result};
+use pgc_types::{Bytes, FxHasher, PgcError, Result};
+use std::hash::Hasher as _;
 
 /// Everything that shapes the synthetic application.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,6 +151,31 @@ impl WorkloadParams {
         (n - 1.0) / n + self.dense_edge_fraction
     }
 
+    /// A digest over every field, keying the shared-trace cache
+    /// ([`crate::encoded::TraceCache`]): parameter sets that digest equally
+    /// (and compare equal — the cache double-checks) generate identical
+    /// traces, because the generator is a pure function of its parameters.
+    /// Floats are hashed by bit pattern, so `0.2` and `0.2000…1` differ.
+    pub fn digest(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.seed);
+        h.write_u64(self.target_allocated.get());
+        h.write_u64(self.tree_nodes_min);
+        h.write_u64(self.tree_nodes_max);
+        h.write_u64(self.object_size_min);
+        h.write_u64(self.object_size_max);
+        h.write_u64(self.large_object_size);
+        h.write_u64(self.large_object_byte_fraction.to_bits());
+        h.write_u64(self.dense_edge_fraction.to_bits());
+        h.write_u64(self.p_no_traversal.to_bits());
+        h.write_u64(self.p_depth_first.to_bits());
+        h.write_u64(self.p_skip_edge.to_bits());
+        h.write_u64(self.p_modify_on_visit.to_bits());
+        h.write_u32(self.traversals_per_round);
+        h.write_u32(self.deletions_per_round);
+        h.finish()
+    }
+
     /// Validates parameter consistency.
     pub fn validate(&self) -> Result<()> {
         if self.tree_nodes_min < 2 || self.tree_nodes_min > self.tree_nodes_max {
@@ -267,6 +293,30 @@ mod tests {
             ..WorkloadParams::default()
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn digest_separates_every_field_and_is_stable() {
+        let base = WorkloadParams::default();
+        assert_eq!(base.digest(), WorkloadParams::default().digest());
+        let variants = [
+            base.clone().with_seed(2),
+            base.clone().with_target_allocated(Bytes::from_mib(12)),
+            base.clone().with_dense_edge_fraction(0.081),
+            base.clone().with_deletions_per_round(44),
+            base.clone().with_traversals_per_round(23),
+            WorkloadParams {
+                p_skip_edge: 0.051,
+                ..base.clone()
+            },
+            WorkloadParams {
+                large_object_size: 65 * 1024,
+                ..base.clone()
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base.digest(), v.digest(), "variant {i} collided");
+        }
     }
 
     #[test]

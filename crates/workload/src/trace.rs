@@ -18,8 +18,8 @@ use crate::event::{Event, NodeId};
 use pgc_types::{Bytes, PgcError, Result};
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 4] = b"PGCT";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"PGCT";
+pub(crate) const VERSION: u32 = 1;
 
 const TAG_CREATE_ROOT: u8 = 1;
 const TAG_CREATE_CHILD: u8 = 2;
@@ -32,10 +32,143 @@ fn io_err(e: io::Error) -> PgcError {
     PgcError::TraceIo(e.to_string())
 }
 
+/// Appends one event's tagged encoding to `buf` (the PGCT body layout,
+/// shared by the file codec and [`crate::encoded::EncodedTrace`]).
+pub(crate) fn encode_event(buf: &mut Vec<u8>, event: &Event) {
+    match *event {
+        Event::CreateRoot { node, size, slots } => {
+            buf.push(TAG_CREATE_ROOT);
+            buf.extend_from_slice(&node.0.to_le_bytes());
+            buf.extend_from_slice(&(size.get() as u32).to_le_bytes());
+            buf.extend_from_slice(&slots.to_le_bytes());
+        }
+        Event::CreateChild {
+            node,
+            parent,
+            parent_slot,
+            size,
+            slots,
+        } => {
+            buf.push(TAG_CREATE_CHILD);
+            buf.extend_from_slice(&node.0.to_le_bytes());
+            buf.extend_from_slice(&parent.0.to_le_bytes());
+            buf.extend_from_slice(&parent_slot.to_le_bytes());
+            buf.extend_from_slice(&(size.get() as u32).to_le_bytes());
+            buf.extend_from_slice(&slots.to_le_bytes());
+        }
+        Event::WritePointer { owner, slot, new } => {
+            buf.push(TAG_WRITE_POINTER);
+            buf.extend_from_slice(&owner.0.to_le_bytes());
+            buf.extend_from_slice(&slot.to_le_bytes());
+            match new {
+                Some(t) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&t.0.to_le_bytes());
+                }
+                None => buf.push(0),
+            }
+        }
+        Event::AddSlot { owner } => {
+            buf.push(TAG_ADD_SLOT);
+            buf.extend_from_slice(&owner.0.to_le_bytes());
+        }
+        Event::Visit { node } => {
+            buf.push(TAG_VISIT);
+            buf.extend_from_slice(&node.0.to_le_bytes());
+        }
+        Event::DataWrite { node } => {
+            buf.push(TAG_DATA_WRITE);
+            buf.extend_from_slice(&node.0.to_le_bytes());
+        }
+    }
+}
+
+#[inline]
+fn truncated() -> PgcError {
+    PgcError::TraceFormat("truncated event".into())
+}
+
+#[inline]
+fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N]> {
+    let bytes = buf
+        .get(*pos..*pos + N)
+        .ok_or_else(truncated)?
+        .try_into()
+        .expect("slice has length N");
+    *pos += N;
+    Ok(bytes)
+}
+
+#[inline]
+fn take_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    Ok(u64::from_le_bytes(take::<8>(buf, pos)?))
+}
+
+#[inline]
+fn take_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    Ok(u32::from_le_bytes(take::<4>(buf, pos)?))
+}
+
+#[inline]
+fn take_u16(buf: &[u8], pos: &mut usize) -> Result<u16> {
+    Ok(u16::from_le_bytes(take::<2>(buf, pos)?))
+}
+
+/// Decodes the event starting at `pos` in a PGCT body slice, advancing
+/// `pos` past it. Returns `Ok(None)` at a clean end of the slice; a partial
+/// event or unknown tag is a [`PgcError::TraceFormat`] error. The inverse
+/// of [`encode_event`], shared by [`crate::encoded::TraceCursor`].
+pub(crate) fn decode_event(buf: &[u8], pos: &mut usize) -> Result<Option<Event>> {
+    let Some(&tag) = buf.get(*pos) else {
+        return Ok(None);
+    };
+    *pos += 1;
+    let event = match tag {
+        TAG_CREATE_ROOT => Event::CreateRoot {
+            node: NodeId(take_u64(buf, pos)?),
+            size: Bytes(take_u32(buf, pos)? as u64),
+            slots: take_u16(buf, pos)?,
+        },
+        TAG_CREATE_CHILD => Event::CreateChild {
+            node: NodeId(take_u64(buf, pos)?),
+            parent: NodeId(take_u64(buf, pos)?),
+            parent_slot: take_u16(buf, pos)?,
+            size: Bytes(take_u32(buf, pos)? as u64),
+            slots: take_u16(buf, pos)?,
+        },
+        TAG_WRITE_POINTER => {
+            let owner = NodeId(take_u64(buf, pos)?);
+            let slot = take_u16(buf, pos)?;
+            let new = match take::<1>(buf, pos)?[0] {
+                0 => None,
+                1 => Some(NodeId(take_u64(buf, pos)?)),
+                b => {
+                    return Err(PgcError::TraceFormat(format!(
+                        "bad option byte {b} in WritePointer"
+                    )))
+                }
+            };
+            Event::WritePointer { owner, slot, new }
+        }
+        TAG_ADD_SLOT => Event::AddSlot {
+            owner: NodeId(take_u64(buf, pos)?),
+        },
+        TAG_VISIT => Event::Visit {
+            node: NodeId(take_u64(buf, pos)?),
+        },
+        TAG_DATA_WRITE => Event::DataWrite {
+            node: NodeId(take_u64(buf, pos)?),
+        },
+        t => return Err(PgcError::TraceFormat(format!("unknown tag {t}"))),
+    };
+    Ok(Some(event))
+}
+
 /// Streaming trace encoder.
 pub struct TraceWriter<W: Write> {
     sink: W,
     events: u64,
+    scratch: Vec<u8>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -43,59 +176,19 @@ impl<W: Write> TraceWriter<W> {
     pub fn new(mut sink: W) -> Result<Self> {
         sink.write_all(MAGIC).map_err(io_err)?;
         sink.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
-        Ok(Self { sink, events: 0 })
+        Ok(Self {
+            sink,
+            events: 0,
+            scratch: Vec::with_capacity(32),
+        })
     }
 
-    /// Appends one event.
+    /// Appends one event (encoding through a scratch buffer the writer
+    /// owns, so a long recording performs no per-event allocation).
     pub fn write_event(&mut self, event: &Event) -> Result<()> {
-        let mut buf = Vec::with_capacity(32);
-        match *event {
-            Event::CreateRoot { node, size, slots } => {
-                buf.push(TAG_CREATE_ROOT);
-                buf.extend_from_slice(&node.0.to_le_bytes());
-                buf.extend_from_slice(&(size.get() as u32).to_le_bytes());
-                buf.extend_from_slice(&slots.to_le_bytes());
-            }
-            Event::CreateChild {
-                node,
-                parent,
-                parent_slot,
-                size,
-                slots,
-            } => {
-                buf.push(TAG_CREATE_CHILD);
-                buf.extend_from_slice(&node.0.to_le_bytes());
-                buf.extend_from_slice(&parent.0.to_le_bytes());
-                buf.extend_from_slice(&parent_slot.to_le_bytes());
-                buf.extend_from_slice(&(size.get() as u32).to_le_bytes());
-                buf.extend_from_slice(&slots.to_le_bytes());
-            }
-            Event::WritePointer { owner, slot, new } => {
-                buf.push(TAG_WRITE_POINTER);
-                buf.extend_from_slice(&owner.0.to_le_bytes());
-                buf.extend_from_slice(&slot.to_le_bytes());
-                match new {
-                    Some(t) => {
-                        buf.push(1);
-                        buf.extend_from_slice(&t.0.to_le_bytes());
-                    }
-                    None => buf.push(0),
-                }
-            }
-            Event::AddSlot { owner } => {
-                buf.push(TAG_ADD_SLOT);
-                buf.extend_from_slice(&owner.0.to_le_bytes());
-            }
-            Event::Visit { node } => {
-                buf.push(TAG_VISIT);
-                buf.extend_from_slice(&node.0.to_le_bytes());
-            }
-            Event::DataWrite { node } => {
-                buf.push(TAG_DATA_WRITE);
-                buf.extend_from_slice(&node.0.to_le_bytes());
-            }
-        }
-        self.sink.write_all(&buf).map_err(io_err)?;
+        self.scratch.clear();
+        encode_event(&mut self.scratch, event);
+        self.sink.write_all(&self.scratch).map_err(io_err)?;
         self.events += 1;
         Ok(())
     }
@@ -386,5 +479,121 @@ mod tests {
         let mut buf = Vec::new();
         write_trace::<_>(&mut buf, std::iter::empty()).unwrap();
         assert!(read_trace(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_option_byte_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(TAG_WRITE_POINTER);
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.push(9); // neither 0 nor 1
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("option byte"), "got {err}");
+    }
+
+    /// A stream of random events covering all six tags, with field values
+    /// spanning the full encodable ranges (sizes are stored as `u32`).
+    pub(super) fn random_events(seed: u64, n: usize) -> Vec<Event> {
+        let mut rng = pgc_types::SimRng::new(seed);
+        let id = |rng: &mut pgc_types::SimRng| NodeId(rng.next_u64());
+        (0..n)
+            .map(|_| match rng.below(6) {
+                0 => Event::CreateRoot {
+                    node: id(&mut rng),
+                    size: Bytes(rng.range_inclusive(0, u32::MAX as u64)),
+                    slots: rng.range_inclusive(0, u16::MAX as u64) as u16,
+                },
+                1 => Event::CreateChild {
+                    node: id(&mut rng),
+                    parent: id(&mut rng),
+                    parent_slot: rng.range_inclusive(0, u16::MAX as u64) as u16,
+                    size: Bytes(rng.range_inclusive(0, u32::MAX as u64)),
+                    slots: rng.range_inclusive(0, u16::MAX as u64) as u16,
+                },
+                2 => Event::WritePointer {
+                    owner: id(&mut rng),
+                    slot: rng.range_inclusive(0, u16::MAX as u64) as u16,
+                    new: rng.chance(0.5).then(|| id(&mut rng)),
+                },
+                3 => Event::AddSlot {
+                    owner: id(&mut rng),
+                },
+                4 => Event::Visit { node: id(&mut rng) },
+                _ => Event::DataWrite { node: id(&mut rng) },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn randomized_streams_round_trip() {
+        for seed in 0..20u64 {
+            let events = random_events(seed, 400);
+            let mut buf = Vec::new();
+            let n = write_trace(&mut buf, &events).unwrap();
+            assert_eq!(n, events.len() as u64);
+            assert_eq!(read_trace(buf.as_slice()).unwrap(), events, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn slice_decoder_agrees_with_stream_decoder() {
+        // The in-memory decoder (`decode_event`, used by the encoded-trace
+        // cursor) and the io::Read decoder must be the same codec.
+        for seed in 0..10u64 {
+            let events = random_events(seed, 300);
+            let mut buf = Vec::new();
+            write_trace(&mut buf, &events).unwrap();
+            let body = &buf[8..]; // skip magic + version
+            let mut pos = 0;
+            let mut decoded = Vec::new();
+            while let Some(e) = decode_event(body, &mut pos).unwrap() {
+                decoded.push(e);
+            }
+            assert_eq!(pos, body.len());
+            assert_eq!(decoded, events, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_clean_prefix_or_an_error() {
+        // Cutting the byte stream anywhere must never fabricate or reorder
+        // events: the decoder either fails (mid-header, mid-event) or
+        // returns an exact prefix of the original stream (event boundary).
+        let events = random_events(42, 60);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        let mut boundary_cuts = 0;
+        for cut in 0..buf.len() {
+            match read_trace(&buf[..cut]) {
+                Ok(prefix) => {
+                    boundary_cuts += 1;
+                    assert!(prefix.len() <= events.len());
+                    assert_eq!(prefix[..], events[..prefix.len()], "cut {cut}");
+                }
+                Err(PgcError::TraceIo(_) | PgcError::TraceFormat(_)) => {}
+                Err(other) => panic!("unexpected error at cut {cut}: {other}"),
+            }
+        }
+        // Exactly one clean cut per event boundary (the 8-byte header).
+        assert_eq!(boundary_cuts, events.len(), "one Ok per boundary");
+        // The same property holds for the slice decoder over the body.
+        let body = &buf[8..];
+        for cut in 0..body.len() {
+            let mut pos = 0;
+            let mut decoded = Vec::new();
+            let result = loop {
+                match decode_event(&body[..cut], &mut pos) {
+                    Ok(Some(e)) => decoded.push(e),
+                    Ok(None) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            };
+            if result.is_ok() {
+                assert_eq!(decoded[..], events[..decoded.len()], "cut {cut}");
+            }
+        }
     }
 }

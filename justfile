@@ -22,9 +22,16 @@ fmt:
 # All gates in one go.
 check: fmt-check clippy verify
 
-# Regenerate BENCH_hotpath.json (perf-regression numbers). Embeds the
-# recorded pre-change baseline when BENCH_baseline.json is present.
+# Regenerate BENCH_hotpath.json and BENCH_experiment.json (perf-regression
+# numbers, including the shared-trace sweep gate). Embeds the recorded
+# pre-change baseline when BENCH_baseline.json is present.
 bench-report:
+    cargo run --release -p pgc-bench --bin perf_report
+
+# Measure the shared-trace experiment engine: the full 11-policy
+# paper-config sweep, engine vs per-job generation, written to
+# BENCH_experiment.json (exits nonzero if the speedup gate regresses).
+sweep:
     cargo run --release -p pgc-bench --bin perf_report
 
 # Record the pre-change baseline (BENCH_baseline.json): build the shared
