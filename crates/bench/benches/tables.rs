@@ -25,7 +25,7 @@ fn main() {
         let cfg = shrink(paper::headline(policy, 1));
         r.bench(
             &format!("table2_3_4/headline_run/{}", policy.name()),
-            || black_box(Simulation::run(&cfg).unwrap().totals),
+            || black_box(Simulation::builder(&cfg).run().unwrap().totals),
         );
     }
 
@@ -33,7 +33,7 @@ fn main() {
     for (label, dense) in [(1.005f64, 0.005f64), (1.167, 0.167)] {
         let cfg = shrink(paper::connectivity(PolicyKind::UpdatedPointer, 1, dense));
         r.bench(&format!("table5/connectivity_run/C={label}"), || {
-            black_box(Simulation::run(&cfg).unwrap().totals)
+            black_box(Simulation::builder(&cfg).run().unwrap().totals)
         });
     }
 
@@ -42,7 +42,14 @@ fn main() {
         let mut cfg = shrink(paper::time_series(PolicyKind::UpdatedPointer, 1));
         cfg.sample_every = Some(10_000);
         r.bench("fig4_5/time_series_run/UpdatedPointer_sampled", || {
-            black_box(Simulation::run(&cfg).unwrap().series.points().len())
+            black_box(
+                Simulation::builder(&cfg)
+                    .run()
+                    .unwrap()
+                    .series
+                    .points()
+                    .len(),
+            )
         });
     }
 
@@ -50,7 +57,7 @@ fn main() {
     for mib in [4u64, 40] {
         let cfg = shrink(paper::scaled(PolicyKind::UpdatedPointer, 1, mib));
         r.bench(&format!("fig6/scaled_run/{mib}MB_geometry"), || {
-            black_box(Simulation::run(&cfg).unwrap().totals)
+            black_box(Simulation::builder(&cfg).run().unwrap().totals)
         });
     }
 }

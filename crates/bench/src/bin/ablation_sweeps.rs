@@ -29,17 +29,15 @@
 
 use pgc_bench::{emit, CommonArgs};
 use pgc_core::{PolicyKind, Trigger};
-use pgc_sim::{
-    compare_policies_cached, default_threads, report, Comparison, RunConfig, Simulation,
-};
+use pgc_sim::{report, Comparison, Experiment, RunConfig, Simulation};
 use pgc_types::Bytes;
 use pgc_workload::TraceCache;
 use std::fmt::Write as _;
 
 fn base(args: &CommonArgs, policy: PolicyKind, seed: u64) -> RunConfig {
-    let mut cfg = RunConfig::paper(policy, seed);
-    cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-    cfg
+    let cfg = RunConfig::paper(policy, seed);
+    let target = args.scale_bytes(cfg.workload.target_allocated);
+    cfg.with_heap_growth(target)
 }
 
 fn main() {
@@ -54,12 +52,10 @@ fn main() {
     // one shared trace cache records each seed's trace once and every sweep
     // point replays it.
     let cache = TraceCache::new();
-    let threads = default_threads();
+    let experiment = Experiment::new().cache(&cache);
     let run = |policies: &[PolicyKind],
                make: &(dyn Fn(PolicyKind, u64) -> RunConfig + Sync)|
-     -> Comparison {
-        compare_policies_cached(policies, &seeds, threads, &cache, make).expect("runs")
-    };
+     -> Comparison { experiment.compare(policies, &seeds, make).expect("runs") };
 
     // --- 1. Trigger threshold sweep (UpdatedPointer). ---
     let _ = writeln!(
@@ -73,9 +69,7 @@ fn main() {
     );
     for threshold in [100u64, 150, 250, 400, 800] {
         let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
-            let mut cfg = base(&args, p, s);
-            cfg.db = cfg.db.with_gc_overwrite_threshold(threshold);
-            cfg
+            base(&args, p, s).with_gc_overwrite_threshold(threshold)
         });
         let r = &cmp.rows[0];
         let _ = writeln!(
@@ -98,9 +92,7 @@ fn main() {
     );
     for pages in [24u64, 48, 72, 100] {
         let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
-            let mut cfg = base(&args, p, s);
-            cfg.db = cfg.db.with_partition_pages(pages);
-            cfg
+            base(&args, p, s).with_partition_pages(pages)
         });
         let r = &cmp.rows[0];
         let _ = writeln!(
@@ -122,9 +114,7 @@ fn main() {
     );
     for (label, buffer_pages) in [("0.5x", 24u64), ("1.0x", 48), ("2.0x", 96), ("4.0x", 192)] {
         let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
-            let mut cfg = base(&args, p, s);
-            cfg.db = cfg.db.with_buffer_pages(buffer_pages);
-            cfg
+            base(&args, p, s).with_buffer_pages(buffer_pages)
         });
         let r = &cmp.rows[0];
         let _ = writeln!(
@@ -158,7 +148,7 @@ fn main() {
     );
     for &seed in seeds.iter().take(3) {
         let cfg = base(&args, PolicyKind::UpdatedPointer, seed);
-        let outcome = Simulation::run(&cfg).expect("run");
+        let outcome = Simulation::builder(&cfg).run().expect("run");
         // Rebuild the final state and apply a complete collection on top.
         let events: Vec<pgc_workload::Event> =
             pgc_workload::SyntheticWorkload::new(cfg.workload.clone())
@@ -272,9 +262,7 @@ fn main() {
         ("spread", pgc_types::PlacementPolicy::Spread),
     ] {
         let cmp = run(&[PolicyKind::UpdatedPointer], &|p, s| {
-            let mut cfg = base(&args, p, s);
-            cfg.db = cfg.db.with_placement(placement);
-            cfg
+            base(&args, p, s).with_placement(placement)
         });
         let r = &cmp.rows[0];
         let _ = writeln!(

@@ -8,9 +8,9 @@
 //! simulation runs); on a laptop-class machine it completes in a few
 //! minutes. Use `--scale 25 --seeds 3` for a quick shape check.
 
-use pgc_bench::{emit, CommonArgs};
+use pgc_bench::{emit, emit_telemetry, CommonArgs};
 use pgc_core::PolicyKind;
-use pgc_sim::{compare_policies_cached, default_threads, experiment, paper, report, Comparison};
+use pgc_sim::{paper, report, Comparison, Experiment};
 use pgc_workload::TraceCache;
 use std::fmt::Write as _;
 
@@ -22,21 +22,18 @@ fn main() {
     // figures reuse it at other scales) replay the same recorded trace
     // instead of regenerating it.
     let cache = TraceCache::new();
-    let threads = default_threads();
+    let experiment = Experiment::new().cache(&cache);
 
-    // Tables 2-4 share one experiment.
-    let headline = compare_policies_cached(
-        &PolicyKind::PAPER,
-        &args.seed_list(),
-        threads,
-        &cache,
-        |policy, seed| {
-            let mut cfg = paper::headline(policy, seed);
-            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-            cfg
-        },
-    )
-    .expect("headline experiment runs");
+    // Tables 2-4 share one experiment; telemetry (if requested via
+    // --telemetry-out) taps the headline grid.
+    let headline = experiment
+        .telemetry(args.telemetry_level())
+        .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
+            let cfg = paper::headline(policy, seed);
+            let target = args.scale_bytes(cfg.workload.target_allocated);
+            cfg.with_heap_growth(target)
+        })
+        .expect("headline experiment runs");
     let _ = writeln!(full, "== Table 2: Throughput (page I/Os) ==");
     full.push_str(&report::format_table2(&headline));
     let _ = writeln!(full, "\n== Table 3: Maximum Storage ==");
@@ -47,18 +44,13 @@ fn main() {
     // Table 5: connectivity sweep.
     let mut t5: Vec<(f64, Comparison)> = Vec::new();
     for (connectivity, dense) in paper::TABLE5_CONNECTIVITY {
-        let cmp = compare_policies_cached(
-            &PolicyKind::PAPER,
-            &args.seed_list(),
-            threads,
-            &cache,
-            |policy, seed| {
-                let mut cfg = paper::connectivity(policy, seed, dense);
-                cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-                cfg
-            },
-        )
-        .expect("connectivity experiment runs");
+        let cmp = experiment
+            .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
+                let cfg = paper::connectivity(policy, seed, dense);
+                let target = args.scale_bytes(cfg.workload.target_allocated);
+                cfg.with_heap_growth(target)
+            })
+            .expect("connectivity experiment runs");
         t5.push((connectivity, cmp));
     }
     let _ = writeln!(full, "\n== Table 5: Connectivity Effects (% reclaimed) ==");
@@ -73,7 +65,7 @@ fn main() {
             (policy, cfg)
         })
         .collect();
-    let series = experiment::run_jobs_cached(jobs, threads, &cache).expect("time series runs");
+    let series = experiment.run_jobs(jobs).expect("time series runs");
     let _ = writeln!(
         full,
         "\n== Figures 4 & 5: time series (final samples; full CSV via fig4/fig5 binaries) =="
@@ -100,22 +92,18 @@ fn main() {
     let sweep_seeds: Vec<u64> = (1..=args.seeds.min(3)).collect();
     let mut f6: Vec<(u64, Comparison)> = Vec::new();
     for mib in paper::FIG6_SIZES_MIB {
-        let cmp = compare_policies_cached(
-            &PolicyKind::PAPER,
-            &sweep_seeds,
-            threads,
-            &cache,
-            |policy, seed| {
-                let mut cfg = paper::scaled(policy, seed, mib);
-                cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-                cfg
-            },
-        )
-        .expect("scalability experiment runs");
+        let cmp = experiment
+            .compare(&PolicyKind::PAPER, &sweep_seeds, |policy, seed| {
+                let cfg = paper::scaled(policy, seed, mib);
+                let target = args.scale_bytes(cfg.workload.target_allocated);
+                cfg.with_heap_growth(target)
+            })
+            .expect("scalability experiment runs");
         f6.push((mib, cmp));
     }
     let _ = writeln!(full, "\n== Figure 6: Storage vs Maximum Allocated ==");
     full.push_str(&report::format_figure6(&f6));
 
     emit(&args, "Full evaluation (Tables 2-5, Figures 4-6)", &full);
+    emit_telemetry(&args, &headline);
 }

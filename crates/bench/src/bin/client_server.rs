@@ -18,7 +18,7 @@
 use pgc_bench::{emit, CommonArgs};
 use pgc_buffer::{DiskModel, NetworkModel};
 use pgc_core::PolicyKind;
-use pgc_sim::{experiment, paper, Summary};
+use pgc_sim::{paper, Experiment, Summary};
 use std::fmt::Write as _;
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
             jobs.push((pi, cfg));
         }
     }
-    let results = experiment::run_jobs(jobs).expect("runs complete");
+    let results = Experiment::new().run_jobs(jobs).expect("runs complete");
 
     let page = 8192;
     let disk = DiskModel::circa_1993(page);

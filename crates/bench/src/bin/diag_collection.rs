@@ -7,7 +7,7 @@ use pgc_sim::{paper, Simulation};
 fn main() {
     for policy in [PolicyKind::UpdatedPointer, PolicyKind::MostGarbage] {
         let cfg = paper::headline(policy, 1);
-        let out = Simulation::run(&cfg).unwrap();
+        let out = Simulation::builder(&cfg).run().unwrap();
         let t = &out.totals;
         println!(
             "{}: events={} collections={} app={} gc={} reclaimedKB={:.0} liveKB={:.0} garbageKB={:.0} parts={}",

@@ -10,10 +10,10 @@ fn main() {
             let mut frac = 0.0;
             let mut nep = 0.0;
             for seed in [1u64, 2, 3, 4] {
-                let mut cfg = RunConfig::paper(policy, seed);
-                cfg.workload.target_allocated = Bytes::from_mib(4);
-                cfg.workload.dense_edge_fraction = dense;
-                let t = Simulation::run(&cfg).unwrap().totals;
+                let cfg = RunConfig::paper(policy, seed)
+                    .with_heap_growth(Bytes::from_mib(4))
+                    .with_dense_edge_fraction(dense);
+                let t = Simulation::builder(&cfg).run().unwrap().totals;
                 frac += t.fraction_reclaimed_pct() / 4.0;
                 nep += t.final_nepotism_bytes.as_kib_f64() / 4.0;
             }

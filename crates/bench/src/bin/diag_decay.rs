@@ -1,19 +1,20 @@
 //! Diagnostic: UpdatedDecay vs UpdatedPointer at full scale (calibration
 //! helper, not a paper artifact).
 use pgc_core::PolicyKind;
-use pgc_sim::{compare_policies, paper};
+use pgc_sim::{paper, Experiment};
 
 fn main() {
-    let cmp = compare_policies(
-        &[
-            PolicyKind::UpdatedPointer,
-            PolicyKind::UpdatedDecay,
-            PolicyKind::MostGarbage,
-        ],
-        &[1, 2, 3, 4, 5],
-        paper::headline,
-    )
-    .unwrap();
+    let cmp = Experiment::new()
+        .compare(
+            &[
+                PolicyKind::UpdatedPointer,
+                PolicyKind::UpdatedDecay,
+                PolicyKind::MostGarbage,
+            ],
+            &[1, 2, 3, 4, 5],
+            paper::headline,
+        )
+        .unwrap();
     for r in &cmp.rows {
         println!(
             "{:<16} total={:.0} frac={:.1}% stor={:.0}KB",

@@ -10,7 +10,7 @@
 
 use pgc_bench::{emit, CommonArgs};
 use pgc_core::PolicyKind;
-use pgc_sim::{experiment, paper};
+use pgc_sim::{paper, Experiment};
 use std::fmt::Write as _;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
             (policy, cfg)
         })
         .collect();
-    let results = experiment::run_jobs(jobs).expect("runs complete");
+    let results = Experiment::new().run_jobs(jobs).expect("runs complete");
     // Terminal rendering of the figure, then the precise CSV.
     let labelled: Vec<(&str, &pgc_sim::TimeSeries)> =
         results.iter().map(|(p, o)| (p.name(), &o.series)).collect();

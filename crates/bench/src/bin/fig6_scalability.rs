@@ -9,9 +9,9 @@
 //! Note: `--scale` shrinks every sweep point proportionally (useful for a
 //! quick shape check); the paper's axis labels correspond to `--scale 100`.
 
-use pgc_bench::{emit, CommonArgs};
+use pgc_bench::{emit, emit_telemetry, CommonArgs};
 use pgc_core::PolicyKind;
-use pgc_sim::{compare_policies, paper, report, Comparison};
+use pgc_sim::{paper, report, Comparison, Experiment};
 
 fn main() {
     let mut args = CommonArgs::parse();
@@ -23,12 +23,14 @@ fn main() {
     }
     let mut results: Vec<(u64, Comparison)> = Vec::new();
     for mib in paper::FIG6_SIZES_MIB {
-        let cmp = compare_policies(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-            let mut cfg = paper::scaled(policy, seed, mib);
-            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-            cfg
-        })
-        .expect("experiment runs");
+        let cmp = Experiment::new()
+            .telemetry(args.telemetry_level())
+            .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
+                let cfg = paper::scaled(policy, seed, mib);
+                let target = args.scale_bytes(cfg.workload.target_allocated);
+                cfg.with_heap_growth(target)
+            })
+            .expect("experiment runs");
         results.push((mib, cmp));
     }
     emit(
@@ -36,4 +38,7 @@ fn main() {
         "Figure 6: Storage Required vs Maximum Allocated Storage",
         &report::format_figure6(&results),
     );
+    if let Some((_, largest)) = results.last() {
+        emit_telemetry(&args, largest);
+    }
 }

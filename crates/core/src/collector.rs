@@ -191,6 +191,16 @@ impl Collector {
             let Some(victim) = self.policy.select(db) else {
                 break;
             };
+            // Announce the pick (with the policy's score for it) before
+            // collecting, so bus taps can attribute the collection that
+            // follows. Selection is already made; observers cannot
+            // influence it.
+            let selected = BarrierEvent::VictimSelected {
+                victim,
+                score_bits: self.policy.victim_score(victim).map(f64::to_bits),
+            };
+            self.policy.on_event(&selected);
+            self.observers.broadcast(&selected);
             let outcome = db.collect_partition(victim)?;
             // Pump the collection's own events (copies, reclaims, the
             // completion record) so scoreboards reset before the next

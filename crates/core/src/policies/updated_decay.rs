@@ -62,6 +62,10 @@ impl SelectionPolicy for UpdatedDecay {
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
         self.scores.select_max(db)
     }
+
+    fn victim_score(&self, partition: PartitionId) -> Option<f64> {
+        Some(self.scores.score(partition) as f64)
+    }
 }
 
 #[cfg(test)]

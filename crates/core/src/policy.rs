@@ -162,6 +162,17 @@ pub trait SelectionPolicy: BarrierObserver {
     /// database may). Must never return the designated empty partition.
     fn select(&mut self, db: &Database) -> Option<PartitionId>;
 
+    /// The policy's current numeric score for `partition`, if it keeps
+    /// one. Scoreboard policies report their counter; policies with no
+    /// per-partition score (`Random`, the oracle, `NoCollection`) report
+    /// `None`. Purely diagnostic: the collector broadcasts it on the bus
+    /// as [`pgc_odb::BarrierEvent::VictimSelected`], and it must never
+    /// influence selection.
+    fn victim_score(&self, partition: PartitionId) -> Option<f64> {
+        let _ = partition;
+        None
+    }
+
     /// The policy's display name.
     fn name(&self) -> &'static str {
         self.kind().name()

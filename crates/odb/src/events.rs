@@ -83,6 +83,18 @@ pub enum BarrierEvent {
         /// Its size.
         size: Bytes,
     },
+    /// The driving policy chose a victim for the activation in progress.
+    /// Emitted by the collector wrapper between selection and collection,
+    /// so taps can pair the pick (and the policy's score for it) with the
+    /// [`BarrierEvent::CollectionCompleted`] record that follows.
+    VictimSelected {
+        /// The partition about to be collected.
+        victim: PartitionId,
+        /// The driving policy's numeric score for the victim as
+        /// `f64::to_bits` (`None` when the policy exposes no score —
+        /// bit form keeps this enum `Eq`).
+        score_bits: Option<u64>,
+    },
     /// One partition collection finished.
     CollectionCompleted(CollectionOutcome),
     /// The GC trigger fired: a collection decision is about to be made.

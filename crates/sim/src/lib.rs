@@ -10,8 +10,9 @@
 //! * [`metrics`] — [`metrics::RunTotals`] (the aggregate numbers behind
 //!   Tables 2–5) and [`metrics::TimeSeries`] (the sampled curves behind
 //!   Figures 4–5).
-//! * [`run`] — [`run::RunConfig`] + [`run::Simulation`]: one complete
-//!   simulation from a parameter set or a recorded trace.
+//! * [`run`] — [`run::RunConfig`] + [`run::Simulation::builder`]: one
+//!   complete simulation from a parameter set, a shared encoded trace, or
+//!   a recorded event slice, with optional bus observers and telemetry.
 //! * [`shadow`] — shadow-scoreboard policy races: one driver policy makes
 //!   the collection decisions while every other honest policy's scoreboard
 //!   rides the same barrier event bus and records the victim it *would*
@@ -23,8 +24,8 @@
 //!   ([`experiment::Comparison`]) and parameter sweeps, scheduled on the
 //!   shared-trace engine: each seed's workload is recorded once into a
 //!   [`pgc_workload::TraceCache`] and the encoded buffer is fanned out to
-//!   every policy worker, which replays it with
-//!   [`run::Simulation::run_encoded`].
+//!   every policy worker, which replays it through
+//!   [`run::Simulation::builder`].
 //! * [`paper`] — the exact configurations of the paper's experiments
 //!   (Tables 2–4 headline setup, Figure 6 size scaling, Table 5
 //!   connectivity sweep).
@@ -47,12 +48,19 @@ pub mod shadow;
 pub mod summary;
 
 pub use chart::{render_chart, ChartMetric};
+#[allow(deprecated)]
 pub use experiment::{
-    compare_policies, compare_policies_cached, compare_policies_with_threads, default_threads,
-    run_jobs, run_jobs_cached, run_jobs_on, Comparison, PolicyRow,
+    compare_policies, compare_policies_cached, compare_policies_with_threads, run_jobs,
+    run_jobs_cached, run_jobs_on,
 };
+pub use experiment::{default_threads, Comparison, Experiment, PolicyRow, RunTelemetry};
 pub use metrics::{RunTotals, SamplePoint, TimeSeries};
 pub use replay::Replayer;
-pub use run::{RunConfig, RunOutcome, Simulation};
-pub use shadow::{agreement_table, run_race, RaceOutcome, RaceRecord, ShadowPick};
+pub use run::{RunConfig, RunOutcome, Simulation, SimulationBuilder};
+pub use shadow::{
+    agreement_table, run_race, run_race_with_telemetry, RaceOutcome, RaceRecord, ShadowPick,
+};
 pub use summary::Summary;
+// The telemetry vocabulary rides along so simulator users don't need a
+// direct `pgc_telemetry` dependency for the common cases.
+pub use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot};

@@ -230,6 +230,38 @@ pub fn format_partition_profile(
     out
 }
 
+/// Renders the per-policy telemetry aggregates of a tapped comparison as a
+/// human-readable table: activations per run, mean bytes reclaimed per
+/// activation, the p50/p90 of collector page I/O per activation, and the
+/// mean bus-event gap between consecutive activations. Policies whose rows
+/// carry no telemetry (the comparison ran with telemetry off) are skipped;
+/// an entirely untapped comparison renders to an empty string.
+pub fn format_telemetry(cmp: &Comparison) -> String {
+    let mut out = String::new();
+    if cmp.rows.iter().all(|r| r.telemetry.is_none()) {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>14} {:>11} {:>11} {:>12}",
+        "Selection Policy", "Activ/run", "Reclaim KB/act", "GC IO p50", "GC IO p90", "Gap (events)"
+    );
+    for r in &cmp.rows {
+        let Some(t) = &r.telemetry else { continue };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10.1} {:>14.1} {:>11} {:>11} {:>12.0}",
+            r.policy.name(),
+            t.activations_per_run(),
+            t.reclaimed_per_activation.mean() / 1024.0,
+            t.gc_io_per_activation.quantile(0.5),
+            t.gc_io_per_activation.quantile(0.9),
+            t.activation_gap_events.mean(),
+        );
+    }
+    out
+}
+
 /// Serializes a [`Comparison`] as CSV (one row per policy, one column per
 /// aggregated metric mean/sd) — the machine-readable counterpart of the
 /// formatted tables.
@@ -264,21 +296,22 @@ pub fn comparison_to_csv(cmp: &Comparison) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::compare_policies;
+    use crate::experiment::Experiment;
     use crate::run::RunConfig;
     use pgc_core::PolicyKind;
 
     fn tiny_comparison() -> Comparison {
-        compare_policies(
-            &[
-                PolicyKind::NoCollection,
-                PolicyKind::UpdatedPointer,
-                PolicyKind::MostGarbage,
-            ],
-            &[1],
-            |p, s| RunConfig::small().with_policy(p).with_seed(s),
-        )
-        .unwrap()
+        Experiment::new()
+            .compare(
+                &[
+                    PolicyKind::NoCollection,
+                    PolicyKind::UpdatedPointer,
+                    PolicyKind::MostGarbage,
+                ],
+                &[1],
+                |p, s| RunConfig::small().with_policy(p).with_seed(s),
+            )
+            .unwrap()
     }
 
     #[test]
@@ -381,6 +414,24 @@ mod tests {
             .expect("self row");
         assert!(self_row.contains("100.0"), "{self_row}");
         assert!(format_policy_race(&[]).is_empty());
+    }
+
+    #[test]
+    fn telemetry_table_renders_only_when_tapped() {
+        let plain = tiny_comparison();
+        assert!(format_telemetry(&plain).is_empty(), "untapped is empty");
+        let tapped = Experiment::new()
+            .telemetry(pgc_telemetry::TelemetryLevel::Metrics)
+            .compare(
+                &[PolicyKind::UpdatedPointer, PolicyKind::MostGarbage],
+                &[1, 2],
+                |p, s| RunConfig::small().with_policy(p).with_seed(s),
+            )
+            .unwrap();
+        let t = format_telemetry(&tapped);
+        assert!(t.contains("Activ/run"));
+        assert!(t.contains("UpdatedPointer"));
+        assert!(t.contains("MostGarbage"));
     }
 
     #[test]

@@ -1,18 +1,27 @@
 //! One complete simulation run.
 //!
-//! [`Simulation::run`] wires the pieces together: a synthetic workload (or
-//! a recorded trace via [`Simulation::run_trace`]) streams events into a
-//! [`Replayer`] holding a [`Database`] and a [`Collector`]; time-series
-//! samples are taken every `sample_every` events; and the final state is
-//! condensed into [`RunTotals`] (with one last oracle pass for the
+//! [`Simulation::builder`] is the single entry point: it wires a
+//! [`RunConfig`] to an event source — the synthetic workload by default, a
+//! shared [`EncodedTrace`] via [`SimulationBuilder::trace`], or a recorded
+//! event slice via [`SimulationBuilder::events`] — streams the events into
+//! a [`Replayer`] holding a [`Database`] and a [`Collector`], optionally
+//! registers bystander observers and a telemetry tap on the barrier bus,
+//! takes time-series samples every `sample_every` events, and condenses
+//! the final state into [`RunTotals`] (with one last oracle pass for the
 //! live/garbage split).
+//!
+//! The pre-builder entry points ([`Simulation::run`] and friends) survive
+//! as thin deprecated shims.
 
 use crate::metrics::{RunTotals, SamplePoint, TimeSeries};
 use crate::replay::Replayer;
 use pgc_core::{build_policy, Collector, PolicyKind, Trigger};
 use pgc_odb::oracle::OracleScratch;
-use pgc_odb::{oracle, CollectionOutcome, Database, DbStats};
-use pgc_types::{DbConfig, Result};
+use pgc_odb::{oracle, BarrierObserver, CollectionOutcome, Database, DbStats};
+use pgc_telemetry::{
+    TelemetryHandle, TelemetryLevel, TelemetryObserver, TelemetrySnapshot, TriggerReason,
+};
+use pgc_types::{Bytes, DbConfig, PlacementPolicy, Result};
 use pgc_workload::generator::GenStats;
 use pgc_workload::{EncodedTrace, Event, SyntheticWorkload, WorkloadParams};
 
@@ -102,6 +111,102 @@ impl RunConfig {
         self
     }
 
+    /// Replaces the whole database configuration.
+    #[must_use]
+    pub fn with_db(mut self, db: DbConfig) -> Self {
+        self.db = db;
+        self
+    }
+
+    /// Replaces the whole workload parameter set (the seed lives there).
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadParams) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the page size in bytes.
+    #[must_use]
+    pub fn with_page_size(mut self, page_size: usize) -> Self {
+        self.db = self.db.with_page_size(page_size);
+        self
+    }
+
+    /// Sets pages per partition (also sizes the buffer pool to one
+    /// partition, the paper's 1:1 ratio — override with
+    /// [`RunConfig::with_buffer_pages`] afterwards).
+    #[must_use]
+    pub fn with_partition_pages(mut self, pages: u64) -> Self {
+        self.db = self.db.with_partition_pages(pages);
+        self
+    }
+
+    /// Sets the buffer-pool size in pages.
+    #[must_use]
+    pub fn with_buffer_pages(mut self, pages: u64) -> Self {
+        self.db = self.db.with_buffer_pages(pages);
+        self
+    }
+
+    /// Sets the overwrite count that arms the paper's default GC trigger.
+    #[must_use]
+    pub fn with_gc_overwrite_threshold(mut self, overwrites: u64) -> Self {
+        self.db = self.db.with_gc_overwrite_threshold(overwrites);
+        self
+    }
+
+    /// Sets the maximum root-distance weight (parameterizes
+    /// `WeightedPointer`).
+    #[must_use]
+    pub fn with_max_weight(mut self, max_weight: u8) -> Self {
+        self.db = self.db.with_max_weight(max_weight);
+        self
+    }
+
+    /// Sets the object placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.db = self.db.with_placement(placement);
+        self
+    }
+
+    /// Sets the client cache size in pages.
+    #[must_use]
+    pub fn with_client_cache_pages(mut self, pages: u64) -> Self {
+        self.db = self.db.with_client_cache_pages(pages);
+        self
+    }
+
+    /// Sets how much the workload allocates in total (the heap-growth
+    /// knob behind the paper's Figure 6 size scaling).
+    #[must_use]
+    pub fn with_heap_growth(mut self, target_allocated: Bytes) -> Self {
+        self.workload = self.workload.with_target_allocated(target_allocated);
+        self
+    }
+
+    /// Sets the fraction of extra dense (non-tree) edges (the Table 5
+    /// connectivity knob).
+    #[must_use]
+    pub fn with_dense_edge_fraction(mut self, fraction: f64) -> Self {
+        self.workload = self.workload.with_dense_edge_fraction(fraction);
+        self
+    }
+
+    /// Sets subtree deletions per workload round.
+    #[must_use]
+    pub fn with_deletions_per_round(mut self, n: u32) -> Self {
+        self.workload = self.workload.with_deletions_per_round(n);
+        self
+    }
+
+    /// Sets traversals per workload round.
+    #[must_use]
+    pub fn with_traversals_per_round(mut self, n: u32) -> Self {
+        self.workload = self.workload.with_traversals_per_round(n);
+        self
+    }
+
     /// The seed every policy instance for this run derives from. The
     /// Random policy's stream is decorrelated from the workload's by
     /// hashing, but still derived from the run seed for reproducibility.
@@ -116,6 +221,15 @@ impl RunConfig {
     pub fn effective_trigger(&self) -> Trigger {
         self.trigger
             .unwrap_or(Trigger::OverwriteCount(self.db.gc_overwrite_threshold))
+    }
+
+    /// The telemetry-side description of [`RunConfig::effective_trigger`].
+    pub fn trigger_reason(&self) -> TriggerReason {
+        match self.effective_trigger() {
+            Trigger::OverwriteCount(n) => TriggerReason::OverwriteCount(n),
+            Trigger::AllocationBytes(b) => TriggerReason::AllocationBytes(b.get()),
+            Trigger::PartitionGrowth => TriggerReason::PartitionGrowth,
+        }
     }
 
     pub(crate) fn build_replayer(&self) -> Result<Replayer> {
@@ -148,92 +262,182 @@ pub struct RunOutcome {
     /// runs: two runs agree on a prefix exactly when their policies picked
     /// the same victims at the same trigger points.
     pub collections: Vec<CollectionOutcome>,
+    /// Telemetry captured by the run (`None` unless the run was built
+    /// with [`SimulationBuilder::telemetry`] above `Off`).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Entry points for running simulations.
 pub struct Simulation;
 
 impl Simulation {
+    /// Starts building a run of `cfg`. The default source is the synthetic
+    /// workload described by `cfg.workload`.
+    ///
+    /// ```
+    /// use pgc_sim::{RunConfig, Simulation};
+    ///
+    /// let cfg = RunConfig::small().with_seed(7);
+    /// let out = Simulation::builder(&cfg).run().unwrap();
+    /// assert!(out.totals.collections > 0);
+    /// ```
+    pub fn builder(cfg: &RunConfig) -> SimulationBuilder<'_> {
+        SimulationBuilder {
+            cfg,
+            source: Source::Synthetic,
+            observers: Vec::new(),
+            telemetry: TelemetryLevel::Off,
+        }
+    }
+
     /// Runs the synthetic workload described by `cfg`.
+    #[deprecated(note = "use `Simulation::builder(cfg).run()`")]
     pub fn run(cfg: &RunConfig) -> Result<RunOutcome> {
-        let mut generator = SyntheticWorkload::new(cfg.workload.clone())?;
+        Simulation::builder(cfg).run()
+    }
+
+    /// Replays a shared encoded trace under `cfg`.
+    #[deprecated(note = "use `Simulation::builder(cfg).trace(trace).run()`")]
+    pub fn run_encoded(cfg: &RunConfig, trace: &EncodedTrace) -> Result<RunOutcome> {
+        Simulation::builder(cfg).trace(trace).run()
+    }
+
+    /// Replays a recorded trace under `cfg` (the configured workload
+    /// parameters are ignored except for the seed, which labels the run).
+    #[deprecated(note = "use `Simulation::builder(cfg).events(&events).run()`")]
+    pub fn run_trace<'a>(
+        cfg: &RunConfig,
+        events: impl IntoIterator<Item = &'a Event>,
+    ) -> Result<RunOutcome> {
+        let events: Vec<Event> = events.into_iter().cloned().collect();
+        Simulation::builder(cfg).events(&events).run()
+    }
+}
+
+enum Source<'a> {
+    Synthetic,
+    Encoded(&'a EncodedTrace),
+    Events(&'a [Event]),
+}
+
+/// A configured-but-not-yet-run simulation: pick an event source, attach
+/// bus observers and telemetry, then [`SimulationBuilder::run`].
+///
+/// Replaces the pre-builder trio of entry points: `run` was
+/// `builder(cfg).run()`, `run_encoded` was `.trace(t)`, `run_trace` was
+/// `.events(&ev)` — with observer registration and telemetry available on
+/// every source.
+pub struct SimulationBuilder<'a> {
+    cfg: &'a RunConfig,
+    source: Source<'a>,
+    observers: Vec<Box<dyn BarrierObserver>>,
+    telemetry: TelemetryLevel,
+}
+
+impl<'a> SimulationBuilder<'a> {
+    /// Replays the shared encoded trace instead of generating the
+    /// workload. Events decode on the fly from the trace's contiguous
+    /// buffer (no intermediate `Vec<Event>`), and the recorded generator
+    /// counters stand in for a live generator's, so the outcome — totals,
+    /// victim sequence, statistics — is bit-identical to the synthetic
+    /// source on the parameters the trace was recorded from (pinned by
+    /// `tests/encoded_equivalence.rs`).
+    #[must_use]
+    pub fn trace(mut self, trace: &'a EncodedTrace) -> Self {
+        self.source = Source::Encoded(trace);
+        self
+    }
+
+    /// Replays a recorded event slice instead of generating the workload
+    /// (the configured workload parameters are ignored except for the
+    /// seed, which labels the run). Generator counters are zeroed.
+    #[must_use]
+    pub fn events(mut self, events: &'a [Event]) -> Self {
+        self.source = Source::Events(events);
+        self
+    }
+
+    /// Registers a bystander observer on the collector's barrier bus. It
+    /// sees every event the driving policy sees plus the per-activation
+    /// `on_trigger` callback, and cannot perturb the run.
+    #[must_use]
+    pub fn observer(mut self, observer: Box<dyn BarrierObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Sets the telemetry level. Anything above
+    /// [`TelemetryLevel::Off`] registers a recording tap on the bus and
+    /// returns the captured [`TelemetrySnapshot`] on
+    /// [`RunOutcome::telemetry`]; `Off` (the default) registers nothing —
+    /// the disabled path is the exact code path of an untapped run.
+    #[must_use]
+    pub fn telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.telemetry = level;
+        self
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(self) -> Result<RunOutcome> {
+        let cfg = self.cfg;
         let mut replayer = cfg.build_replayer()?;
+        for obs in self.observers {
+            replayer.collector_mut().add_observer(obs);
+        }
+        let telemetry: Option<TelemetryHandle> = if self.telemetry.is_enabled() {
+            let (obs, handle) = TelemetryObserver::new(self.telemetry, cfg.trigger_reason());
+            replayer.collector_mut().add_observer(Box::new(obs));
+            Some(handle)
+        } else {
+            None
+        };
+
         let mut series = TimeSeries::new();
         // One scratch per run: every sampling/final oracle pass reuses it.
         let mut scratch = OracleScratch::new();
         let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
         let mut next_sample = sample_every;
-
-        for event in generator.by_ref() {
-            replayer.apply(&event)?;
-            if replayer.events_applied() >= next_sample {
-                take_sample(&mut series, &replayer, &mut scratch);
-                next_sample += sample_every;
+        let gen_stats = match self.source {
+            Source::Synthetic => {
+                let mut generator = SyntheticWorkload::new(cfg.workload.clone())?;
+                for event in generator.by_ref() {
+                    replayer.apply(&event)?;
+                    if replayer.events_applied() >= next_sample {
+                        take_sample(&mut series, &replayer, &mut scratch);
+                        next_sample += sample_every;
+                    }
+                }
+                generator.stats()
             }
-        }
+            Source::Encoded(trace) => {
+                let mut cursor = trace.cursor();
+                while let Some(event) = cursor.next_event()? {
+                    replayer.apply(&event)?;
+                    if replayer.events_applied() >= next_sample {
+                        take_sample(&mut series, &replayer, &mut scratch);
+                        next_sample += sample_every;
+                    }
+                }
+                trace.stats()
+            }
+            Source::Events(events) => {
+                for event in events {
+                    replayer.apply(event)?;
+                    if replayer.events_applied() >= next_sample {
+                        take_sample(&mut series, &replayer, &mut scratch);
+                        next_sample += sample_every;
+                    }
+                }
+                GenStats::default()
+            }
+        };
         if cfg.sample_every.is_some() {
             take_sample(&mut series, &replayer, &mut scratch);
         }
 
-        let gen_stats = generator.stats();
-        Ok(finish(cfg, replayer, series, gen_stats, &mut scratch))
-    }
-
-    /// Replays a shared encoded trace under `cfg` — the generate-once /
-    /// replay-many half of [`Simulation::run`]. Events decode on the fly
-    /// from the trace's contiguous buffer (no intermediate `Vec<Event>`),
-    /// and the recorded generator counters stand in for a live generator's,
-    /// so the outcome — totals, victim sequence, statistics — is
-    /// bit-identical to `Simulation::run` on the parameters the trace was
-    /// recorded from (pinned by `tests/encoded_equivalence.rs`).
-    pub fn run_encoded(cfg: &RunConfig, trace: &EncodedTrace) -> Result<RunOutcome> {
-        let mut replayer = cfg.build_replayer()?;
-        let mut series = TimeSeries::new();
-        let mut scratch = OracleScratch::new();
-        let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
-        let mut next_sample = sample_every;
-        let mut cursor = trace.cursor();
-        while let Some(event) = cursor.next_event()? {
-            replayer.apply(&event)?;
-            if replayer.events_applied() >= next_sample {
-                take_sample(&mut series, &replayer, &mut scratch);
-                next_sample += sample_every;
-            }
-        }
-        if cfg.sample_every.is_some() {
-            take_sample(&mut series, &replayer, &mut scratch);
-        }
-        Ok(finish(cfg, replayer, series, trace.stats(), &mut scratch))
-    }
-
-    /// Replays a recorded trace under `cfg` (the configured workload
-    /// parameters are ignored except for the seed, which labels the run).
-    pub fn run_trace<'a>(
-        cfg: &RunConfig,
-        events: impl IntoIterator<Item = &'a Event>,
-    ) -> Result<RunOutcome> {
-        let mut replayer = cfg.build_replayer()?;
-        let mut series = TimeSeries::new();
-        let mut scratch = OracleScratch::new();
-        let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
-        let mut next_sample = sample_every;
-        for event in events {
-            replayer.apply(event)?;
-            if replayer.events_applied() >= next_sample {
-                take_sample(&mut series, &replayer, &mut scratch);
-                next_sample += sample_every;
-            }
-        }
-        if cfg.sample_every.is_some() {
-            take_sample(&mut series, &replayer, &mut scratch);
-        }
-        Ok(finish(
-            cfg,
-            replayer,
-            series,
-            GenStats::default(),
-            &mut scratch,
-        ))
+        let mut out = finish(cfg, replayer, series, gen_stats, &mut scratch);
+        out.telemetry = telemetry.map(TelemetryHandle::finish);
+        Ok(out)
     }
 }
 
@@ -285,6 +489,7 @@ pub(crate) fn finish(
         db_stats,
         gen_stats,
         collections,
+        telemetry: None,
     }
 }
 
@@ -293,10 +498,14 @@ mod tests {
     use super::*;
     use pgc_types::Bytes;
 
+    fn run(cfg: &RunConfig) -> RunOutcome {
+        Simulation::builder(cfg).run().unwrap()
+    }
+
     #[test]
     fn small_run_produces_sane_totals() {
         let cfg = RunConfig::small().with_seed(1);
-        let out = Simulation::run(&cfg).unwrap();
+        let out = run(&cfg);
         assert!(out.totals.events > 5_000);
         assert!(out.totals.app_ios > 0);
         assert!(out.totals.collections > 0);
@@ -305,14 +514,13 @@ mod tests {
         assert!(out.totals.max_footprint >= out.totals.final_live_bytes);
         assert_eq!(out.seed, 1);
         assert_eq!(out.policy, PolicyKind::UpdatedPointer);
+        assert!(out.telemetry.is_none(), "telemetry defaults to off");
     }
 
     #[test]
     fn no_collection_never_collects_and_uses_most_space() {
-        let nc =
-            Simulation::run(&RunConfig::small().with_policy(PolicyKind::NoCollection)).unwrap();
-        let up =
-            Simulation::run(&RunConfig::small().with_policy(PolicyKind::UpdatedPointer)).unwrap();
+        let nc = run(&RunConfig::small().with_policy(PolicyKind::NoCollection));
+        let up = run(&RunConfig::small().with_policy(PolicyKind::UpdatedPointer));
         assert_eq!(nc.totals.collections, 0);
         assert_eq!(nc.totals.gc_ios, 0);
         assert_eq!(nc.totals.reclaimed_bytes, Bytes::ZERO);
@@ -327,7 +535,7 @@ mod tests {
     #[test]
     fn sampling_produces_a_chronological_series() {
         let cfg = RunConfig::small().with_seed(2).with_sampling(5_000);
-        let out = Simulation::run(&cfg).unwrap();
+        let out = run(&cfg);
         assert!(out.series.points().len() >= 2);
         let mut prev = 0;
         for p in out.series.points() {
@@ -339,31 +547,31 @@ mod tests {
 
     #[test]
     fn collection_log_matches_totals() {
-        let out = Simulation::run(&RunConfig::small().with_seed(7)).unwrap();
+        let out = run(&RunConfig::small().with_seed(7));
         assert_eq!(out.collections.len() as u64, out.totals.collections);
     }
 
     #[test]
     fn identical_configs_are_deterministic() {
         let cfg = RunConfig::small().with_seed(3);
-        let a = Simulation::run(&cfg).unwrap();
-        let b = Simulation::run(&cfg).unwrap();
+        let a = run(&cfg);
+        let b = run(&cfg);
         assert_eq!(a.totals, b.totals);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = Simulation::run(&RunConfig::small().with_seed(4)).unwrap();
-        let b = Simulation::run(&RunConfig::small().with_seed(5)).unwrap();
+        let a = run(&RunConfig::small().with_seed(4));
+        let b = run(&RunConfig::small().with_seed(5));
         assert_ne!(a.totals, b.totals);
     }
 
     #[test]
     fn encoded_replay_matches_live_run_including_series() {
         let cfg = RunConfig::small().with_seed(6).with_sampling(5_000);
-        let live = Simulation::run(&cfg).unwrap();
+        let live = run(&cfg);
         let trace = EncodedTrace::record(cfg.workload.clone()).unwrap();
-        let replayed = Simulation::run_encoded(&cfg, &trace).unwrap();
+        let replayed = Simulation::builder(&cfg).trace(&trace).run().unwrap();
         assert_eq!(live.totals, replayed.totals);
         assert_eq!(live.gen_stats, replayed.gen_stats, "header stats stand in");
         assert_eq!(live.collections, replayed.collections, "victim sequences");
@@ -374,12 +582,66 @@ mod tests {
     #[test]
     fn trace_replay_matches_live_run() {
         let cfg = RunConfig::small().with_seed(6);
-        let live = Simulation::run(&cfg).unwrap();
+        let live = run(&cfg);
         let events: Vec<Event> = SyntheticWorkload::new(cfg.workload.clone())
             .unwrap()
             .collect();
-        let replayed = Simulation::run_trace(&cfg, &events).unwrap();
+        let replayed = Simulation::builder(&cfg).events(&events).run().unwrap();
         assert_eq!(live.totals, replayed.totals);
+    }
+
+    #[test]
+    fn telemetry_snapshot_rides_the_outcome() {
+        let cfg = RunConfig::small().with_seed(8);
+        let out = Simulation::builder(&cfg)
+            .telemetry(TelemetryLevel::Full)
+            .run()
+            .unwrap();
+        let snap = out.telemetry.expect("telemetry requested");
+        assert_eq!(snap.counters.activations, out.totals.collections);
+        assert_eq!(snap.records.len() as u64, out.totals.collections);
+        assert_eq!(
+            snap.trigger,
+            TriggerReason::OverwriteCount(50),
+            "small() triggers every 50 overwrites"
+        );
+        for (rec, outcome) in snap.records.iter().zip(&out.collections) {
+            assert_eq!(rec.victim, Some(outcome.victim), "records mirror victims");
+            assert_eq!(rec.gc_reads, outcome.gc_reads);
+            assert_eq!(rec.gc_writes, outcome.gc_writes);
+            assert!(rec.victim_score.is_some(), "scoreboard policy has a score");
+        }
+        let total_app: u64 = snap.records.iter().map(|r| r.app_ios_delta).sum();
+        assert!(total_app <= out.totals.app_ios);
+    }
+
+    #[test]
+    fn exhaustive_config_builders_cover_every_knob() {
+        let cfg = RunConfig::small()
+            .with_page_size(2048)
+            .with_partition_pages(8)
+            .with_buffer_pages(32)
+            .with_gc_overwrite_threshold(75)
+            .with_max_weight(8)
+            .with_placement(PlacementPolicy::Spread)
+            .with_client_cache_pages(4)
+            .with_heap_growth(Bytes::from_kib(256))
+            .with_dense_edge_fraction(0.01)
+            .with_deletions_per_round(3)
+            .with_traversals_per_round(2);
+        assert_eq!(cfg.db.page_size, 2048);
+        assert_eq!(cfg.db.partition_pages, 8);
+        assert_eq!(cfg.db.buffer_pages, 32);
+        assert_eq!(cfg.db.gc_overwrite_threshold, 75);
+        assert_eq!(cfg.db.max_weight, 8);
+        assert_eq!(cfg.db.placement, PlacementPolicy::Spread);
+        assert_eq!(cfg.db.client_cache_pages, Some(4));
+        assert_eq!(cfg.workload.target_allocated, Bytes::from_kib(256));
+        assert_eq!(cfg.workload.dense_edge_fraction, 0.01);
+        assert_eq!(cfg.workload.deletions_per_round, 3);
+        assert_eq!(cfg.workload.traversals_per_round, 2);
+        let out = run(&cfg.with_seed(9));
+        assert!(out.totals.events > 0, "built config actually runs");
     }
 }
 
@@ -389,11 +651,14 @@ mod trigger_tests {
     use pgc_core::Trigger;
     use pgc_types::Bytes;
 
+    fn run(cfg: &RunConfig) -> RunOutcome {
+        Simulation::builder(cfg).run().unwrap()
+    }
+
     #[test]
     fn batch_collection_reduces_activations_not_work() {
-        let single = Simulation::run(&RunConfig::small().with_seed(21)).unwrap();
-        let batched =
-            Simulation::run(&RunConfig::small().with_seed(21).with_collect_batch(3)).unwrap();
+        let single = run(&RunConfig::small().with_seed(21));
+        let batched = run(&RunConfig::small().with_seed(21).with_collect_batch(3));
         // Same trigger points, three collections per activation.
         assert!(batched.totals.collections > single.totals.collections);
         assert!(batched.totals.reclaimed_bytes >= single.totals.reclaimed_bytes);
@@ -403,11 +668,9 @@ mod trigger_tests {
     fn allocation_trigger_collects_even_with_no_overwrite_pressure() {
         let mut cfg = RunConfig::small().with_seed(22);
         cfg.workload.deletions_per_round = 0; // no overwrites at all
-        let overwrite_based = Simulation::run(&cfg.clone()).unwrap();
+        let overwrite_based = run(&cfg.clone());
         assert_eq!(overwrite_based.totals.collections, 0);
-        let alloc_based =
-            Simulation::run(&cfg.with_trigger(Trigger::AllocationBytes(Bytes::from_kib(32))))
-                .unwrap();
+        let alloc_based = run(&cfg.with_trigger(Trigger::AllocationBytes(Bytes::from_kib(32))));
         assert!(alloc_based.totals.collections > 0);
     }
 
@@ -416,7 +679,7 @@ mod trigger_tests {
         let cfg = RunConfig::small()
             .with_seed(23)
             .with_trigger(Trigger::PartitionGrowth);
-        let out = Simulation::run(&cfg).unwrap();
+        let out = run(&cfg);
         assert!(out.totals.collections > 0);
         // Growth-triggered collection bounds the footprint by construction.
         assert!(out.totals.max_footprint >= out.totals.final_live_bytes);

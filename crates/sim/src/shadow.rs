@@ -18,14 +18,12 @@
 //! how often would policy *B* have endorsed the decisions policy *A*
 //! actually made?
 
-use crate::metrics::TimeSeries;
-use crate::run::{finish, RunConfig, RunOutcome};
+use crate::run::{RunConfig, RunOutcome, Simulation};
 use crate::summary::Summary;
 use pgc_core::{build_policy, PolicyKind, SelectionPolicy};
-use pgc_odb::oracle::OracleScratch;
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
+use pgc_telemetry::{ShadowPickNote, TelemetryLevel};
 use pgc_types::{PartitionId, Result};
-use pgc_workload::SyntheticWorkload;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -214,28 +212,48 @@ pub fn agreement_table(races: &[RaceOutcome]) -> Vec<(PolicyKind, Summary, Summa
 /// [`RunConfig::policy_seed`], so each replays exactly the stream its
 /// independent run would draw.
 pub fn run_race(cfg: &RunConfig, shadows: &[PolicyKind]) -> Result<RaceOutcome> {
-    let mut replayer = cfg.build_replayer()?;
+    run_race_with_telemetry(cfg, shadows, TelemetryLevel::Off)
+}
+
+/// [`run_race`] with a telemetry tap on the same bus. Beyond the ordinary
+/// [`RunOutcome::telemetry`] capture, each per-activation telemetry record
+/// is annotated with every shadow's counterfactual pick
+/// ([`pgc_telemetry::ActivationRecord::shadow_picks`]), so a JSONL export
+/// carries the full race, not just the driver's decisions.
+pub fn run_race_with_telemetry(
+    cfg: &RunConfig,
+    shadows: &[PolicyKind],
+    level: TelemetryLevel,
+) -> Result<RaceOutcome> {
     let log = Rc::new(RefCell::new(RaceLog::default()));
+    let mut builder = Simulation::builder(cfg).telemetry(level);
     for &kind in shadows {
-        replayer
-            .collector_mut()
-            .add_observer(Box::new(ShadowObserver {
-                policy: build_policy(kind, cfg.policy_seed(), cfg.db.max_weight),
-                log: Rc::clone(&log),
-            }));
+        builder = builder.observer(Box::new(ShadowObserver {
+            policy: build_policy(kind, cfg.policy_seed(), cfg.db.max_weight),
+            log: Rc::clone(&log),
+        }));
     }
-    let mut generator = SyntheticWorkload::new(cfg.workload.clone())?;
-    for event in generator.by_ref() {
-        replayer.apply(&event)?;
-    }
-    let gen_stats = generator.stats();
-    let mut scratch = OracleScratch::new();
-    let outcome = finish(cfg, replayer, TimeSeries::new(), gen_stats, &mut scratch);
-    // `finish` consumed the replayer (and with it the collector + shadow
+    let mut outcome = builder.run()?;
+    // The run consumed the replayer (and with it the collector + shadow
     // observers), so the log has exactly one strong reference left.
     let records = Rc::try_unwrap(log)
         .map(|cell| cell.into_inner().records)
         .unwrap_or_else(|rc| rc.borrow().records.clone());
+    if let Some(snap) = outcome.telemetry.as_mut() {
+        for rec in &mut snap.records {
+            let Some(race_rec) = records.iter().find(|r| r.activation == rec.activation) else {
+                continue;
+            };
+            rec.shadow_picks = race_rec
+                .picks
+                .iter()
+                .map(|p| ShadowPickNote {
+                    policy: p.policy.name().to_string(),
+                    victim: p.victim,
+                })
+                .collect();
+        }
+    }
     Ok(RaceOutcome {
         driver: cfg.policy,
         seed: cfg.workload.seed,
@@ -248,7 +266,6 @@ pub fn run_race(cfg: &RunConfig, shadows: &[PolicyKind]) -> Result<RaceOutcome> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run::Simulation;
 
     const PAPER_SHADOWS: [PolicyKind; 5] = [
         PolicyKind::MutatedPartition,
@@ -263,7 +280,7 @@ mod tests {
         let cfg = RunConfig::small()
             .with_policy(PolicyKind::UpdatedPointer)
             .with_seed(11);
-        let plain = Simulation::run(&cfg).unwrap();
+        let plain = Simulation::builder(&cfg).run().unwrap();
         let race = run_race(&cfg, &PAPER_SHADOWS).unwrap();
         assert_eq!(plain.totals, race.outcome.totals, "totals bit-identical");
         assert_eq!(
@@ -312,7 +329,9 @@ mod tests {
             .with_seed(14);
         let race = run_race(&cfg, &PAPER_SHADOWS).unwrap();
         for &shadow in &PAPER_SHADOWS {
-            let independent = Simulation::run(&cfg.clone().with_policy(shadow)).unwrap();
+            let independent = Simulation::builder(&cfg.clone().with_policy(shadow))
+                .run()
+                .unwrap();
             let limit = race
                 .first_divergence(shadow)
                 .map(|i| i + 1)

@@ -1,21 +1,23 @@
 //! The shared-trace engine's core guarantee, pinned end to end: replaying
-//! a recorded [`EncodedTrace`] with [`Simulation::run_encoded`] is
-//! bit-identical to [`Simulation::run`] with a live generator — same
-//! `RunTotals`, same victim sequence (every [`CollectionOutcome`], in
-//! order), same statistics — for every policy, across seeds, on both the
-//! small and the (scaled-down) paper configuration. This is what makes it
-//! sound for `compare_policies` to record once per seed and fan the trace
-//! out to all policy workers.
+//! a recorded [`EncodedTrace`] through the builder's `.trace(..)` source is
+//! bit-identical to a live-generator run — same `RunTotals`, same victim
+//! sequence (every [`CollectionOutcome`], in order), same statistics — for
+//! every policy, across seeds, on both the small and the (scaled-down)
+//! paper configuration. This is what makes it sound for [`Experiment`] to
+//! record once per seed and fan the trace out to all policy workers.
 
 use pgc_core::PolicyKind;
-use pgc_sim::{run_jobs_cached, run_jobs_on, RunConfig, Simulation};
+use pgc_sim::{Experiment, RunConfig, Simulation};
 use pgc_workload::{EncodedTrace, TraceCache};
 
 /// Asserts live and encoded replays agree on everything observable.
 fn assert_equivalent(cfg: &RunConfig, label: &str) {
-    let live = Simulation::run(cfg).expect("live run");
+    let live = Simulation::builder(cfg).run().expect("live run");
     let trace = EncodedTrace::record(cfg.workload.clone()).expect("record");
-    let encoded = Simulation::run_encoded(cfg, &trace).expect("encoded run");
+    let encoded = Simulation::builder(cfg)
+        .trace(&trace)
+        .run()
+        .expect("encoded run");
 
     assert_eq!(live.totals, encoded.totals, "totals diverged: {label}");
     assert_eq!(
@@ -67,9 +69,12 @@ fn sampling_series_is_also_identical() {
         .with_policy(PolicyKind::MostGarbage)
         .with_seed(4)
         .with_sampling(2000);
-    let live = Simulation::run(&cfg).expect("live run");
+    let live = Simulation::builder(&cfg).run().expect("live run");
     let trace = EncodedTrace::record(cfg.workload.clone()).expect("record");
-    let encoded = Simulation::run_encoded(&cfg, &trace).expect("encoded run");
+    let encoded = Simulation::builder(&cfg)
+        .trace(&trace)
+        .run()
+        .expect("encoded run");
     assert_eq!(live.series.points(), encoded.series.points());
 }
 
@@ -90,10 +95,17 @@ fn scheduler_is_thread_count_and_cache_invariant() {
         }
         v
     };
-    let base = run_jobs_on(jobs(0), 1).expect("sequential");
+    let base = Experiment::new()
+        .threads(1)
+        .run_jobs(jobs(0))
+        .expect("sequential");
     let shared = TraceCache::new();
     for threads in [2usize, 8] {
-        let got = run_jobs_cached(jobs(0), threads, &shared).expect("parallel");
+        let got = Experiment::new()
+            .threads(threads)
+            .cache(&shared)
+            .run_jobs(jobs(0))
+            .expect("parallel");
         assert_eq!(got.len(), base.len());
         for ((la, a), (lb, b)) in base.iter().zip(&got) {
             assert_eq!(la, lb, "label order must be preserved");

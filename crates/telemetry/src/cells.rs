@@ -1,0 +1,293 @@
+//! Lock-free metric cells: [`Counter`], [`Gauge`], and a fixed-bucket
+//! log2 [`Histogram`].
+//!
+//! All cells are plain `AtomicU64`s updated with relaxed ordering: each
+//! cell is an independent statistical aggregate, so no cross-cell ordering
+//! is required, and a reader that races an update merely sees a value that
+//! was true a moment ago. Within one simulation the recording observer is
+//! single-threaded anyway; the atomic representation is what lets a future
+//! multi-threaded embedding share the same cells without a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins cell that also tracks its running maximum via
+/// [`Gauge::record_max`].
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two,
+/// covering the full `u64` range with no overflow bucket.
+pub const BUCKET_COUNT: usize = 65;
+
+/// Upper bound (inclusive) of bucket `i`: 0 for bucket 0, `2^i - 1` for
+/// the rest (saturating at `u64::MAX`).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// The bucket a value lands in: 0 holds exactly zero; bucket `i >= 1`
+/// holds `[2^(i-1), 2^i)`.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+///
+/// Bucket 0 counts zeros; bucket `i` counts values in `[2^(i-1), 2^i)`.
+/// Exact count, sum, and max ride along, so means are exact and only
+/// percentiles are quantized to bucket upper bounds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: Counter,
+    sum: Counter,
+    max: Gauge,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: Counter::new(),
+            sum: Counter::new(),
+            max: Gauge::new(),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.inc();
+        self.sum.add(v);
+        self.max.record_max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKET_COUNT];
+        for (b, src) in buckets.iter_mut().zip(&self.buckets) {
+            *b = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.get(),
+            sum: self.sum.get(),
+            max: self.max.get(),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], mergeable across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`Histogram`] for the bucket layout).
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket upper bound at or below which fraction `q` (in `[0, 1]`)
+    /// of the samples fall — a quantized percentile. Returns the exact max
+    /// for the final populated bucket, 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        let mut last = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            last = i;
+            if seen >= target {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        bucket_upper_bound(last).min(self.max)
+    }
+
+    /// Adds another snapshot's samples into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7, "record_max never lowers");
+        g.record_max(10);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn bucket_layout_is_log2_with_zero_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_counts_sums_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 1106.0 / 6.0).abs() < 1e-9);
+        assert_eq!(s.quantile(0.0), 0);
+        assert!(s.quantile(0.5) <= 3);
+        assert_eq!(s.quantile(1.0), 1000, "top quantile reports exact max");
+        assert!(HistogramSnapshot::default().is_empty());
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshots_merge_additively() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(4);
+        a.record(5);
+        b.record(1_000_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 1_000_009);
+        assert_eq!(m.max, 1_000_000);
+    }
+}

@@ -1,0 +1,318 @@
+//! The JSONL sink: one schema-versioned line per activation record.
+//!
+//! The workspace carries no serde, so both directions are hand-rolled
+//! against the fixed, flat schema below. Every line is self-describing —
+//! schema tag, run identity (policy + seed), and trigger configuration
+//! ride on each record — so files from different runs can be concatenated
+//! and still parsed line by line.
+//!
+//! Schema `pgc-telemetry/v1`, keys in fixed order:
+//!
+//! ```json
+//! {"schema":"pgc-telemetry/v1","policy":"UpdatedPointer","seed":3,
+//!  "trigger":"overwrites:200","activation":1,"clock":5321,"gap":5321,
+//!  "victim":4,"victim_score":12.0,"victim_score_bits":4622945017495814144,
+//!  "collections":1,"live_objects":10,"live_bytes":1000,
+//!  "garbage_objects":5,"garbage_bytes":500,"forwarded_pointers":2,
+//!  "gc_reads":3,"gc_writes":4,"app_ios_before":100,"app_ios_delta":42,
+//!  "shadow_picks":[{"policy":"Random","victim":2}]}
+//! ```
+//!
+//! `victim`, `victim_score`, and `victim_score_bits` are `null` when
+//! absent. `victim_score` is human-readable only; the round-trippable
+//! value is `victim_score_bits` (`f64::to_bits`), so parsing is exact.
+
+use crate::record::{ActivationRecord, ShadowPickNote, TriggerReason};
+use crate::snapshot::TelemetrySnapshot;
+use pgc_types::{Bytes, PartitionId};
+use std::fmt::Write as _;
+use std::io;
+
+/// The schema tag written on (and required of) every line.
+pub const SCHEMA: &str = "pgc-telemetry/v1";
+
+/// One parsed JSONL line: run identity plus the record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLine {
+    /// Display name of the policy that drove the run.
+    pub policy: String,
+    /// Workload seed of the run.
+    pub seed: u64,
+    /// The run's trigger configuration.
+    pub trigger: TriggerReason,
+    /// The activation record itself.
+    pub record: ActivationRecord,
+}
+
+fn push_opt_u64(out: &mut String, key: &str, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "\"{key}\":{v},");
+        }
+        None => {
+            let _ = write!(out, "\"{key}\":null,");
+        }
+    }
+}
+
+/// Renders one record as a single JSONL line (no trailing newline).
+pub fn record_line(
+    policy: &str,
+    seed: u64,
+    trigger: TriggerReason,
+    rec: &ActivationRecord,
+) -> String {
+    let mut out = String::with_capacity(384);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{SCHEMA}\",\"policy\":\"{policy}\",\"seed\":{seed},\
+         \"trigger\":\"{}\",\"activation\":{},\"clock\":{},\"gap\":{},",
+        trigger.token(),
+        rec.activation,
+        rec.event_clock,
+        rec.gap_events
+    );
+    push_opt_u64(&mut out, "victim", rec.victim.map(|p| u64::from(p.0)));
+    match rec.victim_score {
+        // The human-readable field is valid JSON only for finite scores;
+        // the bits field is always the authoritative value.
+        Some(score) if score.is_finite() => {
+            let _ = write!(
+                out,
+                "\"victim_score\":{score},\"victim_score_bits\":{},",
+                score.to_bits()
+            );
+        }
+        Some(score) => {
+            let _ = write!(
+                out,
+                "\"victim_score\":null,\"victim_score_bits\":{},",
+                score.to_bits()
+            );
+        }
+        None => out.push_str("\"victim_score\":null,\"victim_score_bits\":null,"),
+    }
+    let _ = write!(
+        out,
+        "\"collections\":{},\"live_objects\":{},\"live_bytes\":{},\
+         \"garbage_objects\":{},\"garbage_bytes\":{},\"forwarded_pointers\":{},\
+         \"gc_reads\":{},\"gc_writes\":{},\"app_ios_before\":{},\"app_ios_delta\":{},\
+         \"shadow_picks\":[",
+        rec.collections,
+        rec.live_objects,
+        rec.live_bytes.get(),
+        rec.garbage_objects,
+        rec.garbage_bytes.get(),
+        rec.forwarded_pointers,
+        rec.gc_reads,
+        rec.gc_writes,
+        rec.app_ios_before,
+        rec.app_ios_delta,
+    );
+    for (i, pick) in rec.shadow_picks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"policy\":\"{}\",\"victim\":", pick.policy);
+        match pick.victim {
+            Some(p) => {
+                let _ = write!(out, "{}", p.0);
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes every record of `snapshot` to `w`, one line per activation.
+/// Snapshots recorded below [`crate::TelemetryLevel::Full`] carry no
+/// records and write nothing.
+pub fn write_snapshot<W: io::Write>(
+    w: &mut W,
+    policy: &str,
+    seed: u64,
+    snapshot: &TelemetrySnapshot,
+) -> io::Result<()> {
+    for rec in &snapshot.records {
+        writeln!(w, "{}", record_line(policy, seed, snapshot.trigger, rec))?;
+    }
+    Ok(())
+}
+
+fn scalar<'a>(body: &'a str, key: &str) -> Result<&'a str, String> {
+    let tag = format!("\"{key}\":");
+    let start = body
+        .find(&tag)
+        .ok_or_else(|| format!("missing key '{key}'"))?
+        + tag.len();
+    let rest = &body[start..];
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated value for '{key}'"))?;
+    Ok(&rest[..end])
+}
+
+fn scalar_u64(body: &str, key: &str) -> Result<u64, String> {
+    let raw = scalar(body, key)?;
+    raw.parse()
+        .map_err(|e| format!("bad integer for '{key}' ({raw}): {e}"))
+}
+
+fn scalar_opt_u64(body: &str, key: &str) -> Result<Option<u64>, String> {
+    let raw = scalar(body, key)?;
+    if raw == "null" {
+        return Ok(None);
+    }
+    raw.parse()
+        .map(Some)
+        .map_err(|e| format!("bad integer for '{key}' ({raw}): {e}"))
+}
+
+fn scalar_str(body: &str, key: &str) -> Result<String, String> {
+    let raw = scalar(body, key)?;
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected string for '{key}', got {raw}"))
+}
+
+fn parse_picks(body: &str) -> Result<Vec<ShadowPickNote>, String> {
+    let tag = "\"shadow_picks\":[";
+    let start = body.find(tag).ok_or("missing key 'shadow_picks'")? + tag.len();
+    let rest = &body[start..];
+    let end = rest.find(']').ok_or("unterminated shadow_picks array")?;
+    let inner = &rest[..end];
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split("},{")
+        .map(|entry| {
+            let entry = entry.trim_start_matches('{').trim_end_matches('}');
+            // Re-wrap so the scalar helpers see terminated values.
+            let entry = format!("{entry}}}");
+            Ok(ShadowPickNote {
+                policy: scalar_str(&entry, "policy")?,
+                victim: scalar_opt_u64(&entry, "victim")?.map(|v| PartitionId(v as u32)),
+            })
+        })
+        .collect()
+}
+
+/// Parses one line written by [`record_line`]. Rejects lines with a
+/// missing or unexpected schema tag.
+pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
+    let schema = scalar_str(line, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "unsupported schema '{schema}' (expected '{SCHEMA}')"
+        ));
+    }
+    // Scalar keys all precede the shadow_picks array (fixed key order), so
+    // restricting scalar searches to that prefix keeps the picks' own
+    // "policy"/"victim" keys out of scope.
+    let head_end = line.find("\"shadow_picks\"").unwrap_or(line.len());
+    let head = &line[..head_end];
+    let record = ActivationRecord {
+        activation: scalar_u64(head, "activation")?,
+        event_clock: scalar_u64(head, "clock")?,
+        gap_events: scalar_u64(head, "gap")?,
+        victim: scalar_opt_u64(head, "victim")?.map(|v| PartitionId(v as u32)),
+        victim_score: scalar_opt_u64(head, "victim_score_bits")?.map(f64::from_bits),
+        collections: scalar_u64(head, "collections")? as u32,
+        live_objects: scalar_u64(head, "live_objects")?,
+        live_bytes: Bytes(scalar_u64(head, "live_bytes")?),
+        garbage_objects: scalar_u64(head, "garbage_objects")?,
+        garbage_bytes: Bytes(scalar_u64(head, "garbage_bytes")?),
+        forwarded_pointers: scalar_u64(head, "forwarded_pointers")?,
+        gc_reads: scalar_u64(head, "gc_reads")?,
+        gc_writes: scalar_u64(head, "gc_writes")?,
+        app_ios_before: scalar_u64(head, "app_ios_before")?,
+        app_ios_delta: scalar_u64(head, "app_ios_delta")?,
+        shadow_picks: parse_picks(line)?,
+    };
+    Ok(ParsedLine {
+        policy: scalar_str(head, "policy")?,
+        seed: scalar_u64(head, "seed")?,
+        trigger: TriggerReason::parse_token(&scalar_str(head, "trigger")?)?,
+        record,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> ActivationRecord {
+        let mut rec = ActivationRecord::open(7, 12_345, 900);
+        rec.victim = Some(PartitionId(4));
+        rec.victim_score = Some(12.5);
+        rec.collections = 1;
+        rec.live_objects = 10;
+        rec.live_bytes = Bytes(1000);
+        rec.garbage_objects = 5;
+        rec.garbage_bytes = Bytes(512);
+        rec.forwarded_pointers = 2;
+        rec.gc_reads = 3;
+        rec.gc_writes = 4;
+        rec.app_ios_before = 100;
+        rec.app_ios_delta = 42;
+        rec.shadow_picks = vec![
+            ShadowPickNote {
+                policy: "Random".to_string(),
+                victim: Some(PartitionId(2)),
+            },
+            ShadowPickNote {
+                policy: "MostGarbage".to_string(),
+                victim: None,
+            },
+        ];
+        rec
+    }
+
+    #[test]
+    fn line_round_trips_exactly() {
+        let rec = sample_record();
+        let line = record_line(
+            "UpdatedPointer",
+            3,
+            TriggerReason::OverwriteCount(200),
+            &rec,
+        );
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(parsed.policy, "UpdatedPointer");
+        assert_eq!(parsed.seed, 3);
+        assert_eq!(parsed.trigger, TriggerReason::OverwriteCount(200));
+        assert_eq!(parsed.record, rec);
+    }
+
+    #[test]
+    fn null_victim_and_empty_picks_round_trip() {
+        let rec = ActivationRecord::open(1, 10, 10);
+        let line = record_line("NoCollection", 1, TriggerReason::PartitionGrowth, &rec);
+        assert!(line.contains("\"victim\":null"));
+        assert!(line.contains("\"shadow_picks\":[]"));
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(parsed.record, rec);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let rec = ActivationRecord::open(1, 10, 10);
+        let line = record_line("X", 1, TriggerReason::External, &rec)
+            .replace("pgc-telemetry/v1", "pgc-telemetry/v0");
+        assert!(parse_line(&line).is_err());
+        assert!(parse_line("{}").is_err());
+    }
+
+    #[test]
+    fn nan_scores_round_trip_through_bits() {
+        let mut rec = ActivationRecord::open(1, 10, 10);
+        rec.victim_score = Some(f64::NAN);
+        let line = record_line("X", 1, TriggerReason::External, &rec);
+        let parsed = parse_line(&line).unwrap();
+        assert!(parsed.record.victim_score.unwrap().is_nan());
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-activation structured records: the evidence trail behind the
+//! paper's tables. One [`ActivationRecord`] is produced per collector
+//! activation (trigger firing), capturing what was picked, why the
+//! trigger fired, what the collection accomplished, and what it cost in
+//! page I/O — attributed to that activation.
+
+use pgc_types::{Bytes, PartitionId};
+
+/// Why the GC trigger fires for a run — the telemetry-side mirror of the
+/// scheduler's trigger configuration, carried so every JSONL line is
+/// self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerReason {
+    /// Collection every N pointer overwrites (the paper's trigger).
+    OverwriteCount(u64),
+    /// Collection every N allocated bytes.
+    AllocationBytes(u64),
+    /// Collection whenever the partition set grows.
+    PartitionGrowth,
+    /// Collections forced by an embedder outside any scheduler.
+    External,
+}
+
+impl TriggerReason {
+    /// Compact token used in the JSONL schema (`overwrites:200`,
+    /// `alloc-bytes:393216`, `partition-growth`, `external`).
+    pub fn token(&self) -> String {
+        match self {
+            TriggerReason::OverwriteCount(n) => format!("overwrites:{n}"),
+            TriggerReason::AllocationBytes(n) => format!("alloc-bytes:{n}"),
+            TriggerReason::PartitionGrowth => "partition-growth".to_string(),
+            TriggerReason::External => "external".to_string(),
+        }
+    }
+
+    /// Parses a [`TriggerReason::token`] back.
+    pub fn parse_token(s: &str) -> Result<Self, String> {
+        if let Some(n) = s.strip_prefix("overwrites:") {
+            return n
+                .parse()
+                .map(TriggerReason::OverwriteCount)
+                .map_err(|e| format!("bad overwrite count '{n}': {e}"));
+        }
+        if let Some(n) = s.strip_prefix("alloc-bytes:") {
+            return n
+                .parse()
+                .map(TriggerReason::AllocationBytes)
+                .map_err(|e| format!("bad allocation byte count '{n}': {e}"));
+        }
+        match s {
+            "partition-growth" => Ok(TriggerReason::PartitionGrowth),
+            "external" => Ok(TriggerReason::External),
+            other => Err(format!("unknown trigger token '{other}'")),
+        }
+    }
+}
+
+/// A shadow scoreboard's counterfactual pick, attached to an activation
+/// record by the simulator's shadow-race harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowPickNote {
+    /// Display name of the shadow policy.
+    pub policy: String,
+    /// The partition it would have collected (`None` = it declined).
+    pub victim: Option<PartitionId>,
+}
+
+/// Everything telemetry knows about one collector activation.
+///
+/// Event-clock fields count *bus events observed by the telemetry tap*,
+/// which is a deterministic logical clock: two runs of the same
+/// configuration produce identical clocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationRecord {
+    /// 1-based activation number (the scheduler's trigger count).
+    pub activation: u64,
+    /// Bus-event clock when the trigger ticked.
+    pub event_clock: u64,
+    /// Bus events since the previous activation's tick (inter-collection
+    /// gap; for the first activation, since the start of the run).
+    pub gap_events: u64,
+    /// The partition the driving policy selected first (`None` = it
+    /// declined, e.g. `NoCollection`).
+    pub victim: Option<PartitionId>,
+    /// The driver's numeric score for that victim, if the policy exposes
+    /// one (scoreboard policies do; `Random` and the oracle do not).
+    pub victim_score: Option<f64>,
+    /// Partition collections performed this activation (the batch size,
+    /// usually 1).
+    pub collections: u32,
+    /// Live objects copied out of the victims (summed over the batch).
+    pub live_objects: u64,
+    /// Bytes copied.
+    pub live_bytes: Bytes,
+    /// Dead objects reclaimed.
+    pub garbage_objects: u64,
+    /// Bytes reclaimed.
+    pub garbage_bytes: Bytes,
+    /// Remembered inter-partition pointers forwarded.
+    pub forwarded_pointers: u64,
+    /// Collector page reads performed by this activation's collections.
+    pub gc_reads: u64,
+    /// Collector page writes performed by this activation's collections.
+    pub gc_writes: u64,
+    /// Cumulative application page I/O at the moment the trigger fired.
+    pub app_ios_before: u64,
+    /// Application page I/O in the mutator window leading up to this
+    /// activation (since the previous trigger).
+    pub app_ios_delta: u64,
+    /// Shadow scoreboards' counterfactual picks (empty unless a shadow
+    /// race annotated this run).
+    pub shadow_picks: Vec<ShadowPickNote>,
+}
+
+impl ActivationRecord {
+    /// A zeroed record opened at trigger time; the recorder fills it in as
+    /// the activation's events stream past.
+    pub fn open(activation: u64, event_clock: u64, gap_events: u64) -> Self {
+        Self {
+            activation,
+            event_clock,
+            gap_events,
+            victim: None,
+            victim_score: None,
+            collections: 0,
+            live_objects: 0,
+            live_bytes: Bytes::ZERO,
+            garbage_objects: 0,
+            garbage_bytes: Bytes::ZERO,
+            forwarded_pointers: 0,
+            gc_reads: 0,
+            gc_writes: 0,
+            app_ios_before: 0,
+            app_ios_delta: 0,
+            shadow_picks: Vec::new(),
+        }
+    }
+
+    /// Total collector page I/O attributed to this activation.
+    pub fn gc_ios(&self) -> u64 {
+        self.gc_reads + self.gc_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_tokens_round_trip() {
+        for reason in [
+            TriggerReason::OverwriteCount(200),
+            TriggerReason::AllocationBytes(393_216),
+            TriggerReason::PartitionGrowth,
+            TriggerReason::External,
+        ] {
+            assert_eq!(TriggerReason::parse_token(&reason.token()), Ok(reason));
+        }
+        assert!(TriggerReason::parse_token("bogus").is_err());
+        assert!(TriggerReason::parse_token("overwrites:x").is_err());
+    }
+
+    #[test]
+    fn open_record_is_zeroed() {
+        let r = ActivationRecord::open(3, 1000, 400);
+        assert_eq!(r.activation, 3);
+        assert_eq!(r.event_clock, 1000);
+        assert_eq!(r.gap_events, 400);
+        assert_eq!(r.victim, None);
+        assert_eq!(r.gc_ios(), 0);
+        assert!(r.shadow_picks.is_empty());
+    }
+}

@@ -39,7 +39,10 @@ fn main() {
         let cfg = RunConfig::paper(policy, 7).with_trigger(pgc::core::Trigger::AllocationBytes(
             pgc::types::Bytes::from_kib(256),
         ));
-        let out = Simulation::run_trace(&cfg, &events).expect("replay");
+        let out = Simulation::builder(&cfg)
+            .events(&events)
+            .run()
+            .expect("replay");
         println!(
             "{:<16} total I/Os {:>6}  collections {:>3}  reclaimed {:>6.0} KB  leftover {:>5.0} KB (nepotism {:.0} KB)",
             policy.name(),

@@ -6,18 +6,17 @@
 //! ```
 
 use pgc::core::PolicyKind;
-use pgc::sim::{compare_policies, report, RunConfig};
+use pgc::sim::{report, Experiment, RunConfig};
 use pgc::types::Bytes;
 
 fn main() {
     // A quarter-scale headline run over 3 seeds.
     let seeds = [1, 2, 3];
-    let cmp = compare_policies(&PolicyKind::PAPER, &seeds, |policy, seed| {
-        let mut cfg = RunConfig::paper(policy, seed);
-        cfg.workload.target_allocated = Bytes::from_mib(3);
-        cfg
-    })
-    .expect("comparison runs");
+    let cmp = Experiment::new()
+        .compare(&PolicyKind::PAPER, &seeds, |policy, seed| {
+            RunConfig::paper(policy, seed).with_heap_growth(Bytes::from_mib(3))
+        })
+        .expect("comparison runs");
 
     println!("--- throughput (Table 2 shape) ---");
     print!("{}", report::format_table2(&cmp));

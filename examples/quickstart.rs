@@ -5,8 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pgc::core::PolicyKind;
-use pgc::sim::{RunConfig, Simulation};
+use pgc::prelude::*;
 
 fn main() {
     // A small, seconds-scale configuration. `RunConfig::paper(..)` gives
@@ -15,7 +14,7 @@ fn main() {
         .with_policy(PolicyKind::UpdatedPointer)
         .with_seed(42);
 
-    let outcome = Simulation::run(&cfg).expect("simulation runs");
+    let outcome = Simulation::builder(&cfg).run().expect("simulation runs");
     let t = &outcome.totals;
 
     println!("policy             : {}", outcome.policy);

@@ -38,7 +38,10 @@ fn main() {
 
     for policy in [PolicyKind::UpdatedPointer, PolicyKind::MutatedPartition] {
         let cfg = RunConfig::small().with_policy(policy);
-        let out = Simulation::run_trace(&cfg, &replayed).expect("replay runs");
+        let out = Simulation::builder(&cfg)
+            .events(&replayed)
+            .run()
+            .expect("replay runs");
         println!(
             "{:<18} total I/Os {:>6}  reclaimed {:>5.0} KB  footprint {:>6.0} KB",
             policy.name(),
@@ -49,9 +52,12 @@ fn main() {
     }
 
     // 3. Replaying is bit-for-bit equivalent to generating live.
-    let live = Simulation::run(&RunConfig::small().with_seed(2024)).expect("live run");
-    let from_trace =
-        Simulation::run_trace(&RunConfig::small().with_seed(2024), &replayed).expect("trace run");
+    let cfg = RunConfig::small().with_seed(2024);
+    let live = Simulation::builder(&cfg).run().expect("live run");
+    let from_trace = Simulation::builder(&cfg)
+        .events(&replayed)
+        .run()
+        .expect("trace run");
     assert_eq!(live.totals, from_trace.totals);
     println!("live generation and trace replay agree exactly ✓");
 

@@ -48,6 +48,14 @@ bench-baseline ref="5e4c50c":
     ./target/seed-baseline/target/release/perf_baseline
     git worktree remove --force target/seed-baseline
 
+# Tap the headline comparison for telemetry: writes one JSONL line per
+# collector activation (schema pgc-telemetry/v1) to telemetry.jsonl and
+# prints the per-policy telemetry summary table. Scaled down by default;
+# pass scale=100 for the full paper workload.
+telemetry out="telemetry.jsonl" scale="25" seeds="3":
+    cargo run --release -p pgc-bench --bin table2_throughput -- \
+        --seeds {{seeds}} --scale {{scale}} --telemetry-out {{out}}
+
 # Dependency-free micro-benchmarks (PGC_BENCH_QUICK=1 for a fast pass).
 bench:
     cargo bench -p pgc-bench

@@ -25,6 +25,9 @@
 //!   scheduler.
 //! * [`workload`] — the synthetic augmented-binary-tree application model
 //!   and a versioned binary trace codec for record/replay.
+//! * [`telemetry`] — sampling-gated observability riding the barrier event
+//!   bus: lock-free counters and histograms, per-activation records, and a
+//!   JSONL export — provably non-perturbing.
 //! * [`sim`] — the trace-driven simulator, metrics, multi-seed experiment
 //!   runner, and the experiment definitions that regenerate every table and
 //!   figure in the paper.
@@ -32,17 +35,30 @@
 //! ## Quickstart
 //!
 //! ```
-//! use pgc::sim::{RunConfig, Simulation};
-//! use pgc::core::PolicyKind;
+//! use pgc::prelude::*;
 //!
 //! // A small run: ~1 MB of allocated objects, UpdatedPointer selection.
 //! let cfg = RunConfig::small().with_policy(PolicyKind::UpdatedPointer);
-//! let outcome = Simulation::run(&cfg).expect("simulation runs");
+//! let outcome = Simulation::builder(&cfg).run().expect("simulation runs");
 //! println!(
 //!     "total page I/Os: {}, reclaimed: {} KB",
 //!     outcome.totals.total_ios(),
 //!     outcome.totals.reclaimed_bytes.as_kib_f64(),
 //! );
+//! ```
+//!
+//! Multi-seed policy comparisons and telemetry taps go through the same
+//! prelude:
+//!
+//! ```no_run
+//! use pgc::prelude::*;
+//!
+//! let cmp = Experiment::new()
+//!     .telemetry(TelemetryLevel::Metrics)
+//!     .compare(&PolicyKind::PAPER, &[1, 2, 3], RunConfig::paper)
+//!     .unwrap();
+//! println!("{}", report::format_table2(&cmp));
+//! println!("{}", report::format_telemetry(&cmp));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,5 +68,28 @@ pub use pgc_core as core;
 pub use pgc_odb as odb;
 pub use pgc_sim as sim;
 pub use pgc_storage as storage;
+pub use pgc_telemetry as telemetry;
 pub use pgc_types as types;
 pub use pgc_workload as workload;
+
+/// The common vocabulary, importable in one line: configuration and units,
+/// the policy enum, the simulation and experiment builders, their outcome
+/// types, telemetry, the shared-trace cache, and the table renderers.
+///
+/// ```
+/// use pgc::prelude::*;
+///
+/// let out = Simulation::builder(&RunConfig::small()).run().unwrap();
+/// assert!(out.totals.collections > 0);
+/// ```
+pub mod prelude {
+    pub use pgc_core::{PolicyKind, Trigger};
+    pub use pgc_sim::report;
+    pub use pgc_sim::{
+        run_race, run_race_with_telemetry, Comparison, Experiment, PolicyRow, RaceOutcome,
+        RunConfig, RunOutcome, RunTelemetry, RunTotals, Simulation, SimulationBuilder, Summary,
+    };
+    pub use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot};
+    pub use pgc_types::{Bytes, DbConfig, PlacementPolicy};
+    pub use pgc_workload::{EncodedTrace, TraceCache, WorkloadParams};
+}

@@ -25,7 +25,10 @@ fn small_cfg(policy: PolicyKind) -> RunConfig {
 fn assembly_trace_replays_under_every_policy() {
     let events = small_events(1);
     for policy in PolicyKind::ALL {
-        let out = Simulation::run_trace(&small_cfg(policy), &events).expect("replay");
+        let out = Simulation::builder(&small_cfg(policy))
+            .events(&events)
+            .run()
+            .expect("replay");
         assert_eq!(out.totals.events, events.len() as u64, "{policy}");
         if policy != PolicyKind::NoCollection {
             assert!(out.totals.collections > 0, "{policy} must collect");
@@ -38,7 +41,10 @@ fn replacements_generate_cyclic_garbage() {
     // Without any collection, the orphaned composites (rings + documents)
     // pile up as garbage the oracle can see.
     let events = small_events(2);
-    let out = Simulation::run_trace(&small_cfg(PolicyKind::NoCollection), &events).expect("replay");
+    let out = Simulation::builder(&small_cfg(PolicyKind::NoCollection))
+        .events(&events)
+        .run()
+        .expect("replay");
     let params = AssemblyParams::small();
     let composite_bytes =
         (params.atomics_per_composite as u64 + 1) * params.small_size + params.document_size;
@@ -68,7 +74,11 @@ fn updated_pointer_beats_the_greedy_oracle_on_cyclic_churn() {
     let run = |policy| {
         let cfg = RunConfig::paper(policy, 3)
             .with_trigger(Trigger::AllocationBytes(Bytes::from_kib(256)));
-        Simulation::run_trace(&cfg, &events).expect("replay").totals
+        Simulation::builder(&cfg)
+            .events(&events)
+            .run()
+            .expect("replay")
+            .totals
     };
     let updated = run(PolicyKind::UpdatedPointer);
     let oracle_policy = run(PolicyKind::MostGarbage);
@@ -108,7 +118,13 @@ fn assembly_trace_round_trips_through_codec() {
     let back = pgc::workload::read_trace(buf.as_slice()).expect("decode");
     assert_eq!(back, events);
     // And the replay of the decoded trace matches the original.
-    let a = Simulation::run_trace(&small_cfg(PolicyKind::Random), &events).expect("a");
-    let b = Simulation::run_trace(&small_cfg(PolicyKind::Random), &back).expect("b");
+    let a = Simulation::builder(&small_cfg(PolicyKind::Random))
+        .events(&events)
+        .run()
+        .expect("a");
+    let b = Simulation::builder(&small_cfg(PolicyKind::Random))
+        .events(&back)
+        .run()
+        .expect("b");
     assert_eq!(a.totals, b.totals);
 }

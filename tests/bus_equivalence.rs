@@ -34,7 +34,7 @@ type Golden = (PolicyKind, u64, RunTotals, usize, u64);
 fn check(cfg: &RunConfig, golden: &[Golden]) {
     for (policy, seed, totals, n_collections, digest) in golden {
         let cfg = cfg.clone().with_policy(*policy).with_seed(*seed);
-        let out = Simulation::run(&cfg).expect("run");
+        let out = Simulation::builder(&cfg).run().expect("run");
         assert_eq!(
             out.totals, *totals,
             "{policy:?} seed {seed}: totals diverged from the pre-bus replay"
@@ -135,7 +135,7 @@ fn shadow_scoreboards_do_not_perturb_the_driver() {
         let cfg = RunConfig::small()
             .with_policy(PolicyKind::MostGarbage)
             .with_seed(seed);
-        let plain = Simulation::run(&cfg).expect("plain run");
+        let plain = Simulation::builder(&cfg).run().expect("plain run");
         let race = run_race(&cfg, &shadows).expect("race run");
         assert_eq!(plain.totals, race.outcome.totals, "seed {seed}");
         assert_eq!(plain.collections, race.outcome.collections, "seed {seed}");

@@ -7,7 +7,9 @@ use pgc::sim::{RunConfig, Simulation};
 use pgc::types::Bytes;
 
 fn run(policy: PolicyKind, seed: u64) -> pgc::sim::RunOutcome {
-    Simulation::run(&RunConfig::small().with_policy(policy).with_seed(seed)).expect("run")
+    Simulation::builder(&RunConfig::small().with_policy(policy).with_seed(seed))
+        .run()
+        .expect("run")
 }
 
 #[test]
@@ -113,18 +115,18 @@ fn final_database_state_is_coherent_for_each_policy() {
 fn deeper_collection_thresholds_mean_fewer_collections() {
     let mut cfg = RunConfig::small().with_seed(5);
     cfg.db = cfg.db.with_gc_overwrite_threshold(25);
-    let frequent = Simulation::run(&cfg).expect("run");
+    let frequent = Simulation::builder(&cfg).run().expect("run");
     cfg.db = cfg.db.with_gc_overwrite_threshold(200);
-    let rare = Simulation::run(&cfg).expect("run");
+    let rare = Simulation::builder(&cfg).run().expect("run");
     assert!(frequent.totals.collections > rare.totals.collections);
 }
 
 #[test]
 fn buffer_size_matters_smaller_buffer_more_io() {
     let mut cfg = RunConfig::small().with_seed(6);
-    let normal = Simulation::run(&cfg).expect("run");
+    let normal = Simulation::builder(&cfg).run().expect("run");
     cfg.db = cfg.db.with_buffer_pages(4); // starve the buffer
-    let starved = Simulation::run(&cfg).expect("run");
+    let starved = Simulation::builder(&cfg).run().expect("run");
     assert!(
         starved.totals.total_ios() > normal.totals.total_ios(),
         "starved buffer: {} vs normal {}",
@@ -154,7 +156,7 @@ fn client_server_mode_reports_network_traffic() {
         .with_policy(PolicyKind::UpdatedPointer)
         .with_seed(12);
     cfg.db = cfg.db.with_client_cache_pages(4);
-    let tiered = Simulation::run(&cfg).expect("run");
+    let tiered = Simulation::builder(&cfg).run().expect("run");
     assert!(
         tiered.totals.total_net_ops() > 0,
         "client misses cost messages"
@@ -174,7 +176,11 @@ fn bigger_client_cache_means_fewer_network_messages() {
             .with_policy(PolicyKind::UpdatedPointer)
             .with_seed(13);
         cfg.db = cfg.db.with_client_cache_pages(pages);
-        Simulation::run(&cfg).expect("run").totals.total_net_ops()
+        Simulation::builder(&cfg)
+            .run()
+            .expect("run")
+            .totals
+            .total_net_ops()
     };
     let small_cache = run_with_cache(2);
     let big_cache = run_with_cache(12);

@@ -303,7 +303,10 @@ fn any_seeded_workload_replays_cleanly() {
             .expect("params")
             .collect();
         let cfg = pgc::sim::RunConfig::small();
-        let out = pgc::sim::Simulation::run_trace(&cfg, &events).expect("replay");
+        let out = pgc::sim::Simulation::builder(&cfg)
+            .events(&events)
+            .run()
+            .expect("replay");
         assert_eq!(out.totals.events, events.len() as u64, "seed {seed}");
     }
 }
