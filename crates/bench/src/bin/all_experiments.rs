@@ -28,11 +28,15 @@ fn main() {
     // --telemetry-out) taps the headline grid.
     let headline = experiment
         .telemetry(args.telemetry_level())
-        .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-            let cfg = paper::headline(policy, seed);
-            let target = args.scale_bytes(cfg.workload.target_allocated);
-            cfg.with_heap_growth(target)
-        })
+        .compare(
+            &args.policy_list(&PolicyKind::PAPER),
+            &args.seed_list(),
+            |policy, seed| {
+                let cfg = paper::headline(policy, seed);
+                let target = args.scale_bytes(cfg.workload.target_allocated);
+                cfg.with_heap_growth(target)
+            },
+        )
         .expect("headline experiment runs");
     let _ = writeln!(full, "== Table 2: Throughput (page I/Os) ==");
     full.push_str(&report::format_table2(&headline));
@@ -45,11 +49,15 @@ fn main() {
     let mut t5: Vec<(f64, Comparison)> = Vec::new();
     for (connectivity, dense) in paper::TABLE5_CONNECTIVITY {
         let cmp = experiment
-            .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-                let cfg = paper::connectivity(policy, seed, dense);
-                let target = args.scale_bytes(cfg.workload.target_allocated);
-                cfg.with_heap_growth(target)
-            })
+            .compare(
+                &args.policy_list(&PolicyKind::PAPER),
+                &args.seed_list(),
+                |policy, seed| {
+                    let cfg = paper::connectivity(policy, seed, dense);
+                    let target = args.scale_bytes(cfg.workload.target_allocated);
+                    cfg.with_heap_growth(target)
+                },
+            )
             .expect("connectivity experiment runs");
         t5.push((connectivity, cmp));
     }
@@ -57,9 +65,10 @@ fn main() {
     full.push_str(&report::format_table5(&t5));
 
     // Figures 4/5: time series (single seed).
-    let jobs = PolicyKind::PAPER
-        .iter()
-        .map(|&policy| {
+    let jobs = args
+        .policy_list(&PolicyKind::PAPER)
+        .into_iter()
+        .map(|policy| {
             let mut cfg = paper::time_series(policy, 1);
             cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
             (policy, cfg)
@@ -93,11 +102,15 @@ fn main() {
     let mut f6: Vec<(u64, Comparison)> = Vec::new();
     for mib in paper::FIG6_SIZES_MIB {
         let cmp = experiment
-            .compare(&PolicyKind::PAPER, &sweep_seeds, |policy, seed| {
-                let cfg = paper::scaled(policy, seed, mib);
-                let target = args.scale_bytes(cfg.workload.target_allocated);
-                cfg.with_heap_growth(target)
-            })
+            .compare(
+                &args.policy_list(&PolicyKind::PAPER),
+                &sweep_seeds,
+                |policy, seed| {
+                    let cfg = paper::scaled(policy, seed, mib);
+                    let target = args.scale_bytes(cfg.workload.target_allocated);
+                    cfg.with_heap_growth(target)
+                },
+            )
             .expect("scalability experiment runs");
         f6.push((mib, cmp));
     }

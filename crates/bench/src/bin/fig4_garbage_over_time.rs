@@ -8,7 +8,7 @@
 //! cargo run --release -p pgc-bench --bin fig4_garbage_over_time [--scale PCT] [--out fig4.csv]
 //! ```
 
-use pgc_bench::{emit, CommonArgs};
+use pgc_bench::{emit, labelled_series, CommonArgs};
 use pgc_core::PolicyKind;
 use pgc_sim::{paper, Experiment};
 use std::fmt::Write as _;
@@ -17,9 +17,10 @@ fn main() {
     let args = CommonArgs::parse();
     // Figures are single-run curves in the paper (one seed).
     let seed = 1u64;
-    let jobs = PolicyKind::PAPER
-        .iter()
-        .map(|&policy| {
+    let jobs = args
+        .policy_list(&PolicyKind::PAPER)
+        .into_iter()
+        .map(|policy| {
             let mut cfg = paper::time_series(policy, seed);
             cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
             (policy, cfg)
@@ -27,8 +28,7 @@ fn main() {
         .collect();
     let results = Experiment::new().run_jobs(jobs).expect("runs complete");
     // Terminal rendering of the figure, then the precise CSV.
-    let labelled: Vec<(&str, &pgc_sim::TimeSeries)> =
-        results.iter().map(|(p, o)| (p.name(), &o.series)).collect();
+    let labelled = labelled_series(&results);
     let chart = pgc_sim::render_chart(&labelled, pgc_sim::ChartMetric::GarbageKb, 96, 24);
     let mut body = String::new();
     body.push_str(&chart);

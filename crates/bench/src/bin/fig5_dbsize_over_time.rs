@@ -8,7 +8,7 @@
 //! cargo run --release -p pgc-bench --bin fig5_dbsize_over_time [--scale PCT] [--out fig5.csv]
 //! ```
 
-use pgc_bench::{emit, CommonArgs};
+use pgc_bench::{emit, labelled_series, CommonArgs};
 use pgc_core::PolicyKind;
 use pgc_sim::{paper, Experiment};
 use std::fmt::Write as _;
@@ -16,9 +16,10 @@ use std::fmt::Write as _;
 fn main() {
     let args = CommonArgs::parse();
     let seed = 1u64;
-    let jobs = PolicyKind::PAPER
-        .iter()
-        .map(|&policy| {
+    let jobs = args
+        .policy_list(&PolicyKind::PAPER)
+        .into_iter()
+        .map(|policy| {
             let mut cfg = paper::time_series(policy, seed);
             cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
             (policy, cfg)
@@ -26,8 +27,7 @@ fn main() {
         .collect();
     let results = Experiment::new().run_jobs(jobs).expect("runs complete");
     // Terminal rendering of the figure, then the precise CSV.
-    let labelled: Vec<(&str, &pgc_sim::TimeSeries)> =
-        results.iter().map(|(p, o)| (p.name(), &o.series)).collect();
+    let labelled = labelled_series(&results);
     let chart = pgc_sim::render_chart(&labelled, pgc_sim::ChartMetric::ResidentKb, 96, 24);
     let mut body = String::new();
     body.push_str(&chart);

@@ -25,11 +25,15 @@ fn main() {
     for mib in paper::FIG6_SIZES_MIB {
         let cmp = Experiment::new()
             .telemetry(args.telemetry_level())
-            .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-                let cfg = paper::scaled(policy, seed, mib);
-                let target = args.scale_bytes(cfg.workload.target_allocated);
-                cfg.with_heap_growth(target)
-            })
+            .compare(
+                &args.policy_list(&PolicyKind::PAPER),
+                &args.seed_list(),
+                |policy, seed| {
+                    let cfg = paper::scaled(policy, seed, mib);
+                    let target = args.scale_bytes(cfg.workload.target_allocated);
+                    cfg.with_heap_growth(target)
+                },
+            )
             .expect("experiment runs");
         results.push((mib, cmp));
     }

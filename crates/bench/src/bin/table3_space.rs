@@ -13,11 +13,15 @@ fn main() {
     let args = CommonArgs::parse();
     let cmp = Experiment::new()
         .telemetry(args.telemetry_level())
-        .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-            let cfg = paper::headline(policy, seed);
-            let target = args.scale_bytes(cfg.workload.target_allocated);
-            cfg.with_heap_growth(target)
-        })
+        .compare(
+            &args.policy_list(&PolicyKind::PAPER),
+            &args.seed_list(),
+            |policy, seed| {
+                let cfg = paper::headline(policy, seed);
+                let target = args.scale_bytes(cfg.workload.target_allocated);
+                cfg.with_heap_growth(target)
+            },
+        )
         .expect("experiment runs");
     emit(
         &args,

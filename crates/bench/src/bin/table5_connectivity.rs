@@ -16,11 +16,15 @@ fn main() {
     for (connectivity, dense) in paper::TABLE5_CONNECTIVITY {
         let cmp = Experiment::new()
             .telemetry(args.telemetry_level())
-            .compare(&PolicyKind::PAPER, &args.seed_list(), |policy, seed| {
-                let cfg = paper::connectivity(policy, seed, dense);
-                let target = args.scale_bytes(cfg.workload.target_allocated);
-                cfg.with_heap_growth(target)
-            })
+            .compare(
+                &args.policy_list(&PolicyKind::PAPER),
+                &args.seed_list(),
+                |policy, seed| {
+                    let cfg = paper::connectivity(policy, seed, dense);
+                    let target = args.scale_bytes(cfg.workload.target_allocated);
+                    cfg.with_heap_growth(target)
+                },
+            )
             .expect("experiment runs");
         results.push((connectivity, cmp));
     }

@@ -10,9 +10,53 @@
 
 pub mod microbench;
 
+use pgc_core::PolicyKind;
 use pgc_sim::Comparison;
 use pgc_telemetry::{write_snapshot, TelemetryLevel};
 use std::path::PathBuf;
+
+/// Parses a policy-list spec shared by every experiment binary.
+///
+/// Accepted specs: `paper` ([`PolicyKind::PAPER`]), `all`
+/// ([`PolicyKind::ALL`]), `implementable` (every policy that observes only
+/// the barrier bus — [`PolicyKind::ALL`] minus the oracle), or a
+/// comma-separated list of policy names/aliases accepted by
+/// `PolicyKind::from_str` (e.g. `UpdatedPointer,mutated,composite`).
+/// Duplicates are dropped, first occurrence wins, order is preserved.
+pub fn parse_policies(spec: &str) -> Result<Vec<PolicyKind>, String> {
+    let mut list: Vec<PolicyKind> = match spec.trim().to_ascii_lowercase().as_str() {
+        "paper" => PolicyKind::PAPER.to_vec(),
+        "all" => PolicyKind::ALL.to_vec(),
+        "implementable" => PolicyKind::ALL
+            .into_iter()
+            .filter(|k| k.is_implementable())
+            .collect(),
+        _ => spec
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(str::parse)
+            .collect::<Result<_, _>>()?,
+    };
+    if list.is_empty() {
+        return Err(format!("policy spec {spec:?} names no policies"));
+    }
+    let mut seen = Vec::new();
+    list.retain(|k| {
+        let fresh = !seen.contains(k);
+        seen.push(*k);
+        fresh
+    });
+    Ok(list)
+}
+
+/// Labels each run of a time-series job list with its policy's stable
+/// display name, in the shape [`pgc_sim::render_chart`] expects.
+pub fn labelled_series(
+    results: &[(PolicyKind, pgc_sim::RunOutcome)],
+) -> Vec<(&'static str, &pgc_sim::TimeSeries)> {
+    results.iter().map(|(p, o)| (p.name(), &o.series)).collect()
+}
 
 /// Common command-line options shared by the experiment binaries.
 ///
@@ -32,6 +76,9 @@ pub struct CommonArgs {
     pub out: Option<PathBuf>,
     /// Optional JSONL file for per-activation telemetry records.
     pub telemetry_out: Option<PathBuf>,
+    /// Optional policy-list override (`--policies SPEC`); `None` keeps the
+    /// binary's default slate.
+    pub policies: Option<Vec<PolicyKind>>,
 }
 
 impl Default for CommonArgs {
@@ -41,6 +88,7 @@ impl Default for CommonArgs {
             scale_pct: 100,
             out: None,
             telemetry_out: None,
+            policies: None,
         }
     }
 }
@@ -78,10 +126,16 @@ impl CommonArgs {
                         it.next().expect("--telemetry-out needs a path"),
                     ));
                 }
+                "--policies" => {
+                    let spec = it.next().expect("--policies needs a spec");
+                    out.policies =
+                        Some(parse_policies(&spec).unwrap_or_else(|e| panic!("--policies: {e}")));
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --seeds N (default 10) --scale PCT (default 100) --out PATH \
-                         --telemetry-out PATH"
+                         --telemetry-out PATH --policies SPEC (paper|all|implementable|comma \
+                         list of names)"
                     );
                     std::process::exit(0);
                 }
@@ -101,6 +155,12 @@ impl CommonArgs {
     /// The seed list.
     pub fn seed_list(&self) -> Vec<u64> {
         (1..=self.seeds).collect()
+    }
+
+    /// The policy slate: the `--policies` override when given, otherwise
+    /// the binary's default (usually [`PolicyKind::PAPER`]).
+    pub fn policy_list(&self, default: &[PolicyKind]) -> Vec<PolicyKind> {
+        self.policies.clone().unwrap_or_else(|| default.to_vec())
     }
 
     /// The telemetry level implied by the flags: [`TelemetryLevel::Full`]
@@ -195,6 +255,50 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn policy_specs_parse() {
+        assert_eq!(parse_policies("paper").unwrap(), PolicyKind::PAPER.to_vec());
+        assert_eq!(parse_policies("all").unwrap(), PolicyKind::ALL.to_vec());
+        let impl_list = parse_policies("implementable").unwrap();
+        assert!(impl_list.iter().all(|k| k.is_implementable()));
+        assert_eq!(
+            impl_list.len(),
+            PolicyKind::ALL
+                .iter()
+                .filter(|k| k.is_implementable())
+                .count()
+        );
+        assert_eq!(
+            parse_policies("UpdatedPointer, composite,adaptive-meta").unwrap(),
+            vec![
+                PolicyKind::UpdatedPointer,
+                PolicyKind::Composite,
+                PolicyKind::AdaptiveMeta
+            ]
+        );
+        // Duplicates collapse, first occurrence wins.
+        assert_eq!(
+            parse_policies("random,random,mutated").unwrap(),
+            vec![PolicyKind::Random, PolicyKind::MutatedPartition]
+        );
+        assert!(parse_policies("bogus").is_err());
+        assert!(parse_policies("").is_err());
+    }
+
+    #[test]
+    fn policies_flag_overrides_the_default_slate() {
+        let a = parse(&[]);
+        assert_eq!(
+            a.policy_list(&PolicyKind::PAPER),
+            PolicyKind::PAPER.to_vec()
+        );
+        let a = parse(&["--policies", "implementable"]);
+        assert!(a
+            .policy_list(&PolicyKind::PAPER)
+            .iter()
+            .all(|k| k.is_implementable()));
     }
 
     #[test]

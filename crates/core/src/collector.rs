@@ -110,6 +110,12 @@ impl Collector {
         self.policy.kind()
     }
 
+    /// The driving policy itself (for diagnostics such as
+    /// [`SelectionPolicy::derive_stats`]).
+    pub fn policy(&self) -> &dyn SelectionPolicy {
+        self.policy.as_ref()
+    }
+
     /// The trigger state.
     pub fn scheduler(&self) -> &GcScheduler {
         &self.scheduler
@@ -206,9 +212,26 @@ impl Collector {
             // completion record) so scoreboards reset before the next
             // batched selection.
             self.sync(db);
+            // A meta-policy decides switches while digesting the
+            // collection outcome; announce them on the bus immediately so
+            // taps attribute each switch to the activation that caused it
+            // (the new policy drives from the next activation on).
+            self.broadcast_switches();
             last = Some(outcome);
         }
         Ok(last)
+    }
+
+    fn broadcast_switches(&mut self) {
+        for s in self.policy.take_switches() {
+            let event = BarrierEvent::PolicySwitched {
+                activation: s.activation,
+                from: s.from.name(),
+                to: s.to.name(),
+            };
+            self.policy.on_event(&event);
+            self.observers.broadcast(&event);
+        }
     }
 }
 

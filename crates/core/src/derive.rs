@@ -1,0 +1,806 @@
+//! Incremental derived state over the barrier bus.
+//!
+//! Every counter policy in this crate reduces to the same shape: fold
+//! barrier events into per-partition base values, then rank partitions by
+//! some function of those values at selection time. This module factors
+//! that shape out as a tiny incremental-computation runtime in the salsa
+//! ingredient/revision idiom:
+//!
+//! - **Inputs** ([`InputKind`]) are dense per-partition `u64` tables fed by
+//!   [`BarrierEvent`]s. Every change stamps the affected partition with the
+//!   engine's current [`Revision`], so a consumer can ask "did this
+//!   partition's value move since I last looked?" in O(1).
+//! - **Queries** ([`QueryKind`]) are memoized rankings over one or more
+//!   inputs. A query caches its arg-max and the revision it was verified
+//!   at; re-selection is a cache hit when no tracked input advanced, a
+//!   partial rescan over just the dirty partitions when the cached winner
+//!   is untouched, and a full rescan otherwise.
+//!
+//! A separate **structure revision** advances on events that change the
+//! *candidate set* rather than any score — partition growth, allocations
+//! that grew the database, and collections (which rotate the designated
+//! empty partition) — and forces a full rescan, because a cached winner
+//! computed over yesterday's candidate set is unsound today. Under the
+//! paper's trigger a collection follows almost every selection, so driver
+//! queries mostly rescan; the memo earns its keep on the quick all-clean
+//! path (shadow scoreboards, repeated probes between collections) and by
+//! making every recomputation observable: per-query hit/partial/full
+//! counters surface through [`DeriveStats`] into telemetry.
+//!
+//! Ranking semantics are bit-identical to the hand-rolled scoreboards this
+//! replaces: partitions scoring zero are skipped, ties break toward the
+//! lowest partition id, and an all-zero board falls back to
+//! [`crate::policy::fallback_victim`].
+
+use pgc_odb::{BarrierEvent, Database};
+use pgc_types::PartitionId;
+
+/// A monotonically increasing change counter; one tick per applied event.
+pub type Revision = u64;
+
+/// The base input tables the engine knows how to maintain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// +1 to the *old target's* partition per pointer overwrite
+    /// (`UpdatedPointer`'s table). Victim zeroed on collection.
+    Overwrites,
+    /// +1 to the owner's partition per pointer write, creation stores
+    /// included (`MutatedPartition`'s table). Victim zeroed on collection.
+    PointerWrites,
+    /// +1 per pointer write *and* per data write (`YNY-Mutated`'s table).
+    /// Victim zeroed on collection.
+    Mutations,
+    /// `2^(max_weight - w)` to the old target's partition per overwrite of
+    /// a pointer to a weight-`w` object (`WeightedPointer`'s table).
+    /// Victim zeroed on collection.
+    WeightedOverwrites {
+        /// The database's weight cap (16 in the paper).
+        max_weight: u8,
+    },
+    /// +2 to the old target's partition per overwrite, every value halved
+    /// at each collection (`UpdatedDecay`'s table). Victim zeroed first.
+    DecayedOverwrites,
+    /// Bytes resident per partition, maintained from
+    /// allocation/copy/reclaim events. *Not* reset on collection — the
+    /// copy/reclaim events already account for evacuation exactly.
+    OccupancyBytes,
+    /// The engine's allocation-clock value at the partition's most recent
+    /// allocation (higher = allocated into more recently). Victim zeroed
+    /// on collection.
+    LastAllocation,
+}
+
+/// Handle to a registered input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputId(usize);
+
+/// Handle to a registered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryId(usize);
+
+/// Weights for the [`QueryKind::Composite`] score. The defaults make the
+/// three signals hierarchical on the paper's workload scale: overwrite
+/// evidence dominates, occupancy breaks ties among similarly-overwritten
+/// partitions, allocation recency breaks the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompositeWeights {
+    /// Weight on the [`InputKind::Overwrites`] count.
+    pub overwrites: u64,
+    /// Weight on resident KiB ([`InputKind::OccupancyBytes`] / 1024).
+    pub occupancy_kib: u64,
+    /// Weight on the [`InputKind::LastAllocation`] clock value.
+    pub recency: u64,
+}
+
+impl Default for CompositeWeights {
+    fn default() -> Self {
+        Self {
+            overwrites: 4096,
+            occupancy_kib: 16,
+            recency: 1,
+        }
+    }
+}
+
+/// The derived rankings the engine knows how to memoize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Arg-max of a single input (all the paper's counter policies).
+    MaxInput(InputId),
+    /// Arg-max of `w·overwrites + w·occupancy_kib + w·recency`, computed
+    /// in one pass over the three shared inputs with no extra scans.
+    Composite {
+        /// The [`InputKind::Overwrites`] input.
+        overwrites: InputId,
+        /// The [`InputKind::OccupancyBytes`] input.
+        occupancy: InputId,
+        /// The [`InputKind::LastAllocation`] input.
+        recency: InputId,
+        /// The blend weights.
+        weights: CompositeWeights,
+    },
+}
+
+impl QueryKind {
+    fn deps(&self) -> [Option<InputId>; 3] {
+        match *self {
+            QueryKind::MaxInput(i) => [Some(i), None, None],
+            QueryKind::Composite {
+                overwrites,
+                occupancy,
+                recency,
+                ..
+            } => [Some(overwrites), Some(occupancy), Some(recency)],
+        }
+    }
+}
+
+/// Recompute counters for one query (and, summed, for a whole engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeriveStats {
+    /// Registered inputs.
+    pub inputs: u64,
+    /// Registered queries.
+    pub queries: u64,
+    /// Events applied (the engine's current revision).
+    pub revision: u64,
+    /// Selections answered from the memo without any rescans.
+    pub hits: u64,
+    /// Selections answered by rescanning only dirty partitions.
+    pub partial: u64,
+    /// Selections that rescanned every collectable partition.
+    pub full: u64,
+}
+
+impl DeriveStats {
+    /// Accumulates another engine's counters (used by policies that own
+    /// several engines, e.g. the meta-policy's candidates).
+    pub fn absorb(&mut self, other: &DeriveStats) {
+        self.inputs += other.inputs;
+        self.queries += other.queries;
+        self.revision = self.revision.max(other.revision);
+        self.hits += other.hits;
+        self.partial += other.partial;
+        self.full += other.full;
+    }
+
+    /// Total selections answered.
+    pub fn selections(&self) -> u64 {
+        self.hits + self.partial + self.full
+    }
+}
+
+/// One partition's slot in an input table. Value and stamp live side by
+/// side so the barrier hot path touches one cache line per update.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    value: u64,
+    stamp: Revision,
+}
+
+#[derive(Debug, Clone)]
+struct Input {
+    kind: InputKind,
+    cells: Vec<Cell>,
+    last_changed: Revision,
+}
+
+impl Input {
+    fn new(kind: InputKind) -> Self {
+        Self {
+            kind,
+            cells: Vec::new(),
+            last_changed: 0,
+        }
+    }
+
+    fn value(&self, p: PartitionId) -> u64 {
+        self.cells.get(p.as_usize()).map_or(0, |c| c.value)
+    }
+
+    fn stamp(&self, p: PartitionId) -> Revision {
+        self.cells.get(p.as_usize()).map_or(0, |c| c.stamp)
+    }
+
+    fn touch(&mut self, p: PartitionId, rev: Revision) -> &mut u64 {
+        let idx = p.as_usize();
+        if self.cells.len() <= idx {
+            self.cells.resize(idx + 1, Cell::default());
+        }
+        self.last_changed = rev;
+        let cell = &mut self.cells[idx];
+        cell.stamp = rev;
+        &mut cell.value
+    }
+
+    fn add(&mut self, p: PartitionId, amount: u64, rev: Revision) {
+        if amount == 0 {
+            return;
+        }
+        *self.touch(p, rev) += amount;
+    }
+
+    fn sub(&mut self, p: PartitionId, amount: u64, rev: Revision) {
+        if amount == 0 {
+            return;
+        }
+        let v = self.touch(p, rev);
+        *v = v.saturating_sub(amount);
+    }
+
+    fn reset(&mut self, p: PartitionId, rev: Revision) {
+        // Resetting an already-zero (or never-seen) partition is not a
+        // change; leaving its stamp alone keeps dirty sets minimal.
+        if self.value(p) != 0 {
+            *self.touch(p, rev) = 0;
+        }
+    }
+
+    fn halve_all(&mut self, rev: Revision) {
+        for cell in &mut self.cells {
+            if cell.value != 0 {
+                cell.value /= 2;
+                cell.stamp = rev;
+                self.last_changed = rev;
+            }
+        }
+    }
+
+    fn update(&mut self, event: &BarrierEvent, rev: Revision, alloc_clock: u64) {
+        match (self.kind, event) {
+            (InputKind::Overwrites, BarrierEvent::PointerWrite(info)) => {
+                if let Some(old) = info.old {
+                    self.add(old.partition, 1, rev);
+                }
+            }
+            (InputKind::PointerWrites, BarrierEvent::PointerWrite(info)) => {
+                self.add(info.owner_partition, 1, rev);
+            }
+            (InputKind::Mutations, BarrierEvent::PointerWrite(info)) => {
+                self.add(info.owner_partition, 1, rev);
+            }
+            (InputKind::Mutations, BarrierEvent::DataWrite { partition, .. }) => {
+                self.add(*partition, 1, rev);
+            }
+            (InputKind::WeightedOverwrites { max_weight }, BarrierEvent::PointerWrite(info)) => {
+                if let Some(old) = info.old {
+                    let exp = max_weight.saturating_sub(old.weight.min(max_weight)) as u32;
+                    self.add(old.partition, 1u64 << exp, rev);
+                }
+            }
+            (InputKind::DecayedOverwrites, BarrierEvent::PointerWrite(info)) => {
+                if let Some(old) = info.old {
+                    self.add(old.partition, 2, rev);
+                }
+            }
+            (InputKind::DecayedOverwrites, BarrierEvent::CollectionCompleted(outcome)) => {
+                self.reset(outcome.victim, rev);
+                self.halve_all(rev);
+            }
+            (
+                InputKind::OccupancyBytes,
+                BarrierEvent::Allocation {
+                    partition, size, ..
+                },
+            ) => {
+                self.add(*partition, size.get(), rev);
+            }
+            (InputKind::OccupancyBytes, BarrierEvent::ObjectCopied { from, to, size, .. }) => {
+                self.sub(*from, size.get(), rev);
+                self.add(*to, size.get(), rev);
+            }
+            (
+                InputKind::OccupancyBytes,
+                BarrierEvent::ObjectReclaimed {
+                    partition, size, ..
+                },
+            ) => {
+                self.sub(*partition, size.get(), rev);
+            }
+            (InputKind::LastAllocation, BarrierEvent::Allocation { partition, .. }) => {
+                *self.touch(*partition, rev) = alloc_clock;
+            }
+            (
+                InputKind::Overwrites
+                | InputKind::PointerWrites
+                | InputKind::Mutations
+                | InputKind::WeightedOverwrites { .. }
+                | InputKind::LastAllocation,
+                BarrierEvent::CollectionCompleted(outcome),
+            ) => {
+                self.reset(outcome.victim, rev);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Query {
+    kind: QueryKind,
+    /// The cached winner and its score (`None` = every score was zero).
+    memo: Option<(PartitionId, u128)>,
+    /// Whether `memo` has ever been computed.
+    valid: bool,
+    /// Engine revision the memo was last verified at.
+    verified_at: Revision,
+    /// Structure revision the memo was computed under.
+    structure_at: Revision,
+    stats: QueryStats,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct QueryStats {
+    hits: u64,
+    partial: u64,
+    full: u64,
+}
+
+fn score_of(kind: &QueryKind, inputs: &[Input], p: PartitionId) -> u128 {
+    match *kind {
+        QueryKind::MaxInput(i) => inputs[i.0].value(p) as u128,
+        QueryKind::Composite {
+            overwrites,
+            occupancy,
+            recency,
+            weights,
+        } => {
+            let o = inputs[overwrites.0].value(p) as u128;
+            let kib = (inputs[occupancy.0].value(p) / 1024) as u128;
+            let r = inputs[recency.0].value(p) as u128;
+            o * weights.overwrites as u128
+                + kib * weights.occupancy_kib as u128
+                + r * weights.recency as u128
+        }
+    }
+}
+
+fn full_scan(kind: &QueryKind, inputs: &[Input], db: &Database) -> Option<(PartitionId, u128)> {
+    let mut best: Option<(PartitionId, u128)> = None;
+    for p in db.collectable_partitions() {
+        let s = score_of(kind, inputs, p);
+        if s == 0 {
+            continue;
+        }
+        match best {
+            Some((_, b)) if b >= s => {}
+            _ => best = Some((p, s)),
+        }
+    }
+    best
+}
+
+/// The incremental engine: revision-stamped inputs plus memoized rankings.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    revision: Revision,
+    structure: Revision,
+    alloc_clock: u64,
+    inputs: Vec<Input>,
+    queries: Vec<Query>,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an input table, deduplicating identical kinds so several
+    /// queries (or policies sharing one engine) share the same table.
+    pub fn input(&mut self, kind: InputKind) -> InputId {
+        if let Some(i) = self.inputs.iter().position(|inp| inp.kind == kind) {
+            return InputId(i);
+        }
+        self.inputs.push(Input::new(kind));
+        InputId(self.inputs.len() - 1)
+    }
+
+    /// Registers a memoized ranking query.
+    pub fn query(&mut self, kind: QueryKind) -> QueryId {
+        for dep in kind.deps().into_iter().flatten() {
+            assert!(
+                dep.0 < self.inputs.len(),
+                "query depends on unregistered input"
+            );
+        }
+        self.queries.push(Query {
+            kind,
+            memo: None,
+            valid: false,
+            verified_at: 0,
+            structure_at: 0,
+            stats: QueryStats::default(),
+        });
+        QueryId(self.queries.len() - 1)
+    }
+
+    /// Folds one bus event into every registered input. Advances the
+    /// revision unconditionally and the structure revision on events that
+    /// change the candidate set (growth, growing allocations, and
+    /// collections — a collection rotates the designated empty partition).
+    pub fn apply(&mut self, event: &BarrierEvent) {
+        self.revision += 1;
+        let rev = self.revision;
+        match event {
+            BarrierEvent::PartitionGrowth { .. }
+            | BarrierEvent::Allocation { grew: true, .. }
+            | BarrierEvent::CollectionCompleted(_) => self.structure = rev,
+            _ => {}
+        }
+        if matches!(event, BarrierEvent::Allocation { .. }) {
+            self.alloc_clock += 1;
+        }
+        let clock = self.alloc_clock;
+        for input in &mut self.inputs {
+            input.update(event, rev, clock);
+        }
+    }
+
+    /// Current value of `input` for `partition`.
+    pub fn value(&self, input: InputId, partition: PartitionId) -> u64 {
+        self.inputs[input.0].value(partition)
+    }
+
+    /// Current (unmemoized) score of `query` for `partition`.
+    pub fn score(&self, query: QueryId, partition: PartitionId) -> u128 {
+        score_of(&self.queries[query.0].kind, &self.inputs, partition)
+    }
+
+    /// The revision stamp of `input` at `partition` (0 = never changed).
+    pub fn stamp(&self, input: InputId, partition: PartitionId) -> Revision {
+        self.inputs[input.0].stamp(partition)
+    }
+
+    /// Events applied so far.
+    pub fn revision(&self) -> Revision {
+        self.revision
+    }
+
+    /// Selects the ranking winner of `query`, memoized: a cache hit when
+    /// nothing relevant changed, a rescan of just the dirty partitions when
+    /// the cached winner's own inputs are untouched, a full rescan
+    /// otherwise. Falls back to [`crate::policy::fallback_victim`] when
+    /// every score is zero — identical semantics, partition by partition,
+    /// to the hand-rolled scoreboard argmax it replaces.
+    pub fn select(&mut self, query: QueryId, db: &Database) -> Option<PartitionId> {
+        let q = &self.queries[query.0];
+        let kind = q.kind;
+        let deps = kind.deps();
+        let deps_clean = deps
+            .into_iter()
+            .flatten()
+            .all(|d| self.inputs[d.0].last_changed <= q.verified_at);
+        let structure_clean = self.structure <= q.structure_at;
+
+        let best = if q.valid && deps_clean && structure_clean {
+            let memo = q.memo;
+            self.queries[query.0].stats.hits += 1;
+            memo
+        } else {
+            let winner_dirty = match q.memo {
+                Some((w, _)) => deps
+                    .into_iter()
+                    .flatten()
+                    .any(|d| self.inputs[d.0].stamp(w) > q.verified_at),
+                None => false,
+            };
+            let best = if !q.valid || !structure_clean || winner_dirty {
+                // Scores can decrease (victim resets, decay) and the
+                // candidate set can rotate, so anything touching the cached
+                // winner or the structure voids the memo entirely.
+                self.queries[query.0].stats.full += 1;
+                full_scan(&kind, &self.inputs, db)
+            } else {
+                // The cached winner's score is unchanged; only partitions
+                // whose stamps advanced can displace it. Ascending id order
+                // with a strict `>` (or equal-and-lower-id) comparison
+                // reproduces the full scan's ties-break-low exactly.
+                let verified_at = q.verified_at;
+                let mut best = q.memo;
+                for p in db.collectable_partitions() {
+                    let dirty = deps
+                        .into_iter()
+                        .flatten()
+                        .any(|d| self.inputs[d.0].stamp(p) > verified_at);
+                    if !dirty {
+                        continue;
+                    }
+                    let s = score_of(&kind, &self.inputs, p);
+                    if s == 0 {
+                        continue;
+                    }
+                    match best {
+                        Some((w, b)) if b > s || (b == s && w <= p) => {}
+                        _ => best = Some((p, s)),
+                    }
+                }
+                self.queries[query.0].stats.partial += 1;
+                best
+            };
+            let q = &mut self.queries[query.0];
+            q.memo = best;
+            q.valid = true;
+            best
+        };
+        let q = &mut self.queries[query.0];
+        q.verified_at = self.revision;
+        q.structure_at = self.structure;
+        debug_assert_eq!(
+            best,
+            full_scan(&kind, &self.inputs, db),
+            "memoized ranking diverged from full scan"
+        );
+        best.map(|(p, _)| p)
+            .or_else(|| crate::policy::fallback_victim(db))
+    }
+
+    /// Aggregate recompute counters across every registered query.
+    pub fn stats(&self) -> DeriveStats {
+        let mut out = DeriveStats {
+            inputs: self.inputs.len() as u64,
+            queries: self.queries.len() as u64,
+            revision: self.revision,
+            ..DeriveStats::default()
+        };
+        for q in &self.queries {
+            out.hits += q.stats.hits;
+            out.partial += q.stats.partial;
+            out.full += q.stats.full;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgc_odb::{CollectionOutcome, PointerTarget, PointerWriteInfo};
+    use pgc_types::{Bytes, DbConfig, Oid, SlotId};
+
+    fn overwrite(old_partition: u32, weight: u8) -> BarrierEvent {
+        BarrierEvent::PointerWrite(PointerWriteInfo {
+            owner: Oid(1),
+            owner_partition: PartitionId(0),
+            slot: SlotId(0),
+            old: Some(PointerTarget {
+                oid: Oid(2),
+                partition: PartitionId(old_partition),
+                weight,
+            }),
+            new: None,
+            during_creation: false,
+        })
+    }
+
+    fn collected(victim: u32) -> BarrierEvent {
+        BarrierEvent::CollectionCompleted(CollectionOutcome {
+            victim: PartitionId(victim),
+            target: PartitionId(0),
+            live_objects: 0,
+            live_bytes: Bytes::ZERO,
+            garbage_objects: 0,
+            garbage_bytes: Bytes::ZERO,
+            forwarded_pointers: 0,
+            gc_reads: 0,
+            gc_writes: 0,
+        })
+    }
+
+    fn db_with_two_partitions() -> Database {
+        let cfg = DbConfig::default()
+            .with_page_size(1024)
+            .with_partition_pages(4);
+        let mut db = Database::new(cfg).unwrap();
+        let r = db.create_root(Bytes(100), 2).unwrap();
+        db.create_object(Bytes(4000), 2, r, SlotId(0)).unwrap();
+        db
+    }
+
+    fn overwrite_engine() -> (Engine, InputId, QueryId) {
+        let mut e = Engine::new();
+        let i = e.input(InputKind::Overwrites);
+        let q = e.query(QueryKind::MaxInput(i));
+        (e, i, q)
+    }
+
+    #[test]
+    fn inputs_accumulate_and_stamp() {
+        let (mut e, i, _) = overwrite_engine();
+        assert_eq!(e.value(i, PartitionId(2)), 0);
+        e.apply(&overwrite(2, 3));
+        e.apply(&overwrite(2, 3));
+        assert_eq!(e.value(i, PartitionId(2)), 2);
+        assert_eq!(e.stamp(i, PartitionId(2)), e.revision());
+        assert_eq!(
+            e.stamp(i, PartitionId(1)),
+            0,
+            "untouched partition unstamped"
+        );
+    }
+
+    #[test]
+    fn identical_input_kinds_are_shared() {
+        let mut e = Engine::new();
+        let a = e.input(InputKind::Overwrites);
+        let b = e.input(InputKind::Overwrites);
+        assert_eq!(a, b);
+        let c = e.input(InputKind::WeightedOverwrites { max_weight: 16 });
+        assert_ne!(a, c);
+        // Distinct parameterizations are distinct tables.
+        let d = e.input(InputKind::WeightedOverwrites { max_weight: 8 });
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn select_picks_highest_and_skips_empty_partition() {
+        let db = db_with_two_partitions();
+        let (mut e, _, q) = overwrite_engine();
+        let empty = db.empty_partition();
+        e.apply(&overwrite(empty.0, 3)); // must be ignored (not collectable)
+        e.apply(&overwrite(1, 3));
+        e.apply(&overwrite(2, 3));
+        e.apply(&overwrite(2, 3));
+        assert_eq!(e.select(q, &db), Some(PartitionId(2)));
+    }
+
+    #[test]
+    fn select_ties_break_low() {
+        let db = db_with_two_partitions();
+        let (mut e, _, q) = overwrite_engine();
+        e.apply(&overwrite(2, 3));
+        e.apply(&overwrite(1, 3));
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+    }
+
+    #[test]
+    fn select_falls_back_when_all_zero() {
+        let db = db_with_two_partitions();
+        let (mut e, _, q) = overwrite_engine();
+        // Fallback picks the fullest used partition (P2 holds the spill).
+        assert_eq!(e.select(q, &db), Some(PartitionId(2)));
+    }
+
+    #[test]
+    fn unchanged_reselection_is_a_memo_hit() {
+        let db = db_with_two_partitions();
+        let (mut e, _, q) = overwrite_engine();
+        e.apply(&overwrite(1, 3));
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        let s = e.stats();
+        assert_eq!((s.full, s.hits), (1, 2), "{s:?}");
+    }
+
+    #[test]
+    fn off_winner_changes_rescan_partially() {
+        let db = db_with_two_partitions();
+        let (mut e, _, q) = overwrite_engine();
+        for _ in 0..5 {
+            e.apply(&overwrite(1, 3));
+        }
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        // P2 moves but stays below the cached winner: partial rescan.
+        e.apply(&overwrite(2, 3));
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        // P2 overtakes: still a partial rescan, new winner.
+        for _ in 0..10 {
+            e.apply(&overwrite(2, 3));
+        }
+        assert_eq!(e.select(q, &db), Some(PartitionId(2)));
+        let s = e.stats();
+        assert_eq!((s.full, s.partial, s.hits), (1, 2, 0), "{s:?}");
+    }
+
+    #[test]
+    fn collection_voids_the_memo() {
+        let db = db_with_two_partitions();
+        let (mut e, i, q) = overwrite_engine();
+        e.apply(&overwrite(1, 3));
+        e.apply(&overwrite(2, 3));
+        e.apply(&overwrite(2, 3));
+        assert_eq!(e.select(q, &db), Some(PartitionId(2)));
+        e.apply(&collected(2));
+        assert_eq!(e.value(i, PartitionId(2)), 0, "victim zeroed");
+        // The empty partition rotates after a real collection, so the
+        // candidate set may have changed: full rescan, new winner.
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        assert_eq!(e.stats().full, 2);
+    }
+
+    #[test]
+    fn weighted_and_decayed_inputs_match_their_policies() {
+        let mut e = Engine::new();
+        let w = e.input(InputKind::WeightedOverwrites { max_weight: 16 });
+        let d = e.input(InputKind::DecayedOverwrites);
+        e.apply(&overwrite(1, 2));
+        assert_eq!(
+            e.value(w, PartitionId(1)),
+            16384,
+            "paper's 2^(16-2) example"
+        );
+        assert_eq!(e.value(d, PartitionId(1)), 2);
+        e.apply(&overwrite(1, 200));
+        assert_eq!(
+            e.value(w, PartitionId(1)),
+            16385,
+            "out-of-range weight clamps"
+        );
+        e.apply(&collected(9));
+        assert_eq!(
+            e.value(d, PartitionId(1)),
+            2,
+            "decay halves the doubled bump"
+        );
+        assert_eq!(
+            e.value(w, PartitionId(1)),
+            16385,
+            "weighted input does not decay"
+        );
+    }
+
+    #[test]
+    fn occupancy_input_tracks_alloc_copy_reclaim() {
+        let mut e = Engine::new();
+        let occ = e.input(InputKind::OccupancyBytes);
+        e.apply(&BarrierEvent::Allocation {
+            oid: Oid(1),
+            partition: PartitionId(1),
+            size: Bytes(3000),
+            grew: false,
+        });
+        assert_eq!(e.value(occ, PartitionId(1)), 3000);
+        e.apply(&BarrierEvent::ObjectCopied {
+            oid: Oid(1),
+            from: PartitionId(1),
+            to: PartitionId(2),
+            size: Bytes(1000),
+        });
+        assert_eq!(e.value(occ, PartitionId(1)), 2000);
+        assert_eq!(e.value(occ, PartitionId(2)), 1000);
+        e.apply(&BarrierEvent::ObjectReclaimed {
+            oid: Oid(1),
+            partition: PartitionId(1),
+            size: Bytes(2000),
+        });
+        assert_eq!(e.value(occ, PartitionId(1)), 0);
+    }
+
+    #[test]
+    fn composite_blends_in_one_pass() {
+        let db = db_with_two_partitions();
+        let mut e = Engine::new();
+        let o = e.input(InputKind::Overwrites);
+        let occ = e.input(InputKind::OccupancyBytes);
+        let r = e.input(InputKind::LastAllocation);
+        let q = e.query(QueryKind::Composite {
+            overwrites: o,
+            occupancy: occ,
+            recency: r,
+            weights: CompositeWeights::default(),
+        });
+        // Lots of bytes in P2, but overwrite evidence on P1 dominates.
+        e.apply(&BarrierEvent::Allocation {
+            oid: Oid(1),
+            partition: PartitionId(2),
+            size: Bytes(100 * 1024),
+            grew: false,
+        });
+        e.apply(&overwrite(1, 3));
+        assert!(e.score(q, PartitionId(1)) > e.score(q, PartitionId(2)));
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+    }
+
+    #[test]
+    fn growing_allocation_bumps_structure_and_forces_rescan() {
+        let db = db_with_two_partitions();
+        let (mut e, _, q) = overwrite_engine();
+        e.apply(&overwrite(1, 3));
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        e.apply(&BarrierEvent::PartitionGrowth { partitions: 5 });
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        let s = e.stats();
+        assert_eq!((s.full, s.hits), (2, 0), "growth voids the memo");
+    }
+}

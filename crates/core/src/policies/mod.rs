@@ -5,7 +5,16 @@
 //! [`MostGarbage`]. Baseline from related work: [`YnyMutated`] (the
 //! unenhanced Yong/Naughton/Yu policy). Extensions for ablation studies:
 //! [`RoundRobin`], [`Occupancy`], [`Generational`], [`UpdatedDecay`].
+//! Extensions built on the [`crate::derive`] layer: [`Composite`] (blended
+//! score, one pass) and [`AdaptiveMeta`] (online policy switching).
+//!
+//! The counter policies all keep their per-partition state in a
+//! [`crate::derive::Engine`] — revision-stamped inputs plus a memoized
+//! arg-max — so each policy body is just an input registration and a
+//! scoring rule.
 
+mod adaptive_meta;
+mod composite;
 mod generational;
 mod most_garbage;
 mod mutated_partition;
@@ -13,12 +22,13 @@ mod no_collection;
 mod occupancy;
 mod random;
 mod round_robin;
-mod scoreboard;
 mod updated_decay;
 mod updated_pointer;
 mod weighted_pointer;
 mod yny_mutated;
 
+pub use adaptive_meta::{AdaptiveMeta, DEFAULT_CANDIDATES, DEFAULT_MARGIN_PCT, DEFAULT_WINDOW};
+pub use composite::Composite;
 pub use generational::Generational;
 pub use most_garbage::MostGarbage;
 pub use mutated_partition::MutatedPartition;
@@ -26,7 +36,6 @@ pub use no_collection::NoCollection;
 pub use occupancy::Occupancy;
 pub use random::Random;
 pub use round_robin::RoundRobin;
-pub use scoreboard::ScoreBoard;
 pub use updated_decay::UpdatedDecay;
 pub use updated_pointer::UpdatedPointer;
 pub use weighted_pointer::WeightedPointer;
@@ -53,6 +62,8 @@ pub fn build_policy(kind: PolicyKind, seed: u64, max_weight: u8) -> Box<dyn Sele
         PolicyKind::YnyMutated => Box::new(YnyMutated::new()),
         PolicyKind::Generational => Box::new(Generational::new()),
         PolicyKind::UpdatedDecay => Box::new(UpdatedDecay::new()),
+        PolicyKind::Composite => Box::new(Composite::new()),
+        PolicyKind::AdaptiveMeta => Box::new(AdaptiveMeta::new(max_weight)),
     }
 }
 

@@ -11,38 +11,49 @@
 //! ("it is influenced by the creation of new objects, which is not
 //! correlated to the creation of garbage").
 
-use crate::policies::scoreboard::ScoreBoard;
+use crate::derive::{DeriveStats, Engine, InputId, InputKind, QueryId, QueryKind};
 use crate::policy::{PolicyKind, SelectionPolicy};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The mutation-count policy.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MutatedPartition {
-    scores: ScoreBoard,
+    engine: Engine,
+    input: InputId,
+    query: QueryId,
+}
+
+impl Default for MutatedPartition {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MutatedPartition {
-    /// Creates the policy.
+    /// Creates the policy: an [`InputKind::PointerWrites`] table —
+    /// "increment the counter associated with the partition being written
+    /// into" — and the memoized arg-max over it.
     pub fn new() -> Self {
-        Self::default()
+        let mut engine = Engine::new();
+        let input = engine.input(InputKind::PointerWrites);
+        let query = engine.query(QueryKind::MaxInput(input));
+        Self {
+            engine,
+            input,
+            query,
+        }
     }
 
     /// Current score of a partition (for tests and diagnostics).
     pub fn score(&self, p: PartitionId) -> u64 {
-        self.scores.score(p)
+        self.engine.value(self.input, p)
     }
 }
 
 impl BarrierObserver for MutatedPartition {
     fn on_event(&mut self, event: &BarrierEvent) {
-        match event {
-            // "increment the counter associated with the partition being
-            // written into" — the partition containing the mutated object.
-            BarrierEvent::PointerWrite(info) => self.scores.bump(info.owner_partition, 1),
-            BarrierEvent::CollectionCompleted(outcome) => self.scores.reset(outcome.victim),
-            _ => {}
-        }
+        self.engine.apply(event);
     }
 }
 
@@ -52,11 +63,15 @@ impl SelectionPolicy for MutatedPartition {
     }
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
-        self.scores.select_max(db)
+        self.engine.select(self.query, db)
     }
 
     fn victim_score(&self, partition: PartitionId) -> Option<f64> {
-        Some(self.scores.score(partition) as f64)
+        Some(self.score(partition) as f64)
+    }
+
+    fn derive_stats(&self) -> Option<DeriveStats> {
+        Some(self.engine.stats())
     }
 }
 

@@ -12,45 +12,50 @@
 //! whether recency-weighting the hints buys anything on the paper's
 //! workload.
 
-use crate::policies::scoreboard::ScoreBoard;
+use crate::derive::{DeriveStats, Engine, InputId, InputKind, QueryId, QueryKind};
 use crate::policy::{PolicyKind, SelectionPolicy};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The recency-weighted overwritten-pointer policy.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct UpdatedDecay {
-    scores: ScoreBoard,
+    engine: Engine,
+    input: InputId,
+    query: QueryId,
+}
+
+impl Default for UpdatedDecay {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl UpdatedDecay {
-    /// Creates the policy.
+    /// Creates the policy: an [`InputKind::DecayedOverwrites`] table —
+    /// bumps are doubled relative to `UpdatedPointer` so one round of
+    /// decay still leaves integer resolution — and the memoized arg-max
+    /// over it.
     pub fn new() -> Self {
-        Self::default()
+        let mut engine = Engine::new();
+        let input = engine.input(InputKind::DecayedOverwrites);
+        let query = engine.query(QueryKind::MaxInput(input));
+        Self {
+            engine,
+            input,
+            query,
+        }
     }
 
     /// Current score of a partition (for tests and diagnostics).
     pub fn score(&self, p: PartitionId) -> u64 {
-        self.scores.score(p)
+        self.engine.value(self.input, p)
     }
 }
 
 impl BarrierObserver for UpdatedDecay {
     fn on_event(&mut self, event: &BarrierEvent) {
-        match event {
-            BarrierEvent::PointerWrite(info) => {
-                if let Some(old) = info.old {
-                    // Scores are doubled relative to UpdatedPointer so that
-                    // one round of decay still leaves integer resolution.
-                    self.scores.bump(old.partition, 2);
-                }
-            }
-            BarrierEvent::CollectionCompleted(outcome) => {
-                self.scores.reset(outcome.victim);
-                self.scores.decay_all();
-            }
-            _ => {}
-        }
+        self.engine.apply(event);
     }
 }
 
@@ -60,11 +65,15 @@ impl SelectionPolicy for UpdatedDecay {
     }
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
-        self.scores.select_max(db)
+        self.engine.select(self.query, db)
     }
 
     fn victim_score(&self, partition: PartitionId) -> Option<f64> {
-        Some(self.scores.score(partition) as f64)
+        Some(self.score(partition) as f64)
+    }
+
+    fn derive_stats(&self) -> Option<DeriveStats> {
+        Some(self.engine.stats())
     }
 }
 

@@ -7,40 +7,48 @@
 //! essentially that of `MutatedPartition`: the overwritten value is on the
 //! very page being written, so reading it is free.
 
-use crate::policies::scoreboard::ScoreBoard;
+use crate::derive::{DeriveStats, Engine, InputId, InputKind, QueryId, QueryKind};
 use crate::policy::{PolicyKind, SelectionPolicy};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The overwritten-pointer policy (the paper's best implementable policy).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct UpdatedPointer {
-    scores: ScoreBoard,
+    engine: Engine,
+    input: InputId,
+    query: QueryId,
+}
+
+impl Default for UpdatedPointer {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl UpdatedPointer {
-    /// Creates the policy.
+    /// Creates the policy: an [`InputKind::Overwrites`] table and the
+    /// memoized arg-max over it.
     pub fn new() -> Self {
-        Self::default()
+        let mut engine = Engine::new();
+        let input = engine.input(InputKind::Overwrites);
+        let query = engine.query(QueryKind::MaxInput(input));
+        Self {
+            engine,
+            input,
+            query,
+        }
     }
 
     /// Current score of a partition (for tests and diagnostics).
     pub fn score(&self, p: PartitionId) -> u64 {
-        self.scores.score(p)
+        self.engine.value(self.input, p)
     }
 }
 
 impl BarrierObserver for UpdatedPointer {
     fn on_event(&mut self, event: &BarrierEvent) {
-        match event {
-            BarrierEvent::PointerWrite(info) => {
-                if let Some(old) = info.old {
-                    self.scores.bump(old.partition, 1);
-                }
-            }
-            BarrierEvent::CollectionCompleted(outcome) => self.scores.reset(outcome.victim),
-            _ => {}
-        }
+        self.engine.apply(event);
     }
 }
 
@@ -50,11 +58,15 @@ impl SelectionPolicy for UpdatedPointer {
     }
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
-        self.scores.select_max(db)
+        self.engine.select(self.query, db)
     }
 
     fn victim_score(&self, partition: PartitionId) -> Option<f64> {
-        Some(self.scores.score(partition) as f64)
+        Some(self.score(partition) as f64)
+    }
+
+    fn derive_stats(&self) -> Option<DeriveStats> {
+        Some(self.engine.stats())
     }
 }
 

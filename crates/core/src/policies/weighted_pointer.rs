@@ -13,7 +13,7 @@
 //! and degrades quickly as dense edges are added (Table 5), so its extra
 //! cost is usually not warranted.
 
-use crate::policies::scoreboard::ScoreBoard;
+use crate::derive::{DeriveStats, Engine, InputId, InputKind, QueryId, QueryKind};
 use crate::policy::{PolicyKind, SelectionPolicy};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
@@ -21,16 +21,25 @@ use pgc_types::PartitionId;
 /// The weight-scored overwrite policy.
 #[derive(Debug, Clone)]
 pub struct WeightedPointer {
-    scores: ScoreBoard,
+    engine: Engine,
+    input: InputId,
+    query: QueryId,
     max_weight: u8,
 }
 
 impl WeightedPointer {
     /// Creates the policy; `max_weight` must match the database
-    /// configuration (16 in the paper).
+    /// configuration (16 in the paper). Its table is an
+    /// [`InputKind::WeightedOverwrites`] input with the memoized arg-max
+    /// over it.
     pub fn new(max_weight: u8) -> Self {
+        let mut engine = Engine::new();
+        let input = engine.input(InputKind::WeightedOverwrites { max_weight });
+        let query = engine.query(QueryKind::MaxInput(input));
         Self {
-            scores: ScoreBoard::new(),
+            engine,
+            input,
+            query,
             max_weight,
         }
     }
@@ -44,22 +53,13 @@ impl WeightedPointer {
 
     /// Current score of a partition (for tests and diagnostics).
     pub fn score(&self, p: PartitionId) -> u64 {
-        self.scores.score(p)
+        self.engine.value(self.input, p)
     }
 }
 
 impl BarrierObserver for WeightedPointer {
     fn on_event(&mut self, event: &BarrierEvent) {
-        match event {
-            BarrierEvent::PointerWrite(info) => {
-                if let Some(old) = info.old {
-                    let score = self.score_for_weight(old.weight);
-                    self.scores.bump(old.partition, score);
-                }
-            }
-            BarrierEvent::CollectionCompleted(outcome) => self.scores.reset(outcome.victim),
-            _ => {}
-        }
+        self.engine.apply(event);
     }
 }
 
@@ -69,11 +69,15 @@ impl SelectionPolicy for WeightedPointer {
     }
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
-        self.scores.select_max(db)
+        self.engine.select(self.query, db)
     }
 
     fn victim_score(&self, partition: PartitionId) -> Option<f64> {
-        Some(self.scores.score(partition) as f64)
+        Some(self.score(partition) as f64)
+    }
+
+    fn derive_stats(&self) -> Option<DeriveStats> {
+        Some(self.engine.stats())
     }
 }
 

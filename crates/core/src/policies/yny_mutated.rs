@@ -7,38 +7,49 @@
 //! enhancement (ignoring pure data mutations, which "cannot create
 //! garbage") buys.
 
-use crate::policies::scoreboard::ScoreBoard;
+use crate::derive::{DeriveStats, Engine, InputId, InputKind, QueryId, QueryKind};
 use crate::policy::{PolicyKind, SelectionPolicy};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
 /// The all-mutations-count policy.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct YnyMutated {
-    scores: ScoreBoard,
+    engine: Engine,
+    input: InputId,
+    query: QueryId,
+}
+
+impl Default for YnyMutated {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl YnyMutated {
-    /// Creates the policy.
+    /// Creates the policy: an [`InputKind::Mutations`] table — the
+    /// distinguishing feature is that data mutations count too — and the
+    /// memoized arg-max over it.
     pub fn new() -> Self {
-        Self::default()
+        let mut engine = Engine::new();
+        let input = engine.input(InputKind::Mutations);
+        let query = engine.query(QueryKind::MaxInput(input));
+        Self {
+            engine,
+            input,
+            query,
+        }
     }
 
     /// Current score of a partition (for tests and diagnostics).
     pub fn score(&self, p: PartitionId) -> u64 {
-        self.scores.score(p)
+        self.engine.value(self.input, p)
     }
 }
 
 impl BarrierObserver for YnyMutated {
     fn on_event(&mut self, event: &BarrierEvent) {
-        match event {
-            BarrierEvent::PointerWrite(info) => self.scores.bump(info.owner_partition, 1),
-            // The distinguishing feature: data mutations count too.
-            BarrierEvent::DataWrite { partition, .. } => self.scores.bump(*partition, 1),
-            BarrierEvent::CollectionCompleted(outcome) => self.scores.reset(outcome.victim),
-            _ => {}
-        }
+        self.engine.apply(event);
     }
 }
 
@@ -48,11 +59,15 @@ impl SelectionPolicy for YnyMutated {
     }
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
-        self.scores.select_max(db)
+        self.engine.select(self.query, db)
     }
 
     fn victim_score(&self, partition: PartitionId) -> Option<f64> {
-        Some(self.scores.score(partition) as f64)
+        Some(self.score(partition) as f64)
+    }
+
+    fn derive_stats(&self) -> Option<DeriveStats> {
+        Some(self.engine.stats())
     }
 }
 

@@ -51,6 +51,15 @@ pub enum PolicyKind {
     /// Extension (not in the paper): `UpdatedPointer` with geometric score
     /// decay at each collection, so stale hints fade.
     UpdatedDecay,
+    /// Extension (not in the paper): a weighted blend of overwrite count,
+    /// partition occupancy, and allocation recency, computed in one pass
+    /// over the derive layer's shared inputs.
+    Composite,
+    /// Extension (not in the paper): an adaptive meta-policy that races a
+    /// slate of candidate policies as shadow scoreboards and switches the
+    /// driving policy mid-run when a challenger's retrospective garbage
+    /// credit beats the incumbent's by a configurable margin.
+    AdaptiveMeta,
 }
 
 impl PolicyKind {
@@ -66,7 +75,7 @@ impl PolicyKind {
     ];
 
     /// Every implemented policy, paper policies first.
-    pub const ALL: [PolicyKind; 11] = [
+    pub const ALL: [PolicyKind; 13] = [
         PolicyKind::NoCollection,
         PolicyKind::MutatedPartition,
         PolicyKind::Random,
@@ -78,6 +87,8 @@ impl PolicyKind {
         PolicyKind::YnyMutated,
         PolicyKind::Generational,
         PolicyKind::UpdatedDecay,
+        PolicyKind::Composite,
+        PolicyKind::AdaptiveMeta,
     ];
 
     /// Stable display name, matching the paper's table rows.
@@ -94,6 +105,8 @@ impl PolicyKind {
             PolicyKind::YnyMutated => "YNY-Mutated",
             PolicyKind::Generational => "Generational",
             PolicyKind::UpdatedDecay => "UpdatedDecay",
+            PolicyKind::Composite => "Composite",
+            PolicyKind::AdaptiveMeta => "AdaptiveMeta",
         }
     }
 
@@ -133,6 +146,8 @@ impl FromStr for PolicyKind {
             "ynymutated" | "yny" => Ok(PolicyKind::YnyMutated),
             "generational" => Ok(PolicyKind::Generational),
             "updateddecay" | "decay" => Ok(PolicyKind::UpdatedDecay),
+            "composite" => Ok(PolicyKind::Composite),
+            "adaptivemeta" | "adaptive" | "meta" => Ok(PolicyKind::AdaptiveMeta),
             _ => Err(format!("unknown policy '{s}'")),
         }
     }
@@ -177,6 +192,32 @@ pub trait SelectionPolicy: BarrierObserver {
     fn name(&self) -> &'static str {
         self.kind().name()
     }
+
+    /// Drains any driving-policy switches the policy decided since the
+    /// last drain. Only meta-policies ever return entries; the collector
+    /// broadcasts each as [`pgc_odb::BarrierEvent::PolicySwitched`].
+    fn take_switches(&mut self) -> Vec<PolicySwitch> {
+        Vec::new()
+    }
+
+    /// Recompute/hit counters of the policy's derive engine(s), if it is
+    /// built on [`crate::derive`]. Hand-rolled and stateless policies
+    /// report `None`. Purely diagnostic (surfaced through telemetry).
+    fn derive_stats(&self) -> Option<crate::derive::DeriveStats> {
+        None
+    }
+}
+
+/// One driving-policy switch decided by a meta-policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicySwitch {
+    /// The activation whose collection outcome triggered the switch (the
+    /// new policy drives selection from the *next* activation).
+    pub activation: u64,
+    /// The policy that was driving.
+    pub from: PolicyKind,
+    /// The policy now driving.
+    pub to: PolicyKind,
 }
 
 /// Deterministic fallback victim used by counter-based policies whose
@@ -235,6 +276,30 @@ mod tests {
             PolicyKind::MostGarbage
         );
         assert!("bogus".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_its_name() {
+        assert_eq!(PolicyKind::ALL.len(), 13);
+        for kind in PolicyKind::ALL {
+            assert_eq!(
+                kind.name().parse::<PolicyKind>().unwrap(),
+                kind,
+                "{kind}: display name must parse back to the same variant"
+            );
+        }
+        // The new derive-layer policies' CLI aliases.
+        assert_eq!(
+            "composite".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Composite
+        );
+        for alias in ["adaptive-meta", "adaptive", "meta"] {
+            assert_eq!(
+                alias.parse::<PolicyKind>().unwrap(),
+                PolicyKind::AdaptiveMeta,
+                "{alias}"
+            );
+        }
     }
 
     #[test]

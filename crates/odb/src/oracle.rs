@@ -20,7 +20,7 @@
 //! all of them live in an [`OracleScratch`] that callers can reuse across
 //! passes: after the first pass on a given database size, an oracle pass
 //! performs no heap allocation. The original hash-set implementation is
-//! retained verbatim in [`reference`] as the correctness baseline for
+//! retained verbatim in [`mod@reference`] as the correctness baseline for
 //! equivalence tests and for the perf-regression harness
 //! (`perf_report`).
 
@@ -230,7 +230,7 @@ pub fn reachable_set(db: &Database) -> HashSet<Oid> {
 ///
 /// This is the pre-dense implementation, byte for byte: three `HashSet`s
 /// allocated per pass. The equivalence test below and the seeded-loop
-/// property test in `tests/` hold [`analyze`](self::analyze) to producing
+/// property test in `tests/` hold [`analyze`] to producing
 /// identical [`OracleReport`]s, and `perf_report` measures the speedup
 /// against it.
 pub mod reference {

@@ -16,8 +16,9 @@
 //! * [`shadow`] — shadow-scoreboard policy races: one driver policy makes
 //!   the collection decisions while every other honest policy's scoreboard
 //!   rides the same barrier event bus and records the victim it *would*
-//!   have picked, yielding a per-collection agreement matrix from a single
-//!   replay.
+//!   have picked, yielding a per-collection agreement matrix and a
+//!   cumulative-regret accounting (would-be picks scored against realized
+//!   garbage) from a single replay.
 //! * [`summary`] — mean / standard deviation over the ten-seed repetitions
 //!   the paper reports.
 //! * [`experiment`] — multi-policy, multi-seed comparisons
@@ -58,7 +59,8 @@ pub use metrics::{RunTotals, SamplePoint, TimeSeries};
 pub use replay::Replayer;
 pub use run::{RunConfig, RunOutcome, Simulation, SimulationBuilder};
 pub use shadow::{
-    agreement_table, run_race, run_race_with_telemetry, RaceOutcome, RaceRecord, ShadowPick,
+    agreement_table, regret_table, run_race, run_race_with_telemetry, RaceOutcome, RaceRecord,
+    ShadowPick,
 };
 pub use summary::Summary;
 // The telemetry vocabulary rides along so simulator users don't need a

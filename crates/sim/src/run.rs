@@ -15,11 +15,12 @@
 
 use crate::metrics::{RunTotals, SamplePoint, TimeSeries};
 use crate::replay::Replayer;
-use pgc_core::{build_policy, Collector, PolicyKind, Trigger};
+use pgc_core::{build_policy, Collector, DeriveStats, PolicyKind, Trigger};
 use pgc_odb::oracle::OracleScratch;
 use pgc_odb::{oracle, BarrierObserver, CollectionOutcome, Database, DbStats};
 use pgc_telemetry::{
-    TelemetryHandle, TelemetryLevel, TelemetryObserver, TelemetrySnapshot, TriggerReason,
+    DeriveSummary, TelemetryHandle, TelemetryLevel, TelemetryObserver, TelemetrySnapshot,
+    TriggerReason,
 };
 use pgc_types::{Bytes, DbConfig, PlacementPolicy, Result};
 use pgc_workload::generator::GenStats;
@@ -265,6 +266,10 @@ pub struct RunOutcome {
     /// Telemetry captured by the run (`None` unless the run was built
     /// with [`SimulationBuilder::telemetry`] above `Off`).
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Recompute counters from the driving policy's derive engine (`None`
+    /// when the policy keeps no derived state, e.g. `Random`). Also
+    /// mirrored onto [`TelemetrySnapshot::derive`] when telemetry is on.
+    pub derive: Option<DeriveStats>,
 }
 
 /// Entry points for running simulations.
@@ -437,6 +442,16 @@ impl<'a> SimulationBuilder<'a> {
 
         let mut out = finish(cfg, replayer, series, gen_stats, &mut scratch);
         out.telemetry = telemetry.map(TelemetryHandle::finish);
+        if let (Some(snap), Some(stats)) = (out.telemetry.as_mut(), out.derive) {
+            snap.derive = Some(DeriveSummary {
+                inputs: stats.inputs,
+                queries: stats.queries,
+                revision: stats.revision,
+                hits: stats.hits,
+                partial: stats.partial,
+                full: stats.full,
+            });
+        }
         Ok(out)
     }
 }
@@ -480,7 +495,7 @@ pub(crate) fn finish(
         app_net_ops: db.net_stats().app_reads + db.net_stats().app_writebacks,
         gc_net_ops: db.net_stats().gc_reads + db.net_stats().gc_writebacks,
     };
-    let (_db, _collector, collections) = replayer.into_parts();
+    let (_db, collector, collections) = replayer.into_parts();
     RunOutcome {
         policy: cfg.policy,
         seed: cfg.workload.seed,
@@ -490,6 +505,7 @@ pub(crate) fn finish(
         gen_stats,
         collections,
         telemetry: None,
+        derive: collector.policy().derive_stats(),
     }
 }
 
@@ -613,6 +629,33 @@ mod tests {
         }
         let total_app: u64 = snap.records.iter().map(|r| r.app_ios_delta).sum();
         assert!(total_app <= out.totals.app_ios);
+    }
+
+    #[test]
+    fn derive_stats_ride_the_outcome_for_scoreboard_policies() {
+        let out = run(&RunConfig::small().with_seed(11));
+        let stats = out.derive.expect("UpdatedPointer keeps derived state");
+        assert!(stats.selections() >= out.totals.collections);
+        assert!(stats.revision > 0, "events advanced the input revision");
+        let random = run(&RunConfig::small()
+            .with_seed(11)
+            .with_policy(PolicyKind::Random));
+        assert!(random.derive.is_none(), "Random keeps no derived state");
+    }
+
+    #[test]
+    fn derive_stats_mirror_onto_the_telemetry_snapshot() {
+        let cfg = RunConfig::small().with_seed(12);
+        let out = Simulation::builder(&cfg)
+            .telemetry(TelemetryLevel::Metrics)
+            .run()
+            .unwrap();
+        let stats = out.derive.unwrap();
+        let mirrored = out.telemetry.unwrap().derive.unwrap();
+        assert_eq!(mirrored.hits, stats.hits);
+        assert_eq!(mirrored.partial, stats.partial);
+        assert_eq!(mirrored.full, stats.full);
+        assert_eq!(mirrored.revision, stats.revision);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::summary::Summary;
 use pgc_core::{build_policy, PolicyKind, SelectionPolicy};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_telemetry::{ShadowPickNote, TelemetryLevel};
-use pgc_types::{PartitionId, Result};
+use pgc_types::{Bytes, PartitionId, Result};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -44,6 +44,10 @@ pub struct RaceRecord {
     /// The partition the driver actually collected first at this
     /// activation (`None` = the driver declined, e.g. `NoCollection`).
     pub driver_victim: Option<PartitionId>,
+    /// Every collection the driver performed this activation (victim and
+    /// garbage bytes reclaimed), batch extras included — the realized
+    /// outcomes that regret accounting scores picks against.
+    pub driver_collections: Vec<(PartitionId, Bytes)>,
     /// Each shadow's counterfactual pick, in registration order.
     pub picks: Vec<ShadowPick>,
 }
@@ -71,6 +75,10 @@ struct RaceLog {
 struct ShadowObserver {
     policy: Box<dyn SelectionPolicy>,
     log: Rc<RefCell<RaceLog>>,
+    /// True for the first-registered shadow only: every observer sees
+    /// every event, so exactly one of them logs the shared per-record
+    /// collection outcomes.
+    lead: bool,
 }
 
 impl BarrierObserver for ShadowObserver {
@@ -86,6 +94,7 @@ impl BarrierObserver for ShadowObserver {
                 log.records.push(RaceRecord {
                     activation,
                     driver_victim: None,
+                    driver_collections: Vec::new(),
                     picks: Vec::new(),
                 });
             }
@@ -95,6 +104,10 @@ impl BarrierObserver for ShadowObserver {
                 if let Some(rec) = log.records.last_mut() {
                     if rec.driver_victim.is_none() {
                         rec.driver_victim = Some(outcome.victim);
+                    }
+                    if self.lead {
+                        rec.driver_collections
+                            .push((outcome.victim, outcome.garbage_bytes));
                     }
                 }
             }
@@ -173,6 +186,53 @@ impl RaceOutcome {
                 .unwrap_or(false)
         })
     }
+
+    /// Garbage bytes the driver actually reclaimed over the run (batch
+    /// extras included). Every collection realizes one of the driver's own
+    /// picks, so this is the driver's cumulative credit under the same
+    /// credit-once rule [`RaceOutcome::shadow_credit`] applies to shadows.
+    pub fn driver_credit(&self) -> u64 {
+        self.records
+            .iter()
+            .flat_map(|r| &r.driver_collections)
+            .map(|&(_, bytes)| bytes.get())
+            .sum()
+    }
+
+    /// Cumulative credit a shadow's would-be picks earned against the
+    /// driver's realized collections — the scoring rule the `AdaptiveMeta`
+    /// policy applies to its candidates, here applied retrospectively.
+    ///
+    /// Each activation the shadow's pick (recorded at trigger time, before
+    /// any collection settles) joins its pending set; whenever the driver
+    /// collects a partition with a pending pick, the shadow is credited
+    /// that collection's garbage bytes once and all pending picks of that
+    /// partition clear. Nominating a partition every activation earns no
+    /// more than nominating it once.
+    pub fn shadow_credit(&self, shadow: PolicyKind) -> u64 {
+        let mut pending: Vec<PartitionId> = Vec::new();
+        let mut credit = 0;
+        for rec in &self.records {
+            if let Some(victim) = rec.pick_for(shadow).and_then(|p| p.victim) {
+                pending.push(victim);
+            }
+            for &(partition, bytes) in &rec.driver_collections {
+                if pending.contains(&partition) {
+                    credit += bytes.get();
+                    pending.retain(|&p| p != partition);
+                }
+            }
+        }
+        credit
+    }
+
+    /// The driver's credit minus the shadow's: positive when the driver's
+    /// realized picks out-earned the shadow's counterfactual ones,
+    /// negative when the shadow kept nominating the partitions that turned
+    /// out to hold the garbage before the driver got to them.
+    pub fn regret(&self, shadow: PolicyKind) -> i64 {
+        self.driver_credit() as i64 - self.shadow_credit(shadow) as i64
+    }
 }
 
 /// Aggregates agreement across several races (typically one per seed):
@@ -202,6 +262,31 @@ pub fn agreement_table(races: &[RaceOutcome]) -> Vec<(PolicyKind, Summary, Summa
         .collect()
 }
 
+/// Aggregates regret accounting across several races (typically one per
+/// seed): `(shadow, credit-KiB summary, regret-KiB summary)`. Shadow order
+/// follows the first race. The driver's own credit rides along as the
+/// baseline the regret column is measured against.
+pub fn regret_table(races: &[RaceOutcome]) -> Vec<(PolicyKind, Summary, Summary)> {
+    let Some(first) = races.first() else {
+        return Vec::new();
+    };
+    first
+        .shadows
+        .iter()
+        .map(|&shadow| {
+            let credit: Vec<f64> = races
+                .iter()
+                .map(|r| r.shadow_credit(shadow) as f64 / 1024.0)
+                .collect();
+            let regret: Vec<f64> = races
+                .iter()
+                .map(|r| r.regret(shadow) as f64 / 1024.0)
+                .collect();
+            (shadow, Summary::of(&credit), Summary::of(&regret))
+        })
+        .collect()
+}
+
 /// Runs the synthetic workload described by `cfg` once, with `cfg.policy`
 /// driving collections and every policy in `shadows` racing as a shadow
 /// scoreboard on the same event stream.
@@ -227,10 +312,11 @@ pub fn run_race_with_telemetry(
 ) -> Result<RaceOutcome> {
     let log = Rc::new(RefCell::new(RaceLog::default()));
     let mut builder = Simulation::builder(cfg).telemetry(level);
-    for &kind in shadows {
+    for (i, &kind) in shadows.iter().enumerate() {
         builder = builder.observer(Box::new(ShadowObserver {
             policy: build_policy(kind, cfg.policy_seed(), cfg.db.max_weight),
             log: Rc::clone(&log),
+            lead: i == 0,
         }));
     }
     let mut outcome = builder.run()?;
@@ -348,6 +434,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn self_shadow_has_zero_regret() {
+        // With a batch of 1 every collection realizes the driver's pick,
+        // and a deterministic policy shadowing itself picks the same
+        // victims — so its credit equals the driver's exactly.
+        let cfg = RunConfig::small()
+            .with_policy(PolicyKind::UpdatedPointer)
+            .with_seed(18);
+        let race = run_race(&cfg, &[PolicyKind::UpdatedPointer]).unwrap();
+        assert!(race.driver_credit() > 0, "driver reclaimed something");
+        assert_eq!(
+            race.shadow_credit(PolicyKind::UpdatedPointer),
+            race.driver_credit()
+        );
+        assert_eq!(race.regret(PolicyKind::UpdatedPointer), 0);
+    }
+
+    #[test]
+    fn driver_collections_sum_to_run_totals() {
+        let cfg = RunConfig::small().with_seed(19);
+        let race = run_race(&cfg, &PAPER_SHADOWS).unwrap();
+        assert_eq!(
+            race.driver_credit(),
+            race.outcome.totals.reclaimed_bytes.get(),
+            "lead shadow logs every collection exactly once"
+        );
+        for rec in &race.records {
+            assert_eq!(rec.driver_collections.len(), 1, "batch of 1");
+            assert_eq!(rec.driver_collections[0].0, rec.driver_victim.unwrap());
+        }
+    }
+
+    #[test]
+    fn shadow_credit_is_bounded_by_driver_credit() {
+        let cfg = RunConfig::small()
+            .with_policy(PolicyKind::MostGarbage)
+            .with_seed(20);
+        let race = run_race(&cfg, &PAPER_SHADOWS).unwrap();
+        for &shadow in &PAPER_SHADOWS {
+            assert!(
+                race.shadow_credit(shadow) <= race.driver_credit(),
+                "{shadow:?} cannot out-earn the realized total"
+            );
+        }
+        let table = regret_table(std::slice::from_ref(&race));
+        assert_eq!(table.len(), PAPER_SHADOWS.len());
+        assert!(regret_table(&[]).is_empty());
     }
 
     #[test]

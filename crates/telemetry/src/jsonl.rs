@@ -15,6 +15,7 @@
 //!  "collections":1,"live_objects":10,"live_bytes":1000,
 //!  "garbage_objects":5,"garbage_bytes":500,"forwarded_pointers":2,
 //!  "gc_reads":3,"gc_writes":4,"app_ios_before":100,"app_ios_delta":42,
+//!  "policy_switches":[{"activation":1,"from":"UpdatedPointer","to":"Occupancy"}],
 //!  "shadow_picks":[{"policy":"Random","victim":2}]}
 //! ```
 //!
@@ -22,7 +23,7 @@
 //! absent. `victim_score` is human-readable only; the round-trippable
 //! value is `victim_score_bits` (`f64::to_bits`), so parsing is exact.
 
-use crate::record::{ActivationRecord, ShadowPickNote, TriggerReason};
+use crate::record::{ActivationRecord, PolicySwitchNote, ShadowPickNote, TriggerReason};
 use crate::snapshot::TelemetrySnapshot;
 use pgc_types::{Bytes, PartitionId};
 use std::fmt::Write as _;
@@ -97,7 +98,7 @@ pub fn record_line(
         "\"collections\":{},\"live_objects\":{},\"live_bytes\":{},\
          \"garbage_objects\":{},\"garbage_bytes\":{},\"forwarded_pointers\":{},\
          \"gc_reads\":{},\"gc_writes\":{},\"app_ios_before\":{},\"app_ios_delta\":{},\
-         \"shadow_picks\":[",
+         \"policy_switches\":[",
         rec.collections,
         rec.live_objects,
         rec.live_bytes.get(),
@@ -109,6 +110,17 @@ pub fn record_line(
         rec.app_ios_before,
         rec.app_ios_delta,
     );
+    for (i, sw) in rec.policy_switches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"activation\":{},\"from\":\"{}\",\"to\":\"{}\"}}",
+            sw.activation, sw.from, sw.to
+        );
+    }
+    out.push_str("],\"shadow_picks\":[");
     for (i, pick) in rec.shadow_picks.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -178,6 +190,33 @@ fn scalar_str(body: &str, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("expected string for '{key}', got {raw}"))
 }
 
+fn parse_switches(body: &str) -> Result<Vec<PolicySwitchNote>, String> {
+    let tag = "\"policy_switches\":[";
+    // Lenient: lines written before the key existed parse as no switches.
+    let Some(start) = body.find(tag).map(|i| i + tag.len()) else {
+        return Ok(Vec::new());
+    };
+    let rest = &body[start..];
+    let end = rest.find(']').ok_or("unterminated policy_switches array")?;
+    let inner = &rest[..end];
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split("},{")
+        .map(|entry| {
+            let entry = entry.trim_start_matches('{').trim_end_matches('}');
+            // Re-wrap so the scalar helpers see terminated values.
+            let entry = format!("{entry}}}");
+            Ok(PolicySwitchNote {
+                activation: scalar_u64(&entry, "activation")?,
+                from: scalar_str(&entry, "from")?,
+                to: scalar_str(&entry, "to")?,
+            })
+        })
+        .collect()
+}
+
 fn parse_picks(body: &str) -> Result<Vec<ShadowPickNote>, String> {
     let tag = "\"shadow_picks\":[";
     let start = body.find(tag).ok_or("missing key 'shadow_picks'")? + tag.len();
@@ -210,10 +249,17 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
             "unsupported schema '{schema}' (expected '{SCHEMA}')"
         ));
     }
-    // Scalar keys all precede the shadow_picks array (fixed key order), so
-    // restricting scalar searches to that prefix keeps the picks' own
-    // "policy"/"victim" keys out of scope.
-    let head_end = line.find("\"shadow_picks\"").unwrap_or(line.len());
+    // Scalar keys all precede the two trailing arrays (fixed key order), so
+    // restricting scalar searches to that prefix keeps the arrays' own
+    // "policy"/"victim"/"activation" keys out of scope.
+    let head_end = [
+        line.find("\"policy_switches\""),
+        line.find("\"shadow_picks\""),
+    ]
+    .into_iter()
+    .flatten()
+    .min()
+    .unwrap_or(line.len());
     let head = &line[..head_end];
     let record = ActivationRecord {
         activation: scalar_u64(head, "activation")?,
@@ -231,6 +277,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
         gc_writes: scalar_u64(head, "gc_writes")?,
         app_ios_before: scalar_u64(head, "app_ios_before")?,
         app_ios_delta: scalar_u64(head, "app_ios_delta")?,
+        policy_switches: parse_switches(line)?,
         shadow_picks: parse_picks(line)?,
     };
     Ok(ParsedLine {
@@ -259,6 +306,11 @@ mod tests {
         rec.gc_writes = 4;
         rec.app_ios_before = 100;
         rec.app_ios_delta = 42;
+        rec.policy_switches = vec![PolicySwitchNote {
+            activation: 7,
+            from: "UpdatedPointer".to_string(),
+            to: "Occupancy".to_string(),
+        }];
         rec.shadow_picks = vec![
             ShadowPickNote {
                 policy: "Random".to_string(),
@@ -293,9 +345,27 @@ mod tests {
         let rec = ActivationRecord::open(1, 10, 10);
         let line = record_line("NoCollection", 1, TriggerReason::PartitionGrowth, &rec);
         assert!(line.contains("\"victim\":null"));
+        assert!(line.contains("\"policy_switches\":[]"));
         assert!(line.contains("\"shadow_picks\":[]"));
         let parsed = parse_line(&line).unwrap();
         assert_eq!(parsed.record, rec);
+    }
+
+    #[test]
+    fn lines_without_policy_switches_still_parse() {
+        // Files written before the key existed must keep parsing (as
+        // no switches).
+        let rec = sample_record();
+        let line = record_line("X", 1, TriggerReason::External, &rec).replace(
+            "\"policy_switches\":[{\"activation\":7,\"from\":\"UpdatedPointer\",\
+             \"to\":\"Occupancy\"}],",
+            "",
+        );
+        assert!(!line.contains("policy_switches"));
+        let parsed = parse_line(&line).unwrap();
+        assert!(parsed.record.policy_switches.is_empty());
+        assert_eq!(parsed.record.shadow_picks, rec.shadow_picks);
+        assert_eq!(parsed.record.activation, rec.activation);
     }
 
     #[test]

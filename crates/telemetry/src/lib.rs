@@ -35,8 +35,8 @@ pub mod snapshot;
 pub use cells::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use jsonl::{parse_line, record_line, write_snapshot, ParsedLine, SCHEMA};
 pub use observer::{TelemetryHandle, TelemetryObserver};
-pub use record::{ActivationRecord, ShadowPickNote, TriggerReason};
-pub use snapshot::{CounterSnapshot, TelemetrySnapshot};
+pub use record::{ActivationRecord, PolicySwitchNote, ShadowPickNote, TriggerReason};
+pub use snapshot::{CounterSnapshot, DeriveSummary, TelemetrySnapshot};
 
 /// How much the telemetry layer records.
 ///

@@ -11,7 +11,7 @@
 //! with telemetry off and on).
 
 use crate::cells::{Counter, Gauge, Histogram};
-use crate::record::{ActivationRecord, TriggerReason};
+use crate::record::{ActivationRecord, PolicySwitchNote, TriggerReason};
 use crate::snapshot::{CounterSnapshot, TelemetrySnapshot};
 use crate::TelemetryLevel;
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
@@ -33,6 +33,7 @@ struct BusCounters {
     reclaimed_bytes: Counter,
     collections: Counter,
     activations: Counter,
+    policy_switches: Counter,
     max_partitions: Gauge,
 }
 
@@ -52,6 +53,7 @@ impl BusCounters {
             reclaimed_bytes: self.reclaimed_bytes.get(),
             collections: self.collections.get(),
             activations: self.activations.get(),
+            policy_switches: self.policy_switches.get(),
             max_partitions: self.max_partitions.get(),
         }
     }
@@ -65,6 +67,8 @@ struct TelemetryState {
     gc_io_hist: Histogram,
     gap_hist: Histogram,
     records: Vec<ActivationRecord>,
+    /// Whole-run policy-switch trace (recorded at every level).
+    switches: Vec<PolicySwitchNote>,
     /// The record being built for the current activation (opened at
     /// `TriggerTick`, closed at the next tick or at end of run).
     open: Option<ActivationRecord>,
@@ -98,6 +102,8 @@ impl TelemetryState {
             gc_io_per_activation: self.gc_io_hist.snapshot(),
             activation_gap_events: self.gap_hist.snapshot(),
             records: self.records,
+            switches: self.switches,
+            derive: None,
         }
     }
 }
@@ -126,6 +132,7 @@ impl TelemetryObserver {
             gc_io_hist: Histogram::new(),
             gap_hist: Histogram::new(),
             records: Vec::new(),
+            switches: Vec::new(),
             open: None,
             clock: 0,
             last_tick_clock: 0,
@@ -200,6 +207,22 @@ impl BarrierObserver for TelemetryObserver {
                 s.open = Some(ActivationRecord::open(activation, clock, gap));
                 s.last_tick_clock = clock;
             }
+            BarrierEvent::PolicySwitched {
+                activation,
+                from,
+                to,
+            } => {
+                s.counters.policy_switches.inc();
+                let note = PolicySwitchNote {
+                    activation,
+                    from: from.to_string(),
+                    to: to.to_string(),
+                };
+                if let Some(open) = s.open.as_mut() {
+                    open.policy_switches.push(note.clone());
+                }
+                s.switches.push(note);
+            }
         }
     }
 
@@ -238,6 +261,8 @@ impl TelemetryHandle {
                     gc_io_per_activation: s.gc_io_hist.snapshot(),
                     activation_gap_events: s.gap_hist.snapshot(),
                     records: s.records.clone(),
+                    switches: s.switches.clone(),
+                    derive: None,
                 }
             }
         }
@@ -320,6 +345,30 @@ mod tests {
         assert_eq!(snap.counters.activations, 1);
         assert!(snap.records.is_empty());
         assert_eq!(snap.reclaimed_per_activation.count, 1);
+    }
+
+    #[test]
+    fn policy_switches_land_on_the_open_record_and_the_run_trace() {
+        let (mut obs, handle) =
+            TelemetryObserver::new(TelemetryLevel::Full, TriggerReason::OverwriteCount(50));
+        obs.on_event(&tick(1));
+        obs.on_event(&completed(100));
+        obs.on_event(&BarrierEvent::PolicySwitched {
+            activation: 1,
+            from: "UpdatedPointer",
+            to: "Occupancy",
+        });
+        obs.on_event(&tick(2));
+        obs.on_event(&completed(200));
+        drop(obs);
+        let snap = handle.finish();
+        assert_eq!(snap.counters.policy_switches, 1);
+        assert_eq!(snap.switches.len(), 1);
+        assert_eq!(snap.switches[0].activation, 1);
+        assert_eq!(snap.switches[0].from, "UpdatedPointer");
+        assert_eq!(snap.switches[0].to, "Occupancy");
+        assert_eq!(snap.records[0].policy_switches.len(), 1);
+        assert!(snap.records[1].policy_switches.is_empty());
     }
 
     #[test]

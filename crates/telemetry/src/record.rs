@@ -55,6 +55,19 @@ impl TriggerReason {
     }
 }
 
+/// One driving-policy switch observed on the bus
+/// ([`pgc_odb::BarrierEvent::PolicySwitched`]): a meta-policy handed the
+/// driver's seat to a different candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicySwitchNote {
+    /// The activation whose collection outcome triggered the switch.
+    pub activation: u64,
+    /// Display name of the policy that was driving.
+    pub from: String,
+    /// Display name of the policy now driving.
+    pub to: String,
+}
+
 /// A shadow scoreboard's counterfactual pick, attached to an activation
 /// record by the simulator's shadow-race harness.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +120,9 @@ pub struct ActivationRecord {
     /// Application page I/O in the mutator window leading up to this
     /// activation (since the previous trigger).
     pub app_ios_delta: u64,
+    /// Driving-policy switches announced during this activation (empty
+    /// unless a meta-policy drives the run and decided to switch here).
+    pub policy_switches: Vec<PolicySwitchNote>,
     /// Shadow scoreboards' counterfactual picks (empty unless a shadow
     /// race annotated this run).
     pub shadow_picks: Vec<ShadowPickNote>,
@@ -132,6 +148,7 @@ impl ActivationRecord {
             gc_writes: 0,
             app_ios_before: 0,
             app_ios_delta: 0,
+            policy_switches: Vec::new(),
             shadow_picks: Vec::new(),
         }
     }
@@ -168,6 +185,7 @@ mod tests {
         assert_eq!(r.gap_events, 400);
         assert_eq!(r.victim, None);
         assert_eq!(r.gc_ios(), 0);
+        assert!(r.policy_switches.is_empty());
         assert!(r.shadow_picks.is_empty());
     }
 }

@@ -3,7 +3,7 @@
 //! seeds, or serialize to JSONL.
 
 use crate::cells::HistogramSnapshot;
-use crate::record::{ActivationRecord, TriggerReason};
+use crate::record::{ActivationRecord, PolicySwitchNote, TriggerReason};
 use crate::TelemetryLevel;
 
 /// Plain-data totals of every bus-event counter the tap maintains.
@@ -36,6 +36,8 @@ pub struct CounterSnapshot {
     pub collections: u64,
     /// Trigger activations.
     pub activations: u64,
+    /// Driving-policy switches announced by a meta-policy.
+    pub policy_switches: u64,
     /// Largest partition count observed at any activation.
     pub max_partitions: u64,
 }
@@ -56,7 +58,45 @@ impl CounterSnapshot {
         self.reclaimed_bytes += other.reclaimed_bytes;
         self.collections += other.collections;
         self.activations += other.activations;
+        self.policy_switches += other.policy_switches;
         self.max_partitions = self.max_partitions.max(other.max_partitions);
+    }
+}
+
+/// Aggregated recompute counters from the driving policy's derived-state
+/// engine (`pgc-core`'s derive layer), mirrored here as plain integers so
+/// telemetry stays dependency-free. Attached by the simulator after a run;
+/// absent when the driving policy keeps no derived state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeriveSummary {
+    /// Registered base inputs.
+    pub inputs: u64,
+    /// Registered derived queries.
+    pub queries: u64,
+    /// Final input revision (events that changed at least one input).
+    pub revision: u64,
+    /// Selections answered from an unchanged memo.
+    pub hits: u64,
+    /// Selections answered by rescanning only dirty partitions.
+    pub partial: u64,
+    /// Selections that rescanned every partition.
+    pub full: u64,
+}
+
+impl DeriveSummary {
+    /// Adds another run's recompute counters into this one.
+    pub fn merge(&mut self, other: &DeriveSummary) {
+        self.inputs += other.inputs;
+        self.queries += other.queries;
+        self.revision += other.revision;
+        self.hits += other.hits;
+        self.partial += other.partial;
+        self.full += other.full;
+    }
+
+    /// Total selections answered (memo hits + partial + full rescans).
+    pub fn selections(&self) -> u64 {
+        self.hits + self.partial + self.full
     }
 }
 
@@ -83,6 +123,12 @@ pub struct TelemetrySnapshot {
     /// One record per activation, in order ([`TelemetryLevel::Full`] only;
     /// empty at `Metrics` level and after a merge).
     pub records: Vec<ActivationRecord>,
+    /// Every driving-policy switch observed, in order (recorded at all
+    /// levels; dropped on merge like `records`).
+    pub switches: Vec<PolicySwitchNote>,
+    /// Recompute counters from the driving policy's derive engine, when it
+    /// has one (attached by the simulator; summed on merge).
+    pub derive: Option<DeriveSummary>,
 }
 
 impl TelemetrySnapshot {
@@ -97,6 +143,8 @@ impl TelemetrySnapshot {
             gc_io_per_activation: HistogramSnapshot::default(),
             activation_gap_events: HistogramSnapshot::default(),
             records: Vec::new(),
+            switches: Vec::new(),
+            derive: None,
         }
     }
 
@@ -113,6 +161,12 @@ impl TelemetrySnapshot {
         self.activation_gap_events
             .merge(&other.activation_gap_events);
         self.records.clear();
+        self.switches.clear();
+        if let Some(theirs) = &other.derive {
+            self.derive
+                .get_or_insert_with(DeriveSummary::default)
+                .merge(theirs);
+        }
     }
 
     /// Mean activations per merged run.
@@ -150,6 +204,11 @@ mod tests {
         let mut a = sample(3);
         a.records
             .push(crate::record::ActivationRecord::open(1, 10, 10));
+        a.switches.push(PolicySwitchNote {
+            activation: 2,
+            from: "UpdatedPointer".to_string(),
+            to: "Occupancy".to_string(),
+        });
         let b = sample(5);
         a.merge(&b);
         assert_eq!(a.runs, 2);
@@ -157,6 +216,28 @@ mod tests {
         assert_eq!(a.counters.events, 800);
         assert_eq!(a.reclaimed_per_activation.count, 8);
         assert!(a.records.is_empty(), "records drop on merge");
+        assert!(a.switches.is_empty(), "switch traces drop on merge");
         assert!((a.activations_per_run() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_derive_summaries() {
+        let mut a = sample(1);
+        let mut b = sample(1);
+        b.derive = Some(DeriveSummary {
+            inputs: 1,
+            queries: 1,
+            revision: 100,
+            hits: 2,
+            partial: 3,
+            full: 5,
+        });
+        a.merge(&b);
+        let d = a.derive.expect("derive summary adopted from other");
+        assert_eq!(d.selections(), 10);
+        a.merge(&b);
+        let d = a.derive.unwrap();
+        assert_eq!(d.revision, 200);
+        assert_eq!(d.selections(), 20);
     }
 }
