@@ -59,4 +59,21 @@ fn main() {
         }
         black_box(n)
     });
+    // Batched decode: same stream, but decoded a block at a time into one
+    // reused struct-of-arrays buffer (the intra-run parallel replay path).
+    r.bench_batched(
+        "encoded/decode_block",
+        || pgc_workload::EventBlock::with_capacity(pgc_workload::BLOCK_EVENTS),
+        |mut block| {
+            let mut n = 0u64;
+            let mut cursor = trace.cursor();
+            while cursor.next_block(&mut block).unwrap() > 0 {
+                for i in 0..block.len() {
+                    black_box(&block.get(i));
+                    n += 1;
+                }
+            }
+            black_box(n)
+        },
+    );
 }

@@ -35,7 +35,7 @@ fn main() {
             let mut cfg = paper::headline(policy, seed);
             cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
             cfg.db = cfg.db.with_client_cache_pages(CLIENT_PAGES);
-            jobs.push((pi, cfg));
+            jobs.push((pi, cfg.with_parallelism(args.parallelism())));
         }
     }
     let results = Experiment::new().run_jobs(jobs).expect("runs complete");

@@ -34,26 +34,38 @@
 //! timings for the two derive-native policies (`Composite`,
 //! `AdaptiveMeta`).
 //!
-//! Finally it measures the **telemetry tap** and writes
+//! It also measures the **telemetry tap** and writes
 //! `BENCH_telemetry.json`: the paper `MostGarbage` replay timed bare, with
 //! telemetry off, and at full telemetry. The off path must stay within 2%
 //! of the bare loop and the full path within 10% (gates binding at full
 //! scale), and neither level may change totals or the victim sequence.
+//!
+//! Finally it gates the **intra-run parallel hot path** and writes
+//! `BENCH_parallel.json`: one encoded paper trace replayed three ways —
+//! the pre-dense execution model (per-event decode, hash-set oracle), the
+//! batched serial block loop, and the full parallel pipeline (decode-ahead
+//! thread, work-stealing parallel oracle) at `--intra-threads` workers.
+//! All three legs must pick identical victims (the `Deterministic(n)`
+//! contract). At full scale the serial block loop must beat the pre-dense
+//! leg by 1.5x on any machine, and — on machines with at least
+//! `--intra-threads` cores — the parallel leg must beat it by 2.5x, all
+//! measured in the same process.
 //!
 //! Usage: `cargo run --release --bin perf_report` (or `just bench-report`).
 //! `--scale PCT` shrinks the paper workload for quick runs.
 
 use pgc_bench::CommonArgs;
 use pgc_core::policy::{fallback_victim, PolicyKind, SelectionPolicy};
-use pgc_core::{build_policy, Collector};
+use pgc_core::{build_policy, build_policy_with, Collector};
 use pgc_odb::oracle::{self, OracleScratch};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_sim::{
-    experiment, Experiment, Replayer, RunConfig, RunOutcome, Simulation, TelemetryLevel,
+    drive_encoded, experiment, Experiment, Replayer, RunConfig, RunOutcome, Simulation,
+    TelemetryLevel,
 };
 use pgc_telemetry::TelemetryObserver;
-use pgc_types::PartitionId;
-use pgc_workload::{Event, SyntheticWorkload, TraceCache};
+use pgc_types::{Parallelism, PartitionId};
+use pgc_workload::{EncodedTrace, Event, SyntheticWorkload, TraceCache};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -82,6 +94,22 @@ const RECORDED_SWEEP_SPEEDUP: f64 = 1.5;
 /// `policy_engine` gate holds the revision-stamped derived-state port to
 /// ≥ 95% of this: memoized selection must not tax the barrier hot path.
 const PRE_DERIVE_PAPER_UPDATEDPOINTER_EPS: f64 = 11_391_478.4;
+
+/// Required single-run speedup of the intra-run parallel pipeline
+/// (decode-ahead thread + work-stealing parallel oracle) over the
+/// pre-dense execution model (per-event decode, hash-set oracle) on the
+/// paper `MostGarbage` replay. Both legs are measured in the same process
+/// over the same encoded trace. Binds at full scale, and only on machines
+/// with at least `--intra-threads` available cores — on fewer cores the
+/// worker threads time-slice one CPU and wall-clock parallel speedup is
+/// physically unmeasurable (bit-identity still binds everywhere).
+const PARALLEL_SPEEDUP_GATE: f64 = 2.5;
+
+/// Required speedup of the *serial* batched block loop (SoA decode, dense
+/// oracle, no threads) over the same pre-dense leg. Unlike the parallel
+/// gate this involves no concurrency, so it binds at full scale on any
+/// machine, including single-core CI runners.
+const BATCHED_SPEEDUP_GATE: f64 = 1.5;
 
 /// The pre-derive `UpdatedPointer`: the hand-rolled private scoreboard the
 /// derive layer replaced — a bare counter vector bumped on overwrites and
@@ -198,6 +226,23 @@ fn replayer_for(cfg: &RunConfig, policy: Box<dyn SelectionPolicy>) -> Replayer {
     let db = Database::new(cfg.db.clone()).expect("db config");
     let collector =
         Collector::with_trigger(policy, cfg.effective_trigger()).with_batch(cfg.collect_batch);
+    Replayer::new(db, collector)
+}
+
+/// Like [`replayer_for`], but builds the collector — and the policy, when
+/// it owns parallelism-aware kernels — in the given intra-run execution
+/// mode.
+fn mode_replayer(cfg: &RunConfig, parallelism: Parallelism) -> Replayer {
+    let db = Database::new(cfg.db.clone()).expect("db config");
+    let policy = build_policy_with(
+        cfg.policy,
+        cfg.policy_seed(),
+        cfg.db.max_weight,
+        parallelism,
+    );
+    let collector = Collector::with_trigger(policy, cfg.effective_trigger())
+        .with_batch(cfg.collect_batch)
+        .with_parallelism(parallelism);
     Replayer::new(db, collector)
 }
 
@@ -860,6 +905,142 @@ fn main() {
         eprintln!("MISMATCH: telemetry level changed simulated outcomes");
     }
 
+    // --- Intra-run parallel hot path: one encoded paper trace replayed
+    // three ways. Leg 0 is the pre-dense execution model — decode one
+    // event at a time, apply it, answer every trigger with the hash-set
+    // reference oracle. Leg 1 is the batched serial block loop (SoA decode
+    // into a reused `EventBlock`, dense oracle). Leg 2 is the full
+    // pipeline: a decode-ahead thread keeps blocks in flight while the
+    // applier drains them, and every trigger runs the work-stealing
+    // parallel oracle at `--intra-threads` workers. Paired best-of-N
+    // passes, order rotating; the within-pass ratios cancel background
+    // load and the best ratio per gate wins. Victim sequences must match
+    // across legs and passes at any scale (the `Deterministic(n)`
+    // bit-identity contract); the speedup gate binds at full scale. ---
+    let intra = args.parallelism();
+    println!(
+        "measuring the intra-run parallel hot path ({} workers)...",
+        intra.worker_count()
+    );
+    let paper_trace = EncodedTrace::record(paper.workload.clone()).expect("record paper trace");
+    const PARALLEL_PASSES: usize = 3;
+    let mut prepar_secs = f64::INFINITY;
+    let mut serial_block_secs = f64::INFINITY;
+    let mut parallel_secs = f64::INFINITY;
+    let mut best_parallel_speedup = 0.0f64;
+    let mut best_vs_serial_block = 0.0f64;
+    let mut leg_victims: [Option<Vec<PartitionId>>; 3] = [None, None, None];
+    for pass in 0..PARALLEL_PASSES {
+        let (mut r, mut s, mut p) = (0.0f64, 0.0f64, 0.0f64);
+        let order = [[0usize, 1, 2], [1, 2, 0], [2, 0, 1]][pass % 3];
+        for leg in order {
+            let mut replayer = match leg {
+                0 => replayer_for(&paper, Box::new(ReferenceMostGarbage)),
+                1 => mode_replayer(&paper, Parallelism::Serial),
+                _ => mode_replayer(&paper, intra),
+            };
+            let t0 = Instant::now();
+            if leg == 0 {
+                let mut cursor = paper_trace.cursor();
+                while let Some(event) = cursor.next_event().expect("decode paper trace") {
+                    replayer.apply(&event).expect("pre-dense replay");
+                }
+            } else {
+                let mode = if leg == 1 { Parallelism::Serial } else { intra };
+                drive_encoded(&mut replayer, &paper_trace, mode).expect("block replay");
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                replayer.events_applied(),
+                paper_trace.events(),
+                "every leg must apply the whole trace"
+            );
+            let victims: Vec<PartitionId> =
+                replayer.collections().iter().map(|c| c.victim).collect();
+            match &leg_victims[leg] {
+                Some(v) => assert_eq!(*v, victims, "parallel-leg replay determinism"),
+                None => leg_victims[leg] = Some(victims),
+            }
+            match leg {
+                0 => r = secs,
+                1 => s = secs,
+                _ => p = secs,
+            }
+        }
+        best_parallel_speedup = best_parallel_speedup.max(r / p.max(1e-9));
+        best_vs_serial_block = best_vs_serial_block.max(s / p.max(1e-9));
+        prepar_secs = prepar_secs.min(r);
+        serial_block_secs = serial_block_secs.min(s);
+        parallel_secs = parallel_secs.min(p);
+    }
+    // Same two noise-shedding estimators as the other paired gates.
+    best_parallel_speedup = best_parallel_speedup.max(prepar_secs / parallel_secs.max(1e-9));
+    best_vs_serial_block = best_vs_serial_block.max(serial_block_secs / parallel_secs.max(1e-9));
+    let best_batched_speedup = prepar_secs / serial_block_secs.max(1e-9);
+    let parallel_identical = leg_victims[0].is_some()
+        && leg_victims[0] == leg_victims[1]
+        && leg_victims[1] == leg_victims[2];
+    let trace_events = paper_trace.events() as f64;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let batched_gate_applies = args.scale_pct == 100;
+    // Wall-clock parallel speedup needs real cores to run the workers on;
+    // on a machine with fewer cores than workers the threads time-slice
+    // one CPU and only the (always-binding) bit-identity is meaningful.
+    let parallel_gate_applies = batched_gate_applies && cores >= intra.worker_count();
+    let batched_gate_ok = !batched_gate_applies || best_batched_speedup >= BATCHED_SPEEDUP_GATE;
+    let parallel_gate_ok = (!parallel_gate_applies
+        || best_parallel_speedup >= PARALLEL_SPEEDUP_GATE)
+        && batched_gate_ok
+        && parallel_identical;
+    println!(
+        "  pre-dense (per-event):   {prepar_secs:>8.3}s  ({:.0} events/sec)",
+        trace_events / prepar_secs.max(1e-9)
+    );
+    println!(
+        "  serial block loop:       {serial_block_secs:>8.3}s  ({:.0} events/sec)",
+        trace_events / serial_block_secs.max(1e-9)
+    );
+    println!(
+        "  parallel pipeline:       {parallel_secs:>8.3}s  ({:.0} events/sec)",
+        trace_events / parallel_secs.max(1e-9)
+    );
+    println!(
+        "  batched speedup:  {best_batched_speedup:.2}x vs pre-dense (gate {BATCHED_SPEEDUP_GATE:.1}x{})",
+        if batched_gate_applies {
+            ""
+        } else {
+            ", not binding at this --scale"
+        }
+    );
+    println!(
+        "  parallel speedup: {best_parallel_speedup:.2}x vs pre-dense (gate {PARALLEL_SPEEDUP_GATE:.1}x{}), {best_vs_serial_block:.2}x vs serial blocks",
+        if parallel_gate_applies {
+            ""
+        } else if !batched_gate_applies {
+            ", not binding at this --scale"
+        } else {
+            ", not binding: too few cores"
+        }
+    );
+    println!(
+        "  available cores: {cores} (workers: {})",
+        intra.worker_count()
+    );
+    println!("  victims bit-identical across legs: {parallel_identical}");
+    if !parallel_identical {
+        eprintln!("MISMATCH: parallel execution changed the victim sequence");
+    } else if !batched_gate_ok {
+        eprintln!(
+            "REGRESSION: batched speedup {best_batched_speedup:.2}x fell below the {BATCHED_SPEEDUP_GATE:.1}x gate"
+        );
+    } else if !parallel_gate_ok {
+        eprintln!(
+            "REGRESSION: parallel speedup {best_parallel_speedup:.2}x fell below the {PARALLEL_SPEEDUP_GATE:.1}x gate"
+        );
+    }
+
     let rss = peak_rss_kib();
 
     // --- Emit JSON (hand-rolled; the workspace has no serde). ---
@@ -1042,12 +1223,70 @@ fn main() {
     std::fs::write("BENCH_telemetry.json", &tjson).expect("write telemetry report");
     println!("wrote BENCH_telemetry.json");
 
+    // --- BENCH_parallel.json: the intra-run parallel hot-path gate. ---
+    let mut pljson = String::from("{\n");
+    let _ = writeln!(pljson, "  \"harness\": \"perf_report/parallel_hotpath\",");
+    let _ = writeln!(pljson, "  \"scale_pct\": {},", args.scale_pct);
+    let _ = writeln!(pljson, "  \"config\": \"paper\",");
+    let _ = writeln!(pljson, "  \"policy\": \"MostGarbage\",");
+    let _ = writeln!(pljson, "  \"intra_threads\": {},", intra.worker_count());
+    let _ = writeln!(pljson, "  \"available_cores\": {cores},");
+    let _ = writeln!(pljson, "  \"events\": {},", paper_trace.events());
+    let _ = writeln!(pljson, "  \"trace_bytes\": {},", paper_trace.byte_len());
+    let _ = writeln!(pljson, "  \"pre_dense_secs\": {prepar_secs:.4},");
+    let _ = writeln!(pljson, "  \"serial_block_secs\": {serial_block_secs:.4},");
+    let _ = writeln!(pljson, "  \"parallel_secs\": {parallel_secs:.4},");
+    let _ = writeln!(
+        pljson,
+        "  \"pre_dense_events_per_sec\": {:.1},",
+        trace_events / prepar_secs.max(1e-9)
+    );
+    let _ = writeln!(
+        pljson,
+        "  \"serial_block_events_per_sec\": {:.1},",
+        trace_events / serial_block_secs.max(1e-9)
+    );
+    let _ = writeln!(
+        pljson,
+        "  \"parallel_events_per_sec\": {:.1},",
+        trace_events / parallel_secs.max(1e-9)
+    );
+    let _ = writeln!(
+        pljson,
+        "  \"batched_speedup_vs_pre_dense\": {best_batched_speedup:.3},"
+    );
+    let _ = writeln!(
+        pljson,
+        "  \"speedup_vs_pre_dense\": {best_parallel_speedup:.3},"
+    );
+    let _ = writeln!(
+        pljson,
+        "  \"speedup_vs_serial_block\": {best_vs_serial_block:.3},"
+    );
+    let _ = writeln!(
+        pljson,
+        "  \"batched_gate_speedup\": {BATCHED_SPEEDUP_GATE:.3},"
+    );
+    let _ = writeln!(
+        pljson,
+        "  \"batched_gate_applies\": {batched_gate_applies},"
+    );
+    let _ = writeln!(pljson, "  \"batched_gate_ok\": {batched_gate_ok},");
+    let _ = writeln!(pljson, "  \"gate_speedup\": {PARALLEL_SPEEDUP_GATE:.3},");
+    let _ = writeln!(pljson, "  \"gate_applies\": {parallel_gate_applies},");
+    let _ = writeln!(pljson, "  \"gate_ok\": {parallel_gate_ok},");
+    let _ = writeln!(pljson, "  \"bit_identical\": {parallel_identical}");
+    pljson.push_str("}\n");
+    std::fs::write("BENCH_parallel.json", &pljson).expect("write parallel report");
+    println!("wrote BENCH_parallel.json");
+
     if !identical
         || !sweep_identical
         || !sweep_gate_ok
         || !policy_gate_ok
         || !telemetry_gate_ok
         || !telemetry_identical
+        || !parallel_gate_ok
     {
         std::process::exit(1);
     }

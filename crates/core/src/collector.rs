@@ -11,8 +11,10 @@
 use crate::policies::build_policy;
 use crate::policy::{PolicyKind, SelectionPolicy};
 use crate::scheduler::{GcScheduler, Trigger};
-use pgc_odb::{BarrierEvent, BarrierObserver, CollectionOutcome, Database, ObserverRegistry};
-use pgc_types::Result;
+use pgc_odb::{
+    BarrierEvent, BarrierObserver, CollectionOutcome, CollectionPlan, Database, ObserverRegistry,
+};
+use pgc_types::{Parallelism, PartitionId, Result};
 
 /// A complete partitioned garbage collector: selection policy + trigger.
 ///
@@ -44,6 +46,11 @@ pub struct Collector {
     /// collected at a time, if doing so was determined to be of
     /// importance") — values above 1 exist for that ablation.
     batch: u32,
+    /// How much intra-run parallelism collection may use. Affects only
+    /// *how* work is computed (zone plans fan out across threads), never
+    /// *what* is computed: `Deterministic(n)` is bit-identical to
+    /// `Serial`.
+    parallelism: Parallelism,
     /// Reused drain buffer so the per-operation pump allocates nothing in
     /// steady state.
     scratch: Vec<BarrierEvent>,
@@ -58,6 +65,7 @@ impl Collector {
             scheduler: GcScheduler::new(overwrite_threshold),
             observers: ObserverRegistry::new(),
             batch: 1,
+            parallelism: Parallelism::Serial,
             scratch: Vec::new(),
         }
     }
@@ -69,6 +77,7 @@ impl Collector {
             scheduler: GcScheduler::with_trigger(trigger),
             observers: ObserverRegistry::new(),
             batch: 1,
+            parallelism: Parallelism::Serial,
             scratch: Vec::new(),
         }
     }
@@ -78,6 +87,23 @@ impl Collector {
     pub fn with_batch(mut self, batch: u32) -> Self {
         self.batch = batch.max(1);
         self
+    }
+
+    /// Sets how much intra-run parallelism collection work may use.
+    ///
+    /// Under [`Parallelism::Deterministic`], batched activations compute
+    /// their zone plans on worker threads; results are bit-identical to
+    /// [`Parallelism::Serial`] because plans are read-only and are applied
+    /// on the coordinating thread in canonical partition-id order.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The collector's parallelism mode.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Convenience constructor from a [`PolicyKind`]; `seed` feeds the
@@ -192,6 +218,9 @@ impl Collector {
         self.policy.on_event(&tick);
         self.observers.broadcast(&tick);
         self.observers.notify_trigger(db);
+        if self.batch > 1 {
+            return self.zone_collect(db);
+        }
         let mut last = None;
         for _ in 0..self.batch {
             let Some(victim) = self.policy.select(db) else {
@@ -222,6 +251,91 @@ impl Collector {
         Ok(last)
     }
 
+    /// The batched ("zone") activation protocol: condemn up to `batch`
+    /// remset-disjoint victims against the *pre-collection* database, plan
+    /// each one's collection read-only (on worker threads under
+    /// [`Parallelism::Deterministic`]), then apply the plans on this
+    /// thread in canonical partition-id order — the safepoint between the
+    /// planning fan-out and the apply sequence is the `thread::scope`
+    /// join.
+    ///
+    /// Remset-disjointness (no remembered pointer between any two
+    /// condemned partitions, in either direction) is what keeps every plan
+    /// valid while earlier plans are applied: applying zone A only
+    /// relocates A residents, re-keys remembered entries pointing into A,
+    /// and removes edges from A's dead objects — none of which can touch
+    /// zone B's roots, members, or remembered targets when no A↔B edges
+    /// exist. Condemnation stops early at the first non-disjoint pick, so
+    /// an activation may collect fewer than `batch` partitions.
+    ///
+    /// Bit-identity across parallelism modes holds by construction: the
+    /// condemned set, the plans (pure functions of the shared
+    /// pre-collection state), and the apply order are the same whether
+    /// plans were computed serially or concurrently.
+    fn zone_collect(&mut self, db: &mut Database) -> Result<Option<CollectionOutcome>> {
+        // --- Condemn: every selection sees the pre-collection database. ---
+        let mut victims: Vec<PartitionId> = Vec::new();
+        let mut condemned: Vec<(PartitionId, Option<u64>)> = Vec::new();
+        while condemned.len() < self.batch as usize {
+            let pick = if victims.is_empty() {
+                self.policy.select(db)
+            } else {
+                self.policy.select_excluding(db, &victims)
+            };
+            let Some(victim) = pick else { break };
+            if victims.iter().any(|&v| zones_overlap(db, victim, v)) {
+                break;
+            }
+            let score_bits = self.policy.victim_score(victim).map(f64::to_bits);
+            victims.push(victim);
+            condemned.push((victim, score_bits));
+        }
+        if condemned.is_empty() {
+            return Ok(None);
+        }
+        // --- Canonical order: ascending partition id, for the whole
+        // activation (plans, applies, and every bus event). ---
+        condemned.sort_unstable_by_key(|&(p, _)| p);
+
+        // --- Plan: read-only over `&Database`, fanned out when allowed. ---
+        let plans: Vec<CollectionPlan> = if self.parallelism.is_parallel() && condemned.len() > 1 {
+            let db_view: &Database = db;
+            let mut slots: Vec<Option<Result<CollectionPlan>>> =
+                condemned.iter().map(|_| None).collect();
+            std::thread::scope(|s| {
+                for (slot, &(victim, _)) in slots.iter_mut().zip(&condemned) {
+                    s.spawn(move || *slot = Some(db_view.plan_collection(victim)));
+                }
+            });
+            // The scope join above is the safepoint: all planning ends
+            // before any state mutation begins.
+            slots
+                .into_iter()
+                .map(|s| s.expect("planner thread completed"))
+                .collect::<Result<_>>()?
+        } else {
+            condemned
+                .iter()
+                .map(|&(victim, _)| db.plan_collection(victim))
+                .collect::<Result<_>>()?
+        };
+
+        // --- Apply: serially, in canonical order, pumping each
+        // collection's events before the next so listeners observe the
+        // same stream in every parallelism mode. ---
+        let mut last = None;
+        for (&(victim, score_bits), plan) in condemned.iter().zip(&plans) {
+            let selected = BarrierEvent::VictimSelected { victim, score_bits };
+            self.policy.on_event(&selected);
+            self.observers.broadcast(&selected);
+            let outcome = db.apply_plan(plan)?;
+            self.sync(db);
+            self.broadcast_switches();
+            last = Some(outcome);
+        }
+        Ok(last)
+    }
+
     fn broadcast_switches(&mut self) {
         for s in self.policy.take_switches() {
             let event = BarrierEvent::PolicySwitched {
@@ -233,6 +347,25 @@ impl Collector {
             self.observers.broadcast(&event);
         }
     }
+}
+
+/// True when a remembered inter-partition pointer connects `a` and `b` in
+/// either direction — the zone-collection conflict test.
+fn zones_overlap(db: &Database, a: PartitionId, b: PartitionId) -> bool {
+    points_into(db, a, b) || points_into(db, b, a)
+}
+
+/// True when some object resident in `src` holds a remembered pointer to
+/// an object in `dst`.
+fn points_into(db: &Database, src: PartitionId, dst: PartitionId) -> bool {
+    db.remsets().remembered_targets(dst).any(|target| {
+        db.remsets().locations_of(dst, target).any(|loc| {
+            db.objects()
+                .get(loc.owner)
+                .map(|rec| rec.addr.partition == src)
+                .unwrap_or(false)
+        })
+    })
 }
 
 impl std::fmt::Debug for Collector {
@@ -321,6 +454,88 @@ mod tests {
         assert_eq!(d.stats().collections, 2, "batch of two");
         assert!(!d.objects().contains(a));
         assert!(!d.objects().contains(b));
+    }
+
+    /// Garbage spread over several mutually unconnected partitions.
+    fn db_with_disjoint_garbage() -> Database {
+        let mut d = db();
+        let r = d.create_root(Bytes(100), 3).unwrap();
+        for slot in 0..3u16 {
+            // Each spill lands in its own partition and immediately dies;
+            // no pointers run between the spill partitions.
+            d.create_object(Bytes(6000), 2, r, SlotId(slot)).unwrap();
+            d.write_slot(r, SlotId(slot), None).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn zone_batch_is_parallelism_invariant() {
+        // The same batched activation under Serial and Deterministic(4)
+        // must produce identical victims, outcomes, and end states.
+        let run = |par: Parallelism| {
+            let mut d = db_with_disjoint_garbage();
+            let mut c = Collector::with_kind(PolicyKind::MostGarbage, 1, 0, 16)
+                .with_batch(3)
+                .with_parallelism(par);
+            c.sync(&mut d);
+            let last = c.force_collect(&mut d).unwrap();
+            d.check_invariants();
+            (last, d.stats(), pgc_odb::oracle::analyze(&d))
+        };
+        let serial = run(Parallelism::Serial);
+        assert_eq!(serial, run(Parallelism::deterministic(1)));
+        assert_eq!(serial, run(Parallelism::deterministic(4)));
+        let (_, stats, _) = &serial;
+        assert_eq!(stats.collections, 3, "all three zones condemned");
+    }
+
+    #[test]
+    fn zone_condemnation_stops_at_remset_overlap() {
+        // Two garbage-bearing partitions connected by a remembered
+        // pointer are not disjoint: a batch of 2 must collect only one.
+        let mut d = db();
+        let r = d.create_root(Bytes(100), 3).unwrap();
+        let (spill, _) = d.create_object(Bytes(8100), 2, r, SlotId(0)).unwrap();
+        let (small, _) = d.create_object(Bytes(100), 2, r, SlotId(1)).unwrap();
+        let home = d.objects().get(small).unwrap().addr.partition;
+        let foreign = d.objects().get(spill).unwrap().addr.partition;
+        assert_ne!(home, foreign);
+        // Cross-partition pointer foreign -> home, then kill both subtrees
+        // so each partition holds garbage.
+        d.write_slot(spill, SlotId(0), Some(small)).unwrap();
+        d.write_slot(r, SlotId(0), None).unwrap();
+        d.write_slot(r, SlotId(1), None).unwrap();
+        assert!(points_into(&d, foreign, home));
+        let mut c = Collector::with_kind(PolicyKind::MostGarbage, 1, 0, 16)
+            .with_batch(2)
+            .with_parallelism(Parallelism::deterministic(4));
+        c.sync(&mut d);
+        c.force_collect(&mut d).unwrap();
+        assert_eq!(
+            d.stats().collections,
+            1,
+            "overlapping zone must not be condemned in the same activation"
+        );
+        d.check_invariants();
+    }
+
+    #[test]
+    fn zone_overlap_test_sees_both_directions() {
+        let mut d = db();
+        let r = d.create_root(Bytes(100), 3).unwrap();
+        let (spill, _) = d.create_object(Bytes(8100), 2, r, SlotId(0)).unwrap();
+        let (small, _) = d.create_object(Bytes(100), 2, r, SlotId(1)).unwrap();
+        let home = d.objects().get(small).unwrap().addr.partition;
+        let foreign = d.objects().get(spill).unwrap().addr.partition;
+        d.write_slot(spill, SlotId(0), Some(small)).unwrap();
+        // Drop the root's own pointer into `foreign` so the only
+        // cross-partition edge left is spill -> small.
+        d.write_slot(r, SlotId(0), None).unwrap();
+        assert!(zones_overlap(&d, home, foreign));
+        assert!(zones_overlap(&d, foreign, home), "symmetric");
+        assert!(points_into(&d, foreign, home));
+        assert!(!points_into(&d, home, foreign));
     }
 
     #[test]

@@ -535,6 +535,39 @@ impl Engine {
             .or_else(|| crate::policy::fallback_victim(db))
     }
 
+    /// The ranking winner of `query` among partitions *not* in `exclude`,
+    /// by direct scan — same scoring rule and ties-break-low order as
+    /// [`Engine::select`], same fallback when every eligible score is zero.
+    ///
+    /// Deliberately unmemoized and read-only: zone batches ask for at most
+    /// a handful of follow-up picks per activation, far too rarely to
+    /// justify a second memo, and leaving the query state untouched keeps
+    /// the post-batch [`Engine::select`] fast path warm.
+    pub fn select_excluding(
+        &self,
+        query: QueryId,
+        db: &Database,
+        exclude: &[PartitionId],
+    ) -> Option<PartitionId> {
+        let kind = self.queries[query.0].kind;
+        let mut best: Option<(PartitionId, u128)> = None;
+        for p in db.collectable_partitions() {
+            if exclude.contains(&p) {
+                continue;
+            }
+            let s = score_of(&kind, &self.inputs, p);
+            if s == 0 {
+                continue;
+            }
+            match best {
+                Some((_, b)) if b >= s => {}
+                _ => best = Some((p, s)),
+            }
+        }
+        best.map(|(p, _)| p)
+            .or_else(|| crate::policy::fallback_victim_excluding(db, exclude))
+    }
+
     /// Aggregate recompute counters across every registered query.
     pub fn stats(&self) -> DeriveStats {
         let mut out = DeriveStats {

@@ -84,6 +84,10 @@ impl SelectionPolicy for Composite {
         self.engine.select(self.query, db)
     }
 
+    fn select_excluding(&mut self, db: &Database, exclude: &[PartitionId]) -> Option<PartitionId> {
+        self.engine.select_excluding(self.query, db, exclude)
+    }
+
     fn victim_score(&self, partition: PartitionId) -> Option<f64> {
         Some(self.score(partition) as f64)
     }

@@ -13,7 +13,7 @@
 //! allocation and collection time). The simulation computes the mean from
 //! the object table, which is equivalent in outcome.
 
-use crate::policy::{fallback_victim, PolicyKind, SelectionPolicy};
+use crate::policy::{PolicyKind, SelectionPolicy};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_types::PartitionId;
 
@@ -41,9 +41,16 @@ impl SelectionPolicy for Generational {
     }
 
     fn select(&mut self, db: &Database) -> Option<PartitionId> {
+        self.select_excluding(db, &[])
+    }
+
+    fn select_excluding(&mut self, db: &Database, exclude: &[PartitionId]) -> Option<PartitionId> {
         let objects = db.objects();
         let mut best: Option<(PartitionId, f64)> = None;
         for id in db.collectable_partitions() {
+            if exclude.contains(&id) {
+                continue;
+            }
             let mut count = 0u64;
             let mut sum = 0u128;
             for oid in objects.members(id) {
@@ -62,7 +69,8 @@ impl SelectionPolicy for Generational {
                 _ => best = Some((id, mean_birth)),
             }
         }
-        best.map(|(p, _)| p).or_else(|| fallback_victim(db))
+        best.map(|(p, _)| p)
+            .or_else(|| crate::policy::fallback_victim_excluding(db, exclude))
     }
 }
 

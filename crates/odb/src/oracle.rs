@@ -28,6 +28,9 @@ use crate::db::Database;
 use pgc_types::{Bytes, DenseBitSet, Oid, PartitionId};
 use std::collections::HashSet;
 
+#[path = "oracle_par.rs"]
+pub mod parallel;
+
 /// The oracle's view of the database at one instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OracleReport {
@@ -68,6 +71,29 @@ impl OracleReport {
         for (idx, &bytes) in self.garbage_bytes_by_partition.iter().enumerate() {
             let p = PartitionId(idx as u32);
             if p == exclude || bytes.is_zero() {
+                continue;
+            }
+            match best {
+                Some((_, b)) if b >= bytes => {}
+                _ => best = Some((p, bytes)),
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+
+    /// Like [`OracleReport::most_garbage_partition`], additionally
+    /// skipping every partition in `exclude` — used by zone-parallel
+    /// condemnation, where one oracle pass picks several disjoint victims
+    /// in descending garbage order.
+    pub fn most_garbage_partition_excluding(
+        &self,
+        empty: PartitionId,
+        exclude: &[PartitionId],
+    ) -> Option<PartitionId> {
+        let mut best: Option<(PartitionId, Bytes)> = None;
+        for (idx, &bytes) in self.garbage_bytes_by_partition.iter().enumerate() {
+            let p = PartitionId(idx as u32);
+            if p == empty || bytes.is_zero() || exclude.contains(&p) {
                 continue;
             }
             match best {

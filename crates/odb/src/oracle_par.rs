@@ -1,0 +1,520 @@
+//! Parallel reachability marking — the multi-threaded twin of
+//! [`analyze_with`](super::analyze_with).
+//!
+//! `MostGarbage` runs a full oracle pass at every collection trigger, which
+//! makes the pass the hottest serial section of a paper-config run. This
+//! module fans the pass out over a small pool of scoped worker threads
+//! (`std::thread::scope`, no extra dependencies) while producing an
+//! [`OracleReport`] that is **bit-identical** to the serial analysis:
+//!
+//! * **Mark** — workers share an [`AtomicBitSet`] of live marks and trade
+//!   frontier chunks through per-worker deques (owner pushes/pops its own
+//!   back, idle workers steal from the front of the others). Marking is
+//!   confluent — the reachable set is the least fixed point of "roots plus
+//!   successors", so any interleaving of test-and-set marks computes the
+//!   same set. Termination is detected exactly under a single mutex: a
+//!   worker only retires when no deque holds work *and* every other worker
+//!   is idle, so no thread can race ahead to the sweep while marking is
+//!   still in flight.
+//! * **Sweep** — the oid space is split into one contiguous range per
+//!   worker; each worker tallies live/garbage bytes for its range into
+//!   private scratch, and the ranges are merged in ascending order.
+//!   Integer sums over the same index sets in any grouping are exact, so
+//!   the totals match the serial sweep bit for bit.
+//! * **Nepotism** — runs serially on the calling thread (it is a tiny
+//!   traversal seeded from remembered sets), reading the shared garbage
+//!   bits the sweep produced.
+//!
+//! With one worker the same code runs inline on the calling thread — no
+//! threads are spawned — so `Deterministic(1)` costs only the atomic
+//! test-and-set over the serial path.
+
+use super::OracleReport;
+use crate::db::Database;
+use pgc_storage::ObjectTable;
+use pgc_types::{AtomicBitSet, Bytes, DenseBitSet, Oid, PartitionId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Spill half the local frontier to the shared deque once it grows past
+/// this many entries. Low enough that a single hot root tree gets shared,
+/// high enough that a chunk amortizes its hand-off.
+const SPILL_AT: usize = 256;
+
+/// Roots are dealt into the worker deques in chunks of this size so the
+/// initial frontier is balanced before any stealing happens.
+const ROOT_CHUNK: usize = 16;
+
+/// Reusable working memory for [`analyze_parallel`] passes.
+///
+/// Like [`OracleScratch`](super::OracleScratch), everything is cleared
+/// (allocations kept) at the start of each pass: after the first pass at a
+/// given database size the steady state performs no heap allocation beyond
+/// the transient deque headers.
+#[derive(Debug, Default)]
+pub struct ParallelScratch {
+    /// Shared live marks, by `Oid::index()`.
+    live: AtomicBitSet,
+    /// Shared garbage marks, by `Oid::index()` (written by the sweep,
+    /// read by the nepotism traversal).
+    garbage: AtomicBitSet,
+    /// Visited markers for the serial nepotism traversal.
+    seen: DenseBitSet,
+    /// Serial nepotism stack.
+    stack: Vec<Oid>,
+    /// Per-worker private state (local frontier + sweep tallies).
+    workers: Vec<WorkerScratch>,
+    /// Recycled frontier chunk buffers, kept across passes.
+    chunk_pool: Vec<Vec<Oid>>,
+}
+
+impl ParallelScratch {
+    /// Creates empty scratch; it grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One worker's private half of the pass.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    /// Local mark frontier (LIFO, like the serial DFS stack).
+    local: Vec<Oid>,
+    live_bytes: Bytes,
+    garbage_bytes: Bytes,
+    garbage_objects: u64,
+    garbage_bytes_by_partition: Vec<Bytes>,
+    garbage_objects_by_partition: Vec<u64>,
+}
+
+impl WorkerScratch {
+    fn reset(&mut self, partition_count: usize) {
+        self.local.clear();
+        self.live_bytes = Bytes::ZERO;
+        self.garbage_bytes = Bytes::ZERO;
+        self.garbage_objects = 0;
+        self.garbage_bytes_by_partition.clear();
+        self.garbage_bytes_by_partition
+            .resize(partition_count, Bytes::ZERO);
+        self.garbage_objects_by_partition.clear();
+        self.garbage_objects_by_partition.resize(partition_count, 0);
+    }
+}
+
+/// State every worker can reach: the work-stealing deques plus the exact
+/// active-worker count, all under one mutex so "no work anywhere and
+/// nobody active" is a single atomic observation.
+struct Shared {
+    /// Per-worker chunk deques: owner pushes and pops at the back, thieves
+    /// steal from the front.
+    deques: Vec<VecDeque<Vec<Oid>>>,
+    /// Recycled chunk buffers.
+    spares: Vec<Vec<Oid>>,
+    /// Workers currently holding local work (or hunting for it outside the
+    /// lock). Marking is complete exactly when this hits zero with every
+    /// deque empty.
+    active: usize,
+}
+
+impl Shared {
+    fn steal(&mut self, me: usize) -> Option<Vec<Oid>> {
+        if let Some(chunk) = self.deques[me].pop_back() {
+            return Some(chunk);
+        }
+        let n = self.deques.len();
+        for i in 1..n {
+            if let Some(chunk) = self.deques[(me + i) % n].pop_front() {
+                return Some(chunk);
+            }
+        }
+        None
+    }
+}
+
+/// Everything the marking workers share by reference.
+struct MarkCtx<'a> {
+    objects: &'a ObjectTable,
+    live: &'a AtomicBitSet,
+    shared: Mutex<Shared>,
+    /// Chunks currently sitting in the deques, maintained under the lock
+    /// but readable without it: idle workers spin on this instead of the
+    /// mutex, so spills from busy workers stay uncontended.
+    queued: AtomicUsize,
+    /// Set (under the lock) by the worker that observes global
+    /// termination; idle spinners exit on it without touching the mutex.
+    done: AtomicBool,
+    workers: usize,
+}
+
+/// Drains local work, spilling surplus to the shared deque; steals when
+/// dry; retires only when every worker is idle and every deque is empty.
+///
+/// A marking pass is short (single-digit milliseconds), so idle workers
+/// spin off-lock rather than park on a condvar — the wakeup syscalls would
+/// cost more than the remaining marking. Termination stays exact: the
+/// retiring decision ("steal failed and I was the last active worker") is
+/// made under the same mutex that guards every chunk push.
+fn mark_worker(ctx: &MarkCtx<'_>, me: usize, local: &mut Vec<Oid>) {
+    loop {
+        while let Some(oid) = local.pop() {
+            if !ctx.live.insert(oid.index()) {
+                continue;
+            }
+            let rec = ctx
+                .objects
+                .get(oid)
+                .expect("reachable object missing from table");
+            for t in rec.slots.iter().flatten() {
+                // Pre-filter marked children: cheaper than queueing them
+                // and harmless to skip (insert re-checks at pop).
+                if !ctx.live.contains(t.index()) {
+                    local.push(*t);
+                }
+            }
+            if ctx.workers > 1 && local.len() >= SPILL_AT {
+                // Spilling only redistributes work the owner would drain
+                // anyway, so a contended lock skips the spill instead of
+                // stalling the mark loop.
+                if let Ok(mut sh) = ctx.shared.try_lock() {
+                    let mut chunk = sh.spares.pop().unwrap_or_default();
+                    chunk.extend(local.drain(local.len() / 2..));
+                    sh.deques[me].push_back(chunk);
+                    ctx.queued.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut sh = ctx.shared.lock().unwrap();
+        loop {
+            if let Some(mut chunk) = sh.steal(me) {
+                ctx.queued.fetch_sub(1, Ordering::Relaxed);
+                local.append(&mut chunk);
+                sh.spares.push(chunk);
+                break;
+            }
+            sh.active -= 1;
+            if sh.active == 0 {
+                // Exact termination: observed under the same lock that
+                // guards every push, so no chunk can be in flight.
+                ctx.done.store(true, Ordering::Release);
+                return;
+            }
+            drop(sh);
+            let mut spins = 0u32;
+            loop {
+                std::hint::spin_loop();
+                if ctx.done.load(Ordering::Acquire) {
+                    return;
+                }
+                if ctx.queued.load(Ordering::Relaxed) > 0 {
+                    break;
+                }
+                spins += 1;
+                if spins.is_multiple_of(1024) {
+                    // Stay live when workers outnumber cores.
+                    std::thread::yield_now();
+                }
+            }
+            sh = ctx.shared.lock().unwrap();
+            sh.active += 1;
+        }
+    }
+}
+
+/// Tallies one contiguous oid range of the sweep into worker scratch,
+/// publishing garbage marks to the shared set.
+fn sweep_range(
+    objects: &ObjectTable,
+    live: &AtomicBitSet,
+    garbage: &AtomicBitSet,
+    ws: &mut WorkerScratch,
+    range: std::ops::Range<u64>,
+) {
+    for idx in range {
+        let Ok(rec) = objects.get(Oid(idx)) else {
+            continue;
+        };
+        if live.contains(idx) {
+            ws.live_bytes += rec.size;
+        } else {
+            let p = rec.addr.partition.as_usize();
+            ws.garbage_bytes_by_partition[p] += rec.size;
+            ws.garbage_objects_by_partition[p] += 1;
+            ws.garbage_bytes += rec.size;
+            ws.garbage_objects += 1;
+            garbage.insert(idx);
+        }
+    }
+}
+
+/// Computes the oracle report with up to `threads` worker threads.
+///
+/// Bit-identical to [`analyze_with`](super::analyze_with) for every
+/// `threads >= 1` — the equivalence tests below and the
+/// `Deterministic(n)` invariance tests in `pgc-sim` hold it to that. With
+/// `threads <= 1` no threads are spawned.
+pub fn analyze_parallel(
+    db: &Database,
+    scratch: &mut ParallelScratch,
+    threads: usize,
+) -> OracleReport {
+    let objects = db.objects();
+    let bound = objects.oid_bound();
+    let partition_count = db.partition_count();
+    let n = threads.max(1);
+
+    scratch.live.reset(bound as usize);
+    scratch.garbage.reset(bound as usize);
+    scratch.seen.clear();
+    scratch.seen.reserve(bound as usize);
+    scratch.stack.clear();
+    if scratch.workers.len() < n {
+        scratch.workers.resize_with(n, WorkerScratch::default);
+    }
+    for ws in &mut scratch.workers[..n] {
+        ws.reset(partition_count);
+    }
+
+    let ParallelScratch {
+        live,
+        garbage,
+        seen,
+        stack,
+        workers,
+        chunk_pool,
+    } = scratch;
+    let live = &*live;
+    let garbage = &*garbage;
+
+    // Deal the roots into the deques in chunks so the initial frontier is
+    // spread across workers.
+    let mut deques: Vec<VecDeque<Vec<Oid>>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut root_chunks = 0usize;
+    {
+        let mut next = 0usize;
+        let mut chunk = chunk_pool.pop().unwrap_or_default();
+        for root in db.roots() {
+            chunk.push(root);
+            if chunk.len() >= ROOT_CHUNK {
+                deques[next].push_back(std::mem::replace(
+                    &mut chunk,
+                    chunk_pool.pop().unwrap_or_default(),
+                ));
+                root_chunks += 1;
+                next = (next + 1) % n;
+            }
+        }
+        if chunk.is_empty() {
+            chunk_pool.push(chunk);
+        } else {
+            deques[next].push_back(chunk);
+            root_chunks += 1;
+        }
+    }
+
+    let ctx = MarkCtx {
+        objects,
+        live,
+        shared: Mutex::new(Shared {
+            deques,
+            spares: std::mem::take(chunk_pool),
+            active: n,
+        }),
+        queued: AtomicUsize::new(root_chunks),
+        done: AtomicBool::new(false),
+        workers: n,
+    };
+
+    // Mark + sweep. Each worker marks until global termination (exact,
+    // lock-protected), then sweeps its own contiguous oid range; the
+    // termination protocol is the safepoint between the phases.
+    let per = bound.div_ceil(n as u64);
+    let range_of = |w: u64| (w * per).min(bound)..((w + 1) * per).min(bound);
+    let (w0, rest) = workers[..n].split_at_mut(1);
+    if n == 1 {
+        mark_worker(&ctx, 0, &mut w0[0].local);
+        sweep_range(objects, live, garbage, &mut w0[0], range_of(0));
+    } else {
+        std::thread::scope(|s| {
+            for (i, ws) in rest.iter_mut().enumerate() {
+                let me = i + 1;
+                let ctx = &ctx;
+                s.spawn(move || {
+                    let mut local = std::mem::take(&mut ws.local);
+                    mark_worker(ctx, me, &mut local);
+                    ws.local = local;
+                    // `mark_worker` returns only at global mark termination,
+                    // so every live bit is published before any sweep reads.
+                    sweep_range(ctx.objects, ctx.live, garbage, ws, range_of(me as u64));
+                });
+            }
+            mark_worker(&ctx, 0, &mut w0[0].local);
+            sweep_range(objects, live, garbage, &mut w0[0], range_of(0));
+        });
+    }
+
+    // Reclaim the chunk buffers for the next pass.
+    let mut sh = ctx.shared.into_inner().unwrap();
+    *chunk_pool = std::mem::take(&mut sh.spares);
+    for mut dq in sh.deques {
+        chunk_pool.extend(dq.drain(..));
+    }
+
+    // Merge the per-range tallies in ascending range order.
+    let mut garbage_bytes_by_partition = vec![Bytes::ZERO; partition_count];
+    let mut garbage_objects_by_partition = vec![0u64; partition_count];
+    let mut live_bytes = Bytes::ZERO;
+    let mut garbage_bytes = Bytes::ZERO;
+    let mut garbage_objects = 0u64;
+    for ws in &workers[..n] {
+        live_bytes += ws.live_bytes;
+        garbage_bytes += ws.garbage_bytes;
+        garbage_objects += ws.garbage_objects;
+        for (acc, &b) in garbage_bytes_by_partition
+            .iter_mut()
+            .zip(&ws.garbage_bytes_by_partition)
+        {
+            *acc += b;
+        }
+        for (acc, &c) in garbage_objects_by_partition
+            .iter_mut()
+            .zip(&ws.garbage_objects_by_partition)
+        {
+            *acc += c;
+        }
+    }
+
+    // Nepotism: identical to the serial phase 3, reading the shared
+    // garbage marks. Small enough that parallelism would not pay.
+    for p in 0..partition_count as u32 {
+        let pid = PartitionId(p);
+        for target in db.remsets().remembered_targets(pid) {
+            if garbage.contains(target.index()) {
+                stack.push(target);
+            }
+        }
+    }
+    let mut nepotism_bytes = Bytes::ZERO;
+    while let Some(oid) = stack.pop() {
+        if !seen.insert(oid.index()) {
+            continue;
+        }
+        let Ok(rec) = objects.get(oid) else { continue };
+        if !garbage.contains(oid.index()) {
+            continue;
+        }
+        nepotism_bytes += rec.size;
+        for t in rec.slots.iter().flatten() {
+            stack.push(*t);
+        }
+    }
+
+    OracleReport {
+        live_bytes,
+        live_objects: live.count(),
+        garbage_bytes,
+        garbage_objects,
+        garbage_bytes_by_partition,
+        garbage_objects_by_partition,
+        nepotism_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgc_types::{DbConfig, SimRng, SlotId};
+
+    fn db() -> Database {
+        Database::new(
+            DbConfig::default()
+                .with_page_size(1024)
+                .with_partition_pages(8),
+        )
+        .unwrap()
+    }
+
+    /// Random graph recipe shared with the serial oracle's equivalence
+    /// test: allocations, rewires (orphaning subtrees), and cuts.
+    fn random_db(seed: u64) -> Database {
+        let mut rng = SimRng::new(seed);
+        let mut d = db();
+        let mut oids = Vec::new();
+        for _ in 0..rng.range_inclusive(1, 4) {
+            oids.push(
+                d.create_root(Bytes(rng.range_inclusive(40, 200)), 3)
+                    .unwrap(),
+            );
+        }
+        for _ in 0..rng.range_inclusive(20, 120) {
+            let parent = *rng.pick(&oids);
+            let slot = SlotId(rng.below(3) as u16);
+            match rng.below(10) {
+                0..=6 => {
+                    if let Ok((o, _)) =
+                        d.create_object(Bytes(rng.range_inclusive(40, 200)), 3, parent, slot)
+                    {
+                        oids.push(o);
+                    }
+                }
+                7..=8 => {
+                    let target = *rng.pick(&oids);
+                    let _ = d.write_slot(parent, slot, Some(target));
+                }
+                _ => {
+                    let _ = d.write_slot(parent, slot, None);
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn empty_database_has_no_garbage() {
+        let d = db();
+        let r = analyze_parallel(&d, &mut ParallelScratch::new(), 4);
+        assert_eq!(r.live_objects, 0);
+        assert_eq!(r.garbage_objects, 0);
+        assert_eq!(r, super::super::analyze(&d));
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_randomized_databases() {
+        // Same recipe as the dense-vs-reference equivalence test, held to
+        // bit-identical reports at 1, 2, and 4 workers with scratch reuse
+        // across every pass.
+        let mut scratches = [
+            ParallelScratch::new(),
+            ParallelScratch::new(),
+            ParallelScratch::new(),
+        ];
+        for seed in 0..20u64 {
+            let d = random_db(seed);
+            let expected = super::super::analyze(&d);
+            for (scratch, threads) in scratches.iter_mut().zip([1usize, 2, 4]) {
+                let got = analyze_parallel(&d, scratch, threads);
+                assert_eq!(got, expected, "seed {seed} at {threads} threads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_workers_terminate_and_agree() {
+        // More workers than work: most threads never see a chunk and must
+        // retire cleanly through the termination protocol.
+        let d = random_db(3);
+        let expected = super::super::analyze(&d);
+        let got = analyze_parallel(&d, &mut ParallelScratch::new(), 16);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let d = random_db(5);
+        let expected = super::super::analyze(&d);
+        assert_eq!(
+            analyze_parallel(&d, &mut ParallelScratch::new(), 0),
+            expected
+        );
+    }
+}

@@ -65,6 +65,7 @@ pub fn scaled(policy: PolicyKind, seed: u64, alloc_mib: u64) -> RunConfig {
         sample_every: None,
         trigger: None,
         collect_batch: 1,
+        parallelism: pgc_types::Parallelism::Serial,
     }
 }
 

@@ -15,16 +15,18 @@
 
 use crate::metrics::{RunTotals, SamplePoint, TimeSeries};
 use crate::replay::Replayer;
-use pgc_core::{build_policy, Collector, DeriveStats, PolicyKind, Trigger};
+use pgc_core::{build_policy_with, Collector, DeriveStats, PolicyKind, Trigger};
 use pgc_odb::oracle::OracleScratch;
 use pgc_odb::{oracle, BarrierObserver, CollectionOutcome, Database, DbStats};
 use pgc_telemetry::{
     DeriveSummary, TelemetryHandle, TelemetryLevel, TelemetryObserver, TelemetrySnapshot,
     TriggerReason,
 };
-use pgc_types::{Bytes, DbConfig, PlacementPolicy, Result};
+use pgc_types::{Bytes, DbConfig, Parallelism, PlacementPolicy, Result};
 use pgc_workload::generator::GenStats;
-use pgc_workload::{EncodedTrace, Event, SyntheticWorkload, WorkloadParams};
+use pgc_workload::{
+    EncodedTrace, Event, EventBlock, SyntheticWorkload, WorkloadParams, BLOCK_EVENTS,
+};
 
 /// Everything needed to run one simulation.
 #[derive(Debug, Clone)]
@@ -43,6 +45,11 @@ pub struct RunConfig {
     pub trigger: Option<Trigger>,
     /// Partitions collected per activation (the paper uses 1).
     pub collect_batch: u32,
+    /// Intra-run execution mode: `Serial` (default) or `Deterministic(n)`,
+    /// which fans the oracle's reachability pass, collection planning, and
+    /// trace decode over `n` threads while staying bit-identical to
+    /// `Serial` — same victims, same totals, same telemetry.
+    pub parallelism: Parallelism,
 }
 
 impl RunConfig {
@@ -57,6 +64,7 @@ impl RunConfig {
             sample_every: None,
             trigger: None,
             collect_batch: 1,
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -74,6 +82,7 @@ impl RunConfig {
             sample_every: None,
             trigger: None,
             collect_batch: 1,
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -109,6 +118,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_collect_batch(mut self, batch: u32) -> Self {
         self.collect_batch = batch.max(1);
+        self
+    }
+
+    /// Sets the intra-run execution mode.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -236,10 +252,16 @@ impl RunConfig {
     pub(crate) fn build_replayer(&self) -> Result<Replayer> {
         let db = Database::new(self.db.clone())?;
         let collector = Collector::with_trigger(
-            build_policy(self.policy, self.policy_seed(), self.db.max_weight),
+            build_policy_with(
+                self.policy,
+                self.policy_seed(),
+                self.db.max_weight,
+                self.parallelism,
+            ),
             self.effective_trigger(),
         )
-        .with_batch(self.collect_batch);
+        .with_batch(self.collect_batch)
+        .with_parallelism(self.parallelism);
         Ok(Replayer::new(db, collector))
     }
 }
@@ -292,6 +314,7 @@ impl Simulation {
             source: Source::Synthetic,
             observers: Vec::new(),
             telemetry: TelemetryLevel::Off,
+            parallelism: None,
         }
     }
 
@@ -337,6 +360,7 @@ pub struct SimulationBuilder<'a> {
     source: Source<'a>,
     observers: Vec<Box<dyn BarrierObserver>>,
     telemetry: TelemetryLevel,
+    parallelism: Option<Parallelism>,
 }
 
 impl<'a> SimulationBuilder<'a> {
@@ -382,9 +406,25 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
+    /// Overrides the configuration's intra-run execution mode for this run.
+    /// `Deterministic(n)` is pinned bit-identical to `Serial`: the same
+    /// victims, totals, and telemetry, computed on `n` threads.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
     /// Runs the simulation to completion.
     pub fn run(self) -> Result<RunOutcome> {
-        let cfg = self.cfg;
+        let cfg_override;
+        let cfg = match self.parallelism {
+            Some(p) => {
+                cfg_override = self.cfg.clone().with_parallelism(p);
+                &cfg_override
+            }
+            None => self.cfg,
+        };
         let mut replayer = cfg.build_replayer()?;
         for obs in self.observers {
             replayer.collector_mut().add_observer(obs);
@@ -415,14 +455,13 @@ impl<'a> SimulationBuilder<'a> {
                 generator.stats()
             }
             Source::Encoded(trace) => {
-                let mut cursor = trace.cursor();
-                while let Some(event) = cursor.next_event()? {
-                    replayer.apply(&event)?;
-                    if replayer.events_applied() >= next_sample {
-                        take_sample(&mut series, &replayer, &mut scratch);
-                        next_sample += sample_every;
-                    }
-                }
+                let mut sampler = Sampler {
+                    series: &mut series,
+                    scratch: &mut scratch,
+                    every: sample_every,
+                    next: next_sample,
+                };
+                drive_blocks(&mut replayer, trace, cfg.parallelism, Some(&mut sampler))?;
                 trace.stats()
             }
             Source::Events(events) => {
@@ -454,6 +493,128 @@ impl<'a> SimulationBuilder<'a> {
         }
         Ok(out)
     }
+}
+
+/// Time-series sampling state threaded through the block replay loops.
+struct Sampler<'s> {
+    series: &'s mut TimeSeries,
+    scratch: &'s mut OracleScratch,
+    every: u64,
+    next: u64,
+}
+
+impl Sampler<'_> {
+    /// Events that may be applied before the next sample boundary.
+    fn room(&self, replayer: &Replayer) -> u64 {
+        self.next.saturating_sub(replayer.events_applied())
+    }
+
+    /// Samples if the boundary has been reached.
+    fn maybe_sample(&mut self, replayer: &Replayer) {
+        if replayer.events_applied() >= self.next {
+            take_sample(self.series, replayer, self.scratch);
+            self.next += self.every;
+        }
+    }
+}
+
+/// Applies one decoded block, stopping at each sample boundary inside it.
+fn apply_block_sampled(
+    replayer: &mut Replayer,
+    block: &EventBlock,
+    sampler: &mut Option<&mut Sampler<'_>>,
+) -> Result<()> {
+    let Some(sampler) = sampler else {
+        return replayer.apply_block(block, 0, block.len());
+    };
+    let mut at = 0usize;
+    while at < block.len() {
+        let room = sampler.room(replayer).min((block.len() - at) as u64) as usize;
+        replayer.apply_block(block, at, at + room)?;
+        at += room;
+        sampler.maybe_sample(replayer);
+    }
+    Ok(())
+}
+
+/// Drives a replayer through an encoded trace with batched block decode.
+///
+/// Under [`Parallelism::Serial`] (or one worker) decode and apply alternate
+/// on the calling thread; under [`Parallelism::Deterministic`] a scoped
+/// decode-ahead thread fills a small ring of recycled [`EventBlock`]s while
+/// the calling thread applies them, hiding decode latency behind apply
+/// work. Blocks arrive in stream order either way, and every event passes
+/// through [`Replayer::apply`] — the two modes are bit-identical.
+///
+/// The synthetic source is *not* pipelined: the generator mutates its
+/// mirror as it emits, so its event stream cannot be produced ahead of the
+/// apply loop without recording it first (which is exactly what
+/// [`EncodedTrace::record`] is for).
+fn drive_blocks(
+    replayer: &mut Replayer,
+    trace: &EncodedTrace,
+    parallelism: Parallelism,
+    mut sampler: Option<&mut Sampler<'_>>,
+) -> Result<()> {
+    if !parallelism.is_parallel() {
+        let mut cursor = trace.cursor();
+        let mut block = EventBlock::with_capacity(BLOCK_EVENTS);
+        while cursor.next_block(&mut block)? > 0 {
+            apply_block_sampled(replayer, &block, &mut sampler)?;
+        }
+        return Ok(());
+    }
+    // Decode-ahead pipeline: `ring` blocks in flight plus one in each hand.
+    const PIPELINE_DEPTH: usize = 4;
+    use std::sync::mpsc;
+    std::thread::scope(|scope| -> Result<()> {
+        let (full_tx, full_rx) = mpsc::sync_channel::<EventBlock>(PIPELINE_DEPTH);
+        let (free_tx, free_rx) = mpsc::channel::<EventBlock>();
+        for _ in 0..PIPELINE_DEPTH + 2 {
+            free_tx
+                .send(EventBlock::with_capacity(BLOCK_EVENTS))
+                .expect("receiver alive");
+        }
+        let decoder = scope.spawn(move || -> Result<()> {
+            let mut cursor = trace.cursor();
+            // Both exits on channel closure mean the applier bailed (on an
+            // apply error); just stop — the applier owns the error.
+            while let Ok(mut block) = free_rx.recv() {
+                if cursor.next_block(&mut block)? == 0 {
+                    break;
+                }
+                if full_tx.send(block).is_err() {
+                    break;
+                }
+            }
+            Ok(())
+        });
+        let mut applied = Ok(());
+        for block in full_rx.iter() {
+            if let Err(e) = apply_block_sampled(replayer, &block, &mut sampler) {
+                applied = Err(e);
+                break;
+            }
+            let _ = free_tx.send(block);
+        }
+        drop(free_tx);
+        let decoded = decoder.join().expect("decode thread panicked");
+        applied.and(decoded)
+    })
+}
+
+/// Drives `replayer` through `trace` using the batched struct-of-arrays
+/// decode path — pipelined on a decode-ahead thread when `parallelism` is
+/// [`Parallelism::Deterministic`] with two or more workers.
+///
+/// This is the hot-path entry the perf harness times; [`Simulation`] runs
+/// the same loop internally for encoded sources, plus sampling.
+pub fn drive_encoded(
+    replayer: &mut Replayer,
+    trace: &EncodedTrace,
+    parallelism: Parallelism,
+) -> Result<()> {
+    drive_blocks(replayer, trace, parallelism, None)
 }
 
 fn take_sample(series: &mut TimeSeries, replayer: &Replayer, scratch: &mut OracleScratch) {

@@ -1,0 +1,216 @@
+//! Intra-run parallelism knob and the concurrent mark bit set.
+//!
+//! The simulator's headline guarantee is determinism: the same
+//! configuration and seed produce bit-identical results, run after run.
+//! [`Parallelism`] extends that guarantee into multi-threaded execution —
+//! `Deterministic(n)` modes are *pinned* to produce exactly the results of
+//! `Serial`, for any `n`, by restricting worker threads to confluent work
+//! (monotone reachability marking, read-only collection planning) and
+//! applying all order-sensitive effects on the coordinating thread in a
+//! canonical order.
+//!
+//! [`AtomicBitSet`] is the shared-memory half of that contract: a dense bit
+//! set over object ids whose `insert` is an atomic fetch-or, so any number
+//! of marking workers can race on it and still compute the same *set* — set
+//! union is confluent regardless of interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How much intra-run parallelism a simulation may use.
+///
+/// `Serial` is the reference mode: one thread does everything.
+/// `Deterministic(n)` lets hot kernels (reachability marking, collection
+/// planning) fan out over up to `n` worker threads while remaining
+/// bit-identical to `Serial` — victim sequences, run totals, telemetry
+/// score bits, and the barrier event order all match exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Parallelism {
+    /// Single-threaded reference execution.
+    #[default]
+    Serial,
+    /// Up to `n` worker threads, pinned bit-identical to [`Parallelism::Serial`].
+    /// `Deterministic(0)` is treated as `Deterministic(1)`.
+    Deterministic(u32),
+}
+
+impl Parallelism {
+    /// A deterministic mode with `n` workers (`n` is clamped to at least 1).
+    pub fn deterministic(n: u32) -> Self {
+        Parallelism::Deterministic(n.max(1))
+    }
+
+    /// The number of worker threads this mode may spawn (1 for `Serial`).
+    #[inline]
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Deterministic(n) => n.max(1) as usize,
+        }
+    }
+
+    /// True when parallel kernels should actually fan out (more than one
+    /// worker is available).
+    #[inline]
+    pub fn is_parallel(self) -> bool {
+        self.worker_count() > 1
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Serial => write!(f, "serial"),
+            Parallelism::Deterministic(n) => write!(f, "deterministic({})", (*n).max(1)),
+        }
+    }
+}
+
+/// A fixed-capacity concurrent bit set over `u64` indices.
+///
+/// The sharable sibling of [`crate::DenseBitSet`]: words are `AtomicU64`s
+/// and `insert` is a relaxed `fetch_or`, so concurrent marking workers can
+/// all test-and-set membership through a shared reference. The *resulting
+/// set* is independent of thread interleaving (set union is confluent),
+/// which is what makes parallel reachability marking deterministic.
+///
+/// Unlike `DenseBitSet` it does not grow on insert: capacity is fixed by
+/// [`AtomicBitSet::reset`] (out-of-range inserts would require locking).
+/// Callers size it to the database's oid bound before each pass.
+///
+/// ```
+/// use pgc_types::AtomicBitSet;
+///
+/// let mut s = AtomicBitSet::new();
+/// s.reset(128);
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3));
+/// assert!(s.contains(3));
+/// assert_eq!(s.count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct AtomicBitSet {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitSet {
+    /// Creates an empty set with zero capacity (call [`AtomicBitSet::reset`]
+    /// before use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every bit and ensures indices `0..bits` fit, reusing the
+    /// existing allocation when possible. Requires `&mut self`, so it
+    /// happens strictly before or after any concurrent sharing.
+    pub fn reset(&mut self, bits: usize) {
+        let need = bits.div_ceil(64);
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+        if self.words.len() < need {
+            self.words.resize_with(need, || AtomicU64::new(0));
+        }
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Atomically inserts `bit`, returning true if it was absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is beyond the capacity set by the last
+    /// [`AtomicBitSet::reset`].
+    #[inline]
+    pub fn insert(&self, bit: u64) -> bool {
+        let mask = 1u64 << (bit % 64);
+        let prev = self.words[(bit / 64) as usize].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Membership test (out-of-capacity indices are absent, not a panic).
+    #[inline]
+    pub fn contains(&self, bit: u64) -> bool {
+        self.words
+            .get((bit / 64) as usize)
+            .is_some_and(|w| w.load(Ordering::Relaxed) & (1 << (bit % 64)) != 0)
+    }
+
+    /// Number of set bits. Exact only once all concurrent inserters have
+    /// been joined (relaxed loads observe a quiescent set exactly).
+    pub fn count(&self) -> u64 {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_worker_counts() {
+        assert_eq!(Parallelism::Serial.worker_count(), 1);
+        assert!(!Parallelism::Serial.is_parallel());
+        assert_eq!(Parallelism::deterministic(0).worker_count(), 1);
+        assert_eq!(Parallelism::Deterministic(0).worker_count(), 1);
+        assert_eq!(Parallelism::deterministic(4).worker_count(), 4);
+        assert!(Parallelism::deterministic(4).is_parallel());
+        assert!(!Parallelism::deterministic(1).is_parallel());
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
+        assert_eq!(Parallelism::Serial.to_string(), "serial");
+        assert_eq!(
+            Parallelism::deterministic(4).to_string(),
+            "deterministic(4)"
+        );
+    }
+
+    #[test]
+    fn atomic_bitset_matches_dense_reference() {
+        use crate::{DenseBitSet, SimRng};
+        let mut rng = SimRng::new(7);
+        let mut atomic = AtomicBitSet::new();
+        atomic.reset(700);
+        let mut dense = DenseBitSet::new();
+        for _ in 0..5000 {
+            let bit = rng.below(700);
+            assert_eq!(atomic.insert(bit), dense.insert(bit));
+            assert_eq!(atomic.contains(bit), dense.contains(bit));
+        }
+        assert_eq!(atomic.count(), dense.len() as u64);
+        // Reset keeps capacity, drops membership.
+        atomic.reset(700);
+        assert_eq!(atomic.count(), 0);
+        assert!(!atomic.contains(1));
+    }
+
+    #[test]
+    fn concurrent_inserts_converge_to_the_same_set() {
+        let mut s = AtomicBitSet::new();
+        s.reset(4096);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    // Overlapping ranges: every bit raced by two threads.
+                    for bit in (t * 1024)..((t + 2) * 1024).min(4096) {
+                        s.insert(bit as u64);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.count(), 4096);
+    }
+
+    #[test]
+    fn out_of_capacity_contains_is_false() {
+        let mut s = AtomicBitSet::new();
+        s.reset(64);
+        assert!(!s.contains(1000));
+    }
+}

@@ -161,6 +161,13 @@ impl EncodedTrace {
         Ok(out)
     }
 
+    /// Chops `n` bytes off the encoded buffer (corruption-path tests).
+    #[cfg(test)]
+    pub(crate) fn truncate_for_test(&mut self, n: usize) {
+        let len = self.buf.len().saturating_sub(n);
+        self.buf.truncate(len);
+    }
+
     /// Writes the stream as a PGCT trace file (magic + version header
     /// followed by the body this trace already holds), returning the event
     /// count. The output is byte-identical to recording the same workload
@@ -208,9 +215,33 @@ impl TraceCursor<'_> {
         Ok(event)
     }
 
+    /// Decodes up to [`crate::block::BLOCK_EVENTS`] events into `block`
+    /// (cleared first), returning how many were decoded — `0` at the end of
+    /// the stream. The struct-of-arrays entry point behind batched replay:
+    /// the caller loops `next_block` and applies each run from the block's
+    /// flat columns, reusing one block for the whole trace.
+    #[inline]
+    pub fn next_block(&mut self, block: &mut crate::block::EventBlock) -> Result<usize> {
+        block.clear();
+        while block.len() < crate::block::BLOCK_EVENTS {
+            match self.next_event()? {
+                Some(event) => block.push(&event),
+                None => break,
+            }
+        }
+        Ok(block.len())
+    }
+
     /// Events decoded so far.
     pub fn decoded(&self) -> u64 {
         self.decoded
+    }
+
+    /// Events left to decode, from the header count. Lets a replay loop
+    /// size batches (e.g. stop a block at a sampling boundary) without
+    /// probing the byte stream.
+    pub fn remaining_events(&self) -> u64 {
+        self.expected.saturating_sub(self.decoded)
     }
 }
 

@@ -28,6 +28,10 @@
 //!   [`params::WorkloadParams::digest`]) — what lets a multi-policy
 //!   experiment pay the generator cost once per seed instead of once per
 //!   `(policy, seed)` job.
+//! * [`block`] — [`block::EventBlock`], a reusable struct-of-arrays batch
+//!   that [`encoded::TraceCursor::next_block`] fills a run of events at a
+//!   time, separating the decode pass from the apply pass in hot replay
+//!   loops (zero allocation after warmup).
 //! * [`assembly`] — a second application model, shaped like the OO7 design
 //!   library the paper cites: assembly hierarchies over cyclic composite
 //!   parts with large documents, churned by whole-composite replacement.
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod assembly;
+pub mod block;
 pub mod encoded;
 pub mod event;
 pub mod generator;
@@ -44,6 +49,7 @@ pub mod params;
 pub mod trace;
 
 pub use assembly::{AssemblyParams, AssemblyWorkload};
+pub use block::{EventBlock, BLOCK_EVENTS};
 pub use encoded::{EncodedTrace, TraceCache, TraceCursor, TraceHeader};
 pub use event::{Event, NodeId};
 pub use generator::SyntheticWorkload;

@@ -21,12 +21,12 @@ use std::io::{self, Read, Write};
 pub(crate) const MAGIC: &[u8; 4] = b"PGCT";
 pub(crate) const VERSION: u32 = 1;
 
-const TAG_CREATE_ROOT: u8 = 1;
-const TAG_CREATE_CHILD: u8 = 2;
-const TAG_WRITE_POINTER: u8 = 3;
-const TAG_ADD_SLOT: u8 = 4;
-const TAG_VISIT: u8 = 5;
-const TAG_DATA_WRITE: u8 = 6;
+pub(crate) const TAG_CREATE_ROOT: u8 = 1;
+pub(crate) const TAG_CREATE_CHILD: u8 = 2;
+pub(crate) const TAG_WRITE_POINTER: u8 = 3;
+pub(crate) const TAG_ADD_SLOT: u8 = 4;
+pub(crate) const TAG_VISIT: u8 = 5;
+pub(crate) const TAG_DATA_WRITE: u8 = 6;
 
 fn io_err(e: io::Error) -> PgcError {
     PgcError::TraceIo(e.to_string())

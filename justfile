@@ -59,3 +59,11 @@ telemetry out="telemetry.jsonl" scale="25" seeds="3":
 # Dependency-free micro-benchmarks (PGC_BENCH_QUICK=1 for a fast pass).
 bench:
     cargo bench -p pgc-bench
+
+# Intra-run parallelism: the parallel_hotpath section of the perf report
+# (BENCH_parallel.json — batched decode + parallel-marking speedups and the
+# Serial == Deterministic(n) bit-identity check) plus the mode-invariance
+# test suite. `threads` sets --intra-threads.
+parallel threads="4":
+    cargo test -q -p pgc-sim --test parallel_equivalence
+    cargo run --release -p pgc-bench --bin perf_report -- --intra-threads {{threads}}
