@@ -1,102 +1,193 @@
-//! Client/server cost-model experiment (extension).
+//! Multi-tenant client/server run on the sharded runtime.
 //!
-//! The paper evaluates against a local disk and notes its simulator could
-//! "model network costs for a distributed or client/server database" —
-//! the setting of the Yong/Naughton/Yu work it extends. This binary runs
-//! the headline policy comparison under a page-server architecture: a
-//! client cache in front of the server buffer, with client misses costing
-//! network messages and server misses costing disk I/O.
+//! The paper evaluates one client against a local disk and notes its
+//! simulator could "model network costs for a distributed or
+//! client/server database". Earlier revisions of this binary priced a
+//! single run under a page-server cost model; this one runs the *server*:
+//! many client streams, each a tenant with its own partitioned database,
+//! selection policy, and client cache, multiplexed onto a fixed fleet of
+//! shard worker threads behind the deterministic router, with a few
+//! cross-tenant references flowing through the inter-shard remset.
 //!
-//! The question it answers: **does the policy ranking survive the cost
-//! model change?** (It does — locality wins translate into both fewer
-//! network messages and fewer disk I/Os.)
+//! The question it answers: **does multi-tenancy cost anything in
+//! fidelity?** It does not — the binary spot-checks that a stream's
+//! totals and victim sequence on the fleet are bit-identical to a
+//! dedicated single-`Simulation` run of the same events, and reports
+//! aggregate throughput per shard alongside the fleet-wide telemetry
+//! merge.
 //!
 //! ```text
-//! cargo run --release -p pgc-bench --bin client_server [--seeds N] [--scale PCT]
+//! cargo run --release -p pgc-bench --bin client_server \
+//!     [--shards N] [--streams M] [--scale PCT]
 //! ```
 
 use pgc_bench::{emit, CommonArgs};
-use pgc_buffer::{DiskModel, NetworkModel};
 use pgc_core::PolicyKind;
-use pgc_sim::{paper, Experiment, Summary};
+use pgc_server::{Server, ServerConfig, StreamId, TelemetryLevel};
+use pgc_sim::{paper, RunConfig, Simulation};
+use pgc_workload::{Event, NodeId, SyntheticWorkload};
 use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Events per submitted batch: small enough that thousands of streams
+/// interleave on the inboxes, large enough to amortize the channel hop.
+const BATCH: usize = 2048;
 
 fn main() {
-    let mut args = CommonArgs::parse();
-    if args.seeds == 10 {
-        args.seeds = 5;
-    }
-    let seeds = args.seed_list();
-    const CLIENT_PAGES: u64 = 16;
-
-    let mut jobs = Vec::new();
-    for (pi, &policy) in PolicyKind::PAPER.iter().enumerate() {
-        for &seed in &seeds {
-            let mut cfg = paper::headline(policy, seed);
-            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
-            cfg.db = cfg.db.with_client_cache_pages(CLIENT_PAGES);
-            jobs.push((pi, cfg.with_parallelism(args.parallelism())));
+    // Server-specific flags peel off before the common ones parse.
+    let mut shards = 4usize;
+    let mut streams = 8usize;
+    let mut rest = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs a positive integer");
+            }
+            "--streams" => {
+                streams = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--streams needs a positive integer");
+            }
+            other => rest.push(other.to_string()),
         }
     }
-    let results = Experiment::new().run_jobs(jobs).expect("runs complete");
+    let args = CommonArgs::parse_from(rest);
+    assert!(shards >= 1, "--shards must be at least 1");
+    assert!(streams >= 1, "--streams must be at least 1");
+    const CLIENT_PAGES: u64 = 16;
 
-    let page = 8192;
-    let disk = DiskModel::circa_1993(page);
-    let net = NetworkModel::ethernet_1993(page);
+    // One tenant per stream: the paper's policy slate round-robined over
+    // the streams, each on its own seed, each with a client cache in
+    // front of the server buffer (the page-server cost model).
+    println!("generating {streams} tenant workloads...");
+    let configs: Vec<(StreamId, RunConfig)> = (0..streams as u64)
+        .map(|i| {
+            let policy = PolicyKind::PAPER[i as usize % PolicyKind::PAPER.len()];
+            let mut cfg = paper::headline(policy, i + 1);
+            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+            cfg.db = cfg.db.with_client_cache_pages(CLIENT_PAGES);
+            (StreamId(i), cfg)
+        })
+        .collect();
+    let events: Vec<Vec<Event>> = configs
+        .iter()
+        .map(|(_, cfg)| {
+            SyntheticWorkload::new(cfg.workload.clone())
+                .expect("workload params")
+                .collect()
+        })
+        .collect();
+
+    // Open every stream, then feed the fleet round-robin in ragged
+    // batches — the interleaving a real server would see.
+    println!("running {streams} streams on {shards} shards...");
+    let t0 = Instant::now();
+    let mut server =
+        Server::start(ServerConfig::new(shards).with_telemetry(TelemetryLevel::Metrics));
+    for (stream, cfg) in &configs {
+        server.open_stream(*stream, cfg.clone()).expect("open");
+    }
+    let mut cursors = vec![0usize; streams];
+    loop {
+        let mut any = false;
+        for (i, (stream, _)) in configs.iter().enumerate() {
+            let at = cursors[i];
+            if at >= events[i].len() {
+                continue;
+            }
+            let end = (at + BATCH).min(events[i].len());
+            server.submit(*stream, &events[i][at..end]).expect("submit");
+            cursors[i] = end;
+            any = true;
+        }
+        if !any {
+            break;
+        }
+    }
+    // Cross-tenant references: each tenant points at its neighbor's first
+    // few objects — inter-shard remset traffic over the barrier bus.
+    for i in 0..streams as u64 {
+        let target = StreamId((i + 1) % streams as u64);
+        for node in 0..4 {
+            server
+                .link(StreamId(i), target, NodeId(node))
+                .expect("link");
+        }
+    }
+    let fleet = server.shutdown().expect("fleet shutdown");
+    let secs = t0.elapsed().as_secs_f64();
+
+    // Fidelity spot-check: stream 0 on the fleet vs a dedicated run.
+    let (stream0, cfg0) = &configs[0];
+    let dedicated = Simulation::builder(cfg0)
+        .events(&events[0])
+        .run()
+        .expect("dedicated run");
+    let fleet0 = fleet.outcome(*stream0).expect("stream 0 outcome");
+    let identical =
+        fleet0.totals == dedicated.totals && fleet0.collections == dedicated.collections;
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "client cache {CLIENT_PAGES} pages, server buffer 48 pages; {} seeds",
-        seeds.len()
+        "{streams} streams on {shards} shards; client cache {CLIENT_PAGES} pages per tenant"
     );
     let _ = writeln!(
         out,
-        "{:<18} {:>11} {:>9} {:>11} {:>9} {:>12} {:>9}",
-        "Selection Policy", "net msgs", "(sd)", "disk I/Os", "(sd)", "est. 1993 s", "Relative"
+        "\n{:<7} {:>8} {:>14} {:>13} {:>14}",
+        "Shard", "streams", "bus events", "activations", "reclaimed KB"
     );
-
-    // Aggregate per policy.
-    let mut rows: Vec<(PolicyKind, Summary, Summary, f64)> = Vec::new();
-    for (pi, &policy) in PolicyKind::PAPER.iter().enumerate() {
-        let runs: Vec<_> = results
-            .iter()
-            .filter(|(label, _)| *label == pi)
-            .map(|(_, o)| o)
-            .collect();
-        let net_ops = Summary::of_u64(runs.iter().map(|o| o.totals.total_net_ops()));
-        let disk_ops = Summary::of_u64(runs.iter().map(|o| o.totals.total_ios()));
-        let secs = disk.seconds_for(disk_ops.mean as u64) + net.seconds_for(net_ops.mean as u64);
-        rows.push((policy, net_ops, disk_ops, secs));
-    }
-    let baseline_secs = rows
-        .iter()
-        .find(|(p, ..)| *p == PolicyKind::MostGarbage)
-        .map(|(_, _, _, s)| *s)
-        .unwrap_or(1.0);
-    for (policy, net_ops, disk_ops, secs) in &rows {
+    for shard in fleet.fleet.shards() {
         let _ = writeln!(
             out,
-            "{:<18} {:>11.0} {:>9.0} {:>11.0} {:>9.0} {:>12.1} {:>9.3}",
-            policy.name(),
-            net_ops.mean,
-            net_ops.std_dev,
-            disk_ops.mean,
-            disk_ops.std_dev,
-            secs,
-            secs / baseline_secs,
+            "{:<7} {:>8} {:>14} {:>13} {:>14.0}",
+            shard.shard,
+            shard.streams,
+            shard.snapshot.counters.events,
+            shard.snapshot.counters.activations,
+            shard.snapshot.counters.reclaimed_bytes as f64 / 1024.0,
         );
     }
+    let merged = fleet.fleet.merged();
     let _ = writeln!(
         out,
-        "\n(net msg = page fetch or dirty write-back over the client/server link;\n estimated time prices disk at {:.1} ms/IO and the network at {:.1} ms/page)",
-        disk.ms_per_io(),
-        net.ms_per_page()
+        "\nfleet: {} events in {secs:.2}s ({:.0} events/sec aggregate), {} collections",
+        fleet.total_events(),
+        fleet.total_events() as f64 / secs.max(1e-9),
+        fleet.total_collections(),
+    );
+    if let Some(snap) = &merged {
+        let _ = writeln!(
+            out,
+            "telemetry merge: {} sessions, {} activations recorded",
+            snap.runs, snap.counters.activations
+        );
+    }
+    let r = fleet.remset;
+    let _ = writeln!(
+        out,
+        "inter-shard remset: {} registered, {} cleaned, {} relocated, {} dangling",
+        r.registered, r.cleaned, r.relocated, r.dangling
+    );
+    let _ = writeln!(
+        out,
+        "stream 0 vs dedicated run: {}",
+        if identical {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
     );
 
     emit(
         &args,
-        "Client/Server cost model: policy comparison under a page-server architecture",
+        "Client/Server runtime: multi-tenant streams on the sharded fleet",
         &out,
     );
+    assert!(identical, "fleet run diverged from the dedicated run");
 }

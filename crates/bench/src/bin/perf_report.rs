@@ -51,6 +51,16 @@
 //! `--intra-threads` cores — the parallel leg must beat it by 2.5x, all
 //! measured in the same process.
 //!
+//! Finally it gates the **sharded server runtime** and writes
+//! `BENCH_server.json`: the same set of client streams run on 1, 2, and 4
+//! shards through `pgc-server`. Every stream's outcome must be
+//! bit-identical at every shard count and to a dedicated
+//! single-`Simulation` run (binding at any scale). At full scale — on
+//! machines with at least as many cores as the widest fleet — aggregate
+//! events/sec at 4 shards must beat 1 shard by 2x. Wall-clock gates that
+//! cannot bind (reduced scale, too few cores) record an explicit
+//! `skipped` status in their artifact instead of a silent pass.
+//!
 //! Usage: `cargo run --release --bin perf_report` (or `just bench-report`).
 //! `--scale PCT` shrinks the paper workload for quick runs.
 
@@ -59,6 +69,7 @@ use pgc_core::policy::{fallback_victim, PolicyKind, SelectionPolicy};
 use pgc_core::{build_policy, build_policy_with, Collector};
 use pgc_odb::oracle::{self, OracleScratch};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
+use pgc_server::{Server, ServerConfig, StreamId};
 use pgc_sim::{
     drive_encoded, experiment, Experiment, Replayer, RunConfig, RunOutcome, Simulation,
     TelemetryLevel,
@@ -110,6 +121,26 @@ const PARALLEL_SPEEDUP_GATE: f64 = 2.5;
 /// gate this involves no concurrency, so it binds at full scale on any
 /// machine, including single-core CI runners.
 const BATCHED_SPEEDUP_GATE: f64 = 1.5;
+
+/// Required aggregate-throughput speedup of the sharded server runtime at
+/// its widest shard count versus one shard, over the same client streams.
+/// Binds at full scale, and only on machines with at least as many
+/// available cores as shards — on fewer cores the shard workers
+/// time-slice one CPU, so the artifact records an explicit skipped
+/// status instead of a silent pass (per-stream bit-identity still binds
+/// everywhere).
+const SERVER_SPEEDUP_GATE: f64 = 2.0;
+
+/// Shard counts the `server_scalability` section sweeps, ascending; the
+/// gate compares the last against the first.
+const SERVER_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Client streams multiplexed onto the fleet in the server sweep.
+const SERVER_STREAMS: usize = 8;
+
+/// Paired passes per shard count in the server sweep (best-of, with the
+/// visit order rotated across passes like the other paired gates).
+const SERVER_PASSES: usize = 2;
 
 /// The pre-derive `UpdatedPointer`: the hand-rolled private scoreboard the
 /// derive layer replaced — a bare counter vector bumped on overwrites and
@@ -994,6 +1025,21 @@ fn main() {
         || best_parallel_speedup >= PARALLEL_SPEEDUP_GATE)
         && batched_gate_ok
         && parallel_identical;
+    // A wall-clock gate that cannot bind records *why* in the artifact —
+    // a skipped gate must be distinguishable from a passed one.
+    let parallel_gate_status = if !parallel_identical {
+        "failed (victim mismatch)"
+    } else if !batched_gate_ok {
+        "failed (batched leg below gate)"
+    } else if !batched_gate_applies {
+        "skipped (reduced scale)"
+    } else if cores < intra.worker_count() {
+        "skipped (insufficient cores)"
+    } else if best_parallel_speedup >= PARALLEL_SPEEDUP_GATE {
+        "passed"
+    } else {
+        "failed"
+    };
     println!(
         "  pre-dense (per-event):   {prepar_secs:>8.3}s  ({:.0} events/sec)",
         trace_events / prepar_secs.max(1e-9)
@@ -1028,6 +1074,7 @@ fn main() {
         "  available cores: {cores} (workers: {})",
         intra.worker_count()
     );
+    println!("  parallel gate status: {parallel_gate_status}");
     println!("  victims bit-identical across legs: {parallel_identical}");
     if !parallel_identical {
         eprintln!("MISMATCH: parallel execution changed the victim sequence");
@@ -1039,6 +1086,121 @@ fn main() {
         eprintln!(
             "REGRESSION: parallel speedup {best_parallel_speedup:.2}x fell below the {PARALLEL_SPEEDUP_GATE:.1}x gate"
         );
+    }
+
+    // --- Server scalability: the same client streams on 1, 2, and 4
+    // shards through pgc-server. Aggregate throughput should scale with
+    // the fleet (wall-clock gate); every stream's outcome must be
+    // bit-identical at every shard count and to a dedicated
+    // single-`Simulation` run (always binding). ---
+    println!("server scalability: {SERVER_STREAMS} streams on {SERVER_SHARD_COUNTS:?} shards...");
+    let server_cfgs: Vec<(StreamId, RunConfig)> = (0..SERVER_STREAMS as u64)
+        .map(|i| {
+            let policy = PolicyKind::PAPER[i as usize % PolicyKind::PAPER.len()];
+            let mut cfg = RunConfig::paper(policy, i + 1);
+            cfg.workload.target_allocated = args.scale_bytes(cfg.workload.target_allocated);
+            (StreamId(i), cfg)
+        })
+        .collect();
+    let server_events: Vec<Vec<Event>> =
+        server_cfgs.iter().map(|(_, cfg)| events_for(cfg)).collect();
+    let total_server_events: u64 = server_events.iter().map(|e| e.len() as u64).sum();
+    // Dedicated single-Simulation runs are the fidelity baseline; the
+    // fleet must reproduce them bit for bit at every shard count.
+    let dedicated: Vec<RunOutcome> = server_cfgs
+        .iter()
+        .zip(&server_events)
+        .map(|((_, cfg), events)| {
+            Simulation::builder(cfg)
+                .events(events)
+                .run()
+                .expect("dedicated baseline run")
+        })
+        .collect();
+    let run_fleet = |shards: usize| {
+        let t0 = Instant::now();
+        let mut server = Server::start(ServerConfig::new(shards));
+        for (stream, cfg) in &server_cfgs {
+            server
+                .open_stream(*stream, cfg.clone())
+                .expect("open stream");
+        }
+        // Round-robin batches: the interleaving a real fleet would see.
+        let mut cursors = [0usize; SERVER_STREAMS];
+        loop {
+            let mut any = false;
+            for (i, (stream, _)) in server_cfgs.iter().enumerate() {
+                let at = cursors[i];
+                if at >= server_events[i].len() {
+                    continue;
+                }
+                let end = (at + 4096).min(server_events[i].len());
+                server
+                    .submit(*stream, &server_events[i][at..end])
+                    .expect("submit");
+                cursors[i] = end;
+                any = true;
+            }
+            if !any {
+                break;
+            }
+        }
+        let fleet = server.shutdown().expect("fleet shutdown");
+        (t0.elapsed().as_secs_f64(), fleet.outcomes)
+    };
+    let mut server_secs = vec![f64::INFINITY; SERVER_SHARD_COUNTS.len()];
+    let mut server_identical = true;
+    for pass in 0..SERVER_PASSES {
+        for step in 0..SERVER_SHARD_COUNTS.len() {
+            let slot = (step + pass) % SERVER_SHARD_COUNTS.len();
+            let shards = SERVER_SHARD_COUNTS[slot];
+            let (secs, outcomes) = run_fleet(shards);
+            server_secs[slot] = server_secs[slot].min(secs);
+            // Outcomes come back sorted by stream id, and streams are
+            // numbered 0..N, so they align with the baseline by index.
+            for ((stream, outcome), baseline) in outcomes.iter().zip(&dedicated) {
+                if outcome.totals != baseline.totals || outcome.collections != baseline.collections
+                {
+                    server_identical = false;
+                    eprintln!(
+                        "MISMATCH: stream {stream} diverged from its dedicated run on {shards} shard(s)"
+                    );
+                }
+            }
+        }
+    }
+    let server_eps: Vec<f64> = server_secs
+        .iter()
+        .map(|s| total_server_events as f64 / s.max(1e-9))
+        .collect();
+    let max_shards = *SERVER_SHARD_COUNTS.last().expect("non-empty sweep");
+    let server_speedup = server_secs[0] / server_secs[SERVER_SHARD_COUNTS.len() - 1].max(1e-9);
+    let server_gate_applies = args.scale_pct == 100 && cores >= max_shards;
+    let server_gate_ok =
+        (!server_gate_applies || server_speedup >= SERVER_SPEEDUP_GATE) && server_identical;
+    let server_gate_status = if !server_identical {
+        "failed (stream outcome mismatch)"
+    } else if args.scale_pct != 100 {
+        "skipped (reduced scale)"
+    } else if cores < max_shards {
+        "skipped (insufficient cores)"
+    } else if server_speedup >= SERVER_SPEEDUP_GATE {
+        "passed"
+    } else {
+        "failed"
+    };
+    for (i, shards) in SERVER_SHARD_COUNTS.iter().enumerate() {
+        println!(
+            "  {shards} shard(s): {:>8.3}s  ({:.0} events/sec aggregate)",
+            server_secs[i], server_eps[i]
+        );
+    }
+    println!(
+        "  speedup at {max_shards} shards: {server_speedup:.2}x vs 1 shard (gate {SERVER_SPEEDUP_GATE:.1}x, status: {server_gate_status})"
+    );
+    println!("  per-stream outcomes bit-identical to dedicated runs: {server_identical}");
+    if !server_gate_ok {
+        eprintln!("REGRESSION: server scalability gate failed ({server_gate_status})");
     }
 
     let rss = peak_rss_kib();
@@ -1274,11 +1436,55 @@ fn main() {
     let _ = writeln!(pljson, "  \"batched_gate_ok\": {batched_gate_ok},");
     let _ = writeln!(pljson, "  \"gate_speedup\": {PARALLEL_SPEEDUP_GATE:.3},");
     let _ = writeln!(pljson, "  \"gate_applies\": {parallel_gate_applies},");
+    let _ = writeln!(pljson, "  \"gate_status\": \"{parallel_gate_status}\",");
     let _ = writeln!(pljson, "  \"gate_ok\": {parallel_gate_ok},");
     let _ = writeln!(pljson, "  \"bit_identical\": {parallel_identical}");
     pljson.push_str("}\n");
     std::fs::write("BENCH_parallel.json", &pljson).expect("write parallel report");
     println!("wrote BENCH_parallel.json");
+
+    // --- BENCH_server.json: the sharded-runtime scalability gate. ---
+    let join = |vals: &[String]| vals.join(", ");
+    let mut sjson = String::from("{\n");
+    let _ = writeln!(sjson, "  \"harness\": \"perf_report/server_scalability\",");
+    let _ = writeln!(sjson, "  \"scale_pct\": {},", args.scale_pct);
+    let _ = writeln!(sjson, "  \"streams\": {SERVER_STREAMS},");
+    let _ = writeln!(sjson, "  \"events\": {total_server_events},");
+    let _ = writeln!(sjson, "  \"available_cores\": {cores},");
+    let _ = writeln!(
+        sjson,
+        "  \"shard_counts\": [{}],",
+        join(&SERVER_SHARD_COUNTS.map(|s| s.to_string()))
+    );
+    let _ = writeln!(
+        sjson,
+        "  \"secs\": [{}],",
+        join(
+            &server_secs
+                .iter()
+                .map(|s| format!("{s:.4}"))
+                .collect::<Vec<_>>()
+        )
+    );
+    let _ = writeln!(
+        sjson,
+        "  \"events_per_sec\": [{}],",
+        join(
+            &server_eps
+                .iter()
+                .map(|e| format!("{e:.1}"))
+                .collect::<Vec<_>>()
+        )
+    );
+    let _ = writeln!(sjson, "  \"speedup_at_max_shards\": {server_speedup:.3},");
+    let _ = writeln!(sjson, "  \"gate_speedup\": {SERVER_SPEEDUP_GATE:.3},");
+    let _ = writeln!(sjson, "  \"gate_applies\": {server_gate_applies},");
+    let _ = writeln!(sjson, "  \"gate_status\": \"{server_gate_status}\",");
+    let _ = writeln!(sjson, "  \"gate_ok\": {server_gate_ok},");
+    let _ = writeln!(sjson, "  \"bit_identical\": {server_identical}");
+    sjson.push_str("}\n");
+    std::fs::write("BENCH_server.json", &sjson).expect("write server report");
+    println!("wrote BENCH_server.json");
 
     if !identical
         || !sweep_identical
@@ -1287,6 +1493,7 @@ fn main() {
         || !telemetry_gate_ok
         || !telemetry_identical
         || !parallel_gate_ok
+        || !server_gate_ok
     {
         std::process::exit(1);
     }

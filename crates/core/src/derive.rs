@@ -16,16 +16,23 @@
 //!   partial rescan over just the dirty partitions when the cached winner
 //!   is untouched, and a full rescan otherwise.
 //!
-//! A separate **structure revision** advances on events that change the
-//! *candidate set* rather than any score — partition growth, allocations
-//! that grew the database, and collections (which rotate the designated
-//! empty partition) — and forces a full rescan, because a cached winner
-//! computed over yesterday's candidate set is unsound today. Under the
-//! paper's trigger a collection follows almost every selection, so driver
-//! queries mostly rescan; the memo earns its keep on the quick all-clean
-//! path (shadow scoreboards, repeated probes between collections) and by
-//! making every recomputation observable: per-query hit/partial/full
-//! counters surface through [`DeriveStats`] into telemetry.
+//! A separate **structure revision** advances on events that *grow* the
+//! candidate set — partition growth and allocations that grew the
+//! database — and forces a full rescan, because a brand-new partition has
+//! no stamps for the partial path to notice. Collections rotate rather
+//! than grow the set (the victim becomes the new designated empty
+//! partition, the copy target rejoins the candidates), and rotation is a
+//! *partial* invalidation: the engine stamps exactly the victim and the
+//! target dirty, so a query whose cached winner survives the collection —
+//! every shadow scoreboard, every meta-policy candidate, and any driver
+//! under a batched or `AllocationBytes`-style trigger whose winner wasn't
+//! the partition just collected — rescans two partitions instead of all
+//! of them. (A driver whose memoized winner *was* the victim still takes
+//! the full path: its score was reset, and scores can only be compared by
+//! rescanning.) Every recomputation stays observable: per-query
+//! hit/partial/full counters surface through [`DeriveStats`] into
+//! telemetry, and the no-longer-voided memo shows up there as partial
+//! counts displacing full ones.
 //!
 //! Ranking semantics are bit-identical to the hand-rolled scoreboards this
 //! replaces: partitions scoring zero are skipped, ties break toward the
@@ -236,6 +243,15 @@ impl Input {
         }
     }
 
+    /// Stamps `p` dirty at `rev` without changing its value. Used when the
+    /// candidate set rotates (a collection swaps the victim out and the old
+    /// empty partition back in) so memoized queries re-examine exactly the
+    /// two rotated partitions on the partial path instead of voiding the
+    /// whole memo.
+    fn mark(&mut self, p: PartitionId, rev: Revision) {
+        let _ = self.touch(p, rev);
+    }
+
     fn halve_all(&mut self, rev: Revision) {
         for cell in &mut self.cells {
             if cell.value != 0 {
@@ -417,15 +433,19 @@ impl Engine {
 
     /// Folds one bus event into every registered input. Advances the
     /// revision unconditionally and the structure revision on events that
-    /// change the candidate set (growth, growing allocations, and
-    /// collections — a collection rotates the designated empty partition).
+    /// *grow* the candidate set (partition growth, growing allocations).
+    /// Collections rotate the candidate set instead of growing it, so they
+    /// invalidate partially: the victim (now the designated empty
+    /// partition) and the copy target (rejoining the candidates) are
+    /// stamped dirty in every input, and memoized queries re-examine just
+    /// those on [`Engine::select`]'s partial path.
     pub fn apply(&mut self, event: &BarrierEvent) {
         self.revision += 1;
         let rev = self.revision;
         match event {
-            BarrierEvent::PartitionGrowth { .. }
-            | BarrierEvent::Allocation { grew: true, .. }
-            | BarrierEvent::CollectionCompleted(_) => self.structure = rev,
+            BarrierEvent::PartitionGrowth { .. } | BarrierEvent::Allocation { grew: true, .. } => {
+                self.structure = rev
+            }
             _ => {}
         }
         if matches!(event, BarrierEvent::Allocation { .. }) {
@@ -434,6 +454,12 @@ impl Engine {
         let clock = self.alloc_clock;
         for input in &mut self.inputs {
             input.update(event, rev, clock);
+        }
+        if let BarrierEvent::CollectionCompleted(outcome) = event {
+            for input in &mut self.inputs {
+                input.mark(outcome.victim, rev);
+                input.mark(outcome.target, rev);
+            }
         }
     }
 
@@ -727,7 +753,7 @@ mod tests {
     }
 
     #[test]
-    fn collection_voids_the_memo() {
+    fn collecting_the_cached_winner_forces_a_full_rescan() {
         let db = db_with_two_partitions();
         let (mut e, i, q) = overwrite_engine();
         e.apply(&overwrite(1, 3));
@@ -736,10 +762,28 @@ mod tests {
         assert_eq!(e.select(q, &db), Some(PartitionId(2)));
         e.apply(&collected(2));
         assert_eq!(e.value(i, PartitionId(2)), 0, "victim zeroed");
-        // The empty partition rotates after a real collection, so the
-        // candidate set may have changed: full rescan, new winner.
+        // The reset touched the cached winner itself, so nothing short of
+        // a full rescan can rank the survivors: full, new winner.
         assert_eq!(e.select(q, &db), Some(PartitionId(1)));
         assert_eq!(e.stats().full, 2);
+    }
+
+    #[test]
+    fn collecting_a_non_winner_invalidates_partially() {
+        let db = db_with_two_partitions();
+        let (mut e, i, q) = overwrite_engine();
+        e.apply(&overwrite(1, 3));
+        e.apply(&overwrite(1, 3));
+        e.apply(&overwrite(2, 3));
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        // Collecting P2 rotates the candidate set but leaves the cached
+        // winner untouched: the rotation stamps only the victim and the
+        // copy target, so re-selection is a partial rescan, not a void.
+        e.apply(&collected(2));
+        assert_eq!(e.value(i, PartitionId(2)), 0, "victim zeroed");
+        assert_eq!(e.select(q, &db), Some(PartitionId(1)));
+        let s = e.stats();
+        assert_eq!((s.full, s.partial, s.hits), (1, 1, 0), "{s:?}");
     }
 
     #[test]

@@ -177,6 +177,21 @@ impl Database {
         &self.objects
     }
 
+    /// True while `oid` is resident (registered and not yet reclaimed).
+    #[inline]
+    pub fn contains_object(&self, oid: Oid) -> bool {
+        self.objects.contains(oid)
+    }
+
+    /// The partition currently holding `oid` (`None` once reclaimed).
+    /// Tracks relocations: after a collection copies the object, this is
+    /// the copy target, not the collected victim. External bookkeeping —
+    /// a sharded runtime's inter-shard remset, for one — keys on this.
+    #[inline]
+    pub fn partition_of(&self, oid: Oid) -> Option<PartitionId> {
+        self.objects.get(oid).ok().map(|rec| rec.addr.partition)
+    }
+
     /// Shared view of the partition set.
     #[inline]
     pub fn partitions(&self) -> &PartitionSet {

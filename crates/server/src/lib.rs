@@ -1,0 +1,46 @@
+//! # pgc-server
+//!
+//! The sharded multi-tenant runtime: many client streams, each with its
+//! own partitioned database and selection policy, hosted behind a
+//! deterministic router on a fixed fleet of shard worker threads.
+//!
+//! * [`router`] — [`router::StreamId`] and the stateless [`router::Router`]
+//!   hashing streams onto shards.
+//! * [`session`] — the session layer: each shard worker owns a table of
+//!   sessions (one [`pgc_sim::Shard`] per stream), drains its inbox in
+//!   arrival order, and reports per-stream outcomes plus merged telemetry
+//!   at shutdown.
+//! * [`remset`] — the [`remset::InterShardRemset`]: cross-shard references
+//!   as remset traffic over the existing barrier event bus, weak by
+//!   design so they cannot perturb any session's collection decisions.
+//! * [`server`] — [`server::Server`]: start, open streams, submit event
+//!   batches, link across streams, and fold the fleet into a
+//!   [`server::FleetOutcome`] at shutdown.
+//!
+//! # Determinism
+//!
+//! Per-stream results are **bit-identical at any shard count** and to a
+//! dedicated single-`Simulation` run: a session is a self-contained
+//! [`pgc_sim::Shard`] (the same unit `Simulation` drives), one server
+//! handle feeds each stream its events in submission order, and nothing a
+//! session observes depends on placement. The router only decides *where*
+//! a session executes; cross-shard links are weak accounting entries that
+//! never feed back into collection. `tests/shard_equivalence.rs` at the
+//! workspace root pins all of this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod remset;
+pub mod router;
+pub mod server;
+pub mod session;
+
+pub use remset::{InterShardRemset, LinkRecord, RemsetBridge, RemsetStats};
+pub use router::{Router, StreamId};
+pub use server::{FleetOutcome, Server, ServerConfig};
+pub use session::ShardReport;
+// The pieces a server driver needs ride along so callers don't take a
+// direct dependency on every lower crate for the common cases.
+pub use pgc_sim::{RunConfig, RunOutcome};
+pub use pgc_telemetry::{FleetSnapshot, ShardTelemetry, TelemetryLevel};

@@ -1,0 +1,241 @@
+//! The inter-shard remembered set: cross-shard references as barrier-bus
+//! remset traffic.
+//!
+//! Within one database, inter-partition pointers live in per-partition
+//! remembered sets maintained by the write barrier. The sharded runtime
+//! reproduces that design one level up: a reference from one client
+//! stream's object graph to another stream's object is recorded here,
+//! keyed by the *target* side `(stream, oid)`, exactly like a remset entry
+//! keyed by the pointed-into partition.
+//!
+//! Maintenance flows through the existing barrier event bus rather than a
+//! new protocol: each session carries a [`RemsetBridge`] bystander
+//! observer which forwards the session's
+//! [`BarrierEvent::ObjectReclaimed`] and [`BarrierEvent::ObjectCopied`]
+//! events into the shared table — reclaims clean the entry, copies update
+//! its recorded partition. The bridge is an ordinary bus bystander: it
+//! reads the same stream every policy sees and touches nothing in the
+//! session, so carrying it cannot perturb a run.
+//!
+//! Cross-shard links are deliberately *weak*: they account for the
+//! reference but do not pin the target object's liveness. A strong link
+//! would make one stream's collection decisions depend on another
+//! stream's mutations — and with it, on shard placement and thread
+//! timing. Weak links keep every session bit-identical to a dedicated
+//! single-database run, which is the property the whole runtime is built
+//! around (the paper's policies are only comparable under deterministic
+//! replay).
+
+use crate::router::StreamId;
+use pgc_odb::{BarrierEvent, BarrierObserver};
+use pgc_types::{Oid, PartitionId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// One target object's cross-shard inbound references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkRecord {
+    /// Streams holding a reference to the target object.
+    pub sources: BTreeSet<StreamId>,
+    /// The partition holding the target object, tracked across
+    /// collection-driven relocations.
+    pub partition: PartitionId,
+}
+
+/// Counters over the life of the table. All four are deterministic for a
+/// given set of client streams and link calls, at any shard count: they
+/// are driven only by the caller's link sequence and by per-session event
+/// streams, never by placement or thread timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemsetStats {
+    /// Distinct `(source, target, oid)` links accepted. Re-registering an
+    /// existing link is idempotent and counted once.
+    pub registered: u64,
+    /// Links removed because the target object was reclaimed.
+    pub cleaned: u64,
+    /// Partition updates applied because a linked target was evacuated.
+    pub relocated: u64,
+    /// Link attempts rejected because the target object was unknown or
+    /// already dead.
+    pub dangling: u64,
+}
+
+#[derive(Debug, Default)]
+struct RemsetInner {
+    links: BTreeMap<(StreamId, Oid), LinkRecord>,
+    stats: RemsetStats,
+}
+
+/// The shared cross-shard reference table.
+///
+/// One instance per server, shared by every shard worker behind a mutex.
+/// Lock scope is a single entry update — the table is bookkeeping beside
+/// the sessions' hot paths, not on them.
+#[derive(Debug, Default)]
+pub struct InterShardRemset {
+    inner: Mutex<RemsetInner>,
+}
+
+impl InterShardRemset {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `source` holds a reference to `oid` in `target`'s
+    /// graph, currently residing in `partition`. Returns `true` when the
+    /// link is new; re-registration is idempotent.
+    pub fn register(
+        &self,
+        source: StreamId,
+        target: StreamId,
+        oid: Oid,
+        partition: PartitionId,
+    ) -> bool {
+        let mut inner = self.inner.lock().expect("remset lock");
+        let entry = inner
+            .links
+            .entry((target, oid))
+            .or_insert_with(|| LinkRecord {
+                sources: BTreeSet::new(),
+                partition,
+            });
+        let fresh = entry.sources.insert(source);
+        if fresh {
+            inner.stats.registered += 1;
+        }
+        fresh
+    }
+
+    /// Counts a link attempt whose target could not be resolved.
+    pub fn note_dangling(&self) {
+        self.inner.lock().expect("remset lock").stats.dangling += 1;
+    }
+
+    /// Removes every link into `(target, oid)` — the object was
+    /// reclaimed. Each removed source counts toward `cleaned`.
+    fn clean(&self, target: StreamId, oid: Oid) {
+        let mut inner = self.inner.lock().expect("remset lock");
+        if let Some(record) = inner.links.remove(&(target, oid)) {
+            inner.stats.cleaned += record.sources.len() as u64;
+        }
+    }
+
+    /// Re-points every link into `(target, oid)` at the partition the
+    /// object was evacuated to.
+    fn relocate(&self, target: StreamId, oid: Oid, to: PartitionId) {
+        let mut inner = self.inner.lock().expect("remset lock");
+        if let Some(record) = inner.links.get_mut(&(target, oid)) {
+            record.partition = to;
+            inner.stats.relocated += 1;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RemsetStats {
+        self.inner.lock().expect("remset lock").stats
+    }
+
+    /// Live links into `target`'s graph, in ascending oid order.
+    pub fn links_into(&self, target: StreamId) -> Vec<(Oid, LinkRecord)> {
+        let inner = self.inner.lock().expect("remset lock");
+        inner
+            .links
+            .range((target, Oid(0))..=(target, Oid(u64::MAX)))
+            .map(|(&(_, oid), record)| (oid, record.clone()))
+            .collect()
+    }
+
+    /// Total live links across the table.
+    pub fn live_links(&self) -> u64 {
+        let inner = self.inner.lock().expect("remset lock");
+        inner.links.values().map(|r| r.sources.len() as u64).sum()
+    }
+}
+
+/// The bus bystander that keeps the shared table honest for one session.
+///
+/// Registered on the session's barrier bus at open, before any event
+/// flows, it forwards the session's reclaim and copy events into the
+/// shared [`InterShardRemset`] under the session's stream id.
+pub struct RemsetBridge {
+    stream: StreamId,
+    remset: Arc<InterShardRemset>,
+}
+
+impl RemsetBridge {
+    /// A bridge publishing `stream`'s reclaims and relocations.
+    pub fn new(stream: StreamId, remset: Arc<InterShardRemset>) -> Self {
+        Self { stream, remset }
+    }
+}
+
+impl BarrierObserver for RemsetBridge {
+    fn on_event(&mut self, event: &BarrierEvent) {
+        match *event {
+            BarrierEvent::ObjectReclaimed { oid, .. } => self.remset.clean(self.stream, oid),
+            BarrierEvent::ObjectCopied { oid, to, .. } => {
+                self.remset.relocate(self.stream, oid, to)
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: PartitionId = PartitionId(0);
+    const P1: PartitionId = PartitionId(1);
+
+    #[test]
+    fn registration_is_idempotent_per_source() {
+        let remset = InterShardRemset::new();
+        assert!(remset.register(StreamId(1), StreamId(2), Oid(7), P0));
+        assert!(!remset.register(StreamId(1), StreamId(2), Oid(7), P0));
+        assert!(remset.register(StreamId(3), StreamId(2), Oid(7), P0));
+        assert_eq!(remset.stats().registered, 2);
+        assert_eq!(remset.live_links(), 2);
+    }
+
+    #[test]
+    fn bridge_cleans_on_reclaim_and_tracks_copies() {
+        let remset = Arc::new(InterShardRemset::new());
+        remset.register(StreamId(1), StreamId(2), Oid(7), P0);
+        remset.register(StreamId(5), StreamId(2), Oid(7), P0);
+        let mut bridge = RemsetBridge::new(StreamId(2), Arc::clone(&remset));
+
+        bridge.on_event(&BarrierEvent::ObjectCopied {
+            oid: Oid(7),
+            from: P0,
+            to: P1,
+            size: pgc_types::Bytes(64),
+        });
+        let links = remset.links_into(StreamId(2));
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].1.partition, P1);
+
+        bridge.on_event(&BarrierEvent::ObjectReclaimed {
+            oid: Oid(7),
+            partition: P1,
+            size: pgc_types::Bytes(64),
+        });
+        assert!(remset.links_into(StreamId(2)).is_empty());
+        let stats = remset.stats();
+        assert_eq!(stats.cleaned, 2, "both sources cleaned");
+        assert_eq!(stats.relocated, 1);
+    }
+
+    #[test]
+    fn events_for_unlinked_objects_are_ignored() {
+        let remset = Arc::new(InterShardRemset::new());
+        let mut bridge = RemsetBridge::new(StreamId(2), Arc::clone(&remset));
+        bridge.on_event(&BarrierEvent::ObjectReclaimed {
+            oid: Oid(9),
+            partition: P0,
+            size: pgc_types::Bytes(8),
+        });
+        assert_eq!(remset.stats(), RemsetStats::default());
+    }
+}

@@ -1,0 +1,80 @@
+//! Deterministic stream-to-shard routing.
+//!
+//! The router is a pure function of the stream id and the shard count:
+//! [`pgc_types::fast_hash_u64`] over the stream id, reduced modulo the
+//! shard count. No load balancing, no affinity tables, no state — so two
+//! servers with the same shard count place every stream identically, and
+//! a stream's home shard never changes over the life of a server.
+//!
+//! Placement only decides *which worker thread executes* a session; the
+//! session itself is a self-contained [`pgc_sim::Shard`], so placement
+//! cannot leak into results. That is the server's determinism argument in
+//! one line: changing the shard count changes placement and nothing else.
+
+/// A client stream identity: one tenant, one event stream, one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u64);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Hashes workload streams onto a fixed set of shards.
+#[derive(Debug, Clone, Copy)]
+pub struct Router {
+    shards: usize,
+}
+
+impl Router {
+    /// A router over `shards` shards (clamped to at least one).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+        }
+    }
+
+    /// The number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The home shard for `stream` — stable for the life of the router.
+    pub fn route(&self, stream: StreamId) -> usize {
+        (pgc_types::fast_hash_u64(stream.0) % self.shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let router = Router::new(4);
+        for id in 0..1000 {
+            let shard = router.route(StreamId(id));
+            assert!(shard < 4);
+            assert_eq!(shard, router.route(StreamId(id)), "stable placement");
+        }
+    }
+
+    #[test]
+    fn one_shard_takes_everything_and_zero_clamps() {
+        assert_eq!(Router::new(1).route(StreamId(99)), 0);
+        assert_eq!(Router::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn hashing_spreads_sequential_streams() {
+        let router = Router::new(4);
+        let mut counts = [0u32; 4];
+        for id in 0..400 {
+            counts[router.route(StreamId(id))] += 1;
+        }
+        for (shard, &n) in counts.iter().enumerate() {
+            assert!(n > 50, "shard {shard} starved: {counts:?}");
+        }
+    }
+}

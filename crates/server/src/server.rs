@@ -1,0 +1,256 @@
+//! The N-shard runtime: router + workers + fleet-wide shutdown fold.
+
+use crate::remset::{InterShardRemset, RemsetStats};
+use crate::router::{Router, StreamId};
+use crate::session::{ShardMsg, ShardReport, ShardWorker};
+use pgc_sim::{RunConfig, RunOutcome};
+use pgc_telemetry::{FleetSnapshot, TelemetryLevel};
+use pgc_types::{PgcError, Result};
+use pgc_workload::{Event, NodeId};
+use std::collections::BTreeSet;
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How a [`Server`] is shaped: shard count and per-session telemetry.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads (and thus shard inboxes). Clamped to at least one.
+    pub shards: usize,
+    /// Telemetry level every session is opened with.
+    pub telemetry: TelemetryLevel,
+}
+
+impl ServerConfig {
+    /// A server over `shards` shards with telemetry off.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            telemetry: TelemetryLevel::Off,
+        }
+    }
+
+    /// Sets the telemetry level sessions are opened with.
+    #[must_use]
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.telemetry = level;
+        self
+    }
+}
+
+/// Everything a finished fleet produced.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// One outcome per stream, in ascending stream-id order across the
+    /// whole fleet. Each is bit-identical to the outcome of a dedicated
+    /// single-`Simulation` run over the same stream's events.
+    pub outcomes: Vec<(StreamId, RunOutcome)>,
+    /// Per-shard telemetry and its deterministic fleet-wide merge (empty
+    /// when the server ran with telemetry off).
+    pub fleet: FleetSnapshot,
+    /// Inter-shard remset counters at shutdown.
+    pub remset: RemsetStats,
+    /// How many shards the fleet ran on.
+    pub shards: usize,
+}
+
+impl FleetOutcome {
+    /// The outcome for one stream.
+    pub fn outcome(&self, stream: StreamId) -> Option<&RunOutcome> {
+        self.outcomes
+            .binary_search_by_key(&stream, |(s, _)| *s)
+            .ok()
+            .map(|i| &self.outcomes[i].1)
+    }
+
+    /// Events processed across every stream.
+    pub fn total_events(&self) -> u64 {
+        self.outcomes.iter().map(|(_, o)| o.totals.events).sum()
+    }
+
+    /// Collections performed across every stream.
+    pub fn total_collections(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|(_, o)| o.totals.collections)
+            .sum()
+    }
+}
+
+/// A running sharded multi-tenant runtime.
+///
+/// Streams are opened against a [`RunConfig`], fed event batches in any
+/// interleaving, optionally cross-linked, and folded into a
+/// [`FleetOutcome`] at [`Server::shutdown`]. The deterministic router
+/// pins each stream to a home shard; sessions never share mutable state,
+/// so per-stream results do not depend on the shard count — only
+/// wall-clock time does.
+///
+/// ```
+/// use pgc_server::{Server, ServerConfig, StreamId};
+/// use pgc_sim::RunConfig;
+/// use pgc_workload::SyntheticWorkload;
+///
+/// let cfg = RunConfig::small().with_seed(3);
+/// let events: Vec<_> = SyntheticWorkload::new(cfg.workload.clone())
+///     .unwrap()
+///     .collect();
+/// let mut server = Server::start(ServerConfig::new(2));
+/// server.open_stream(StreamId(0), cfg).unwrap();
+/// server.submit(StreamId(0), &events).unwrap();
+/// let fleet = server.shutdown().unwrap();
+/// assert_eq!(fleet.total_events(), events.len() as u64);
+/// ```
+pub struct Server {
+    router: Router,
+    telemetry: TelemetryLevel,
+    remset: Arc<InterShardRemset>,
+    inboxes: Vec<Sender<ShardMsg>>,
+    workers: Vec<JoinHandle<Result<ShardReport>>>,
+    streams: BTreeSet<StreamId>,
+}
+
+impl Server {
+    /// Spawns the shard workers and returns the running server.
+    pub fn start(cfg: ServerConfig) -> Self {
+        let router = Router::new(cfg.shards);
+        let remset = Arc::new(InterShardRemset::new());
+        let mut inboxes = Vec::with_capacity(router.shards());
+        let mut workers = Vec::with_capacity(router.shards());
+        for shard in 0..router.shards() {
+            let (tx, rx) = mpsc::channel::<ShardMsg>();
+            let remset = Arc::clone(&remset);
+            let telemetry = cfg.telemetry;
+            // Sessions hold thread-local state (Rc-based telemetry taps,
+            // boxed policies), so the worker is built *on* its thread and
+            // never crosses it — only the plain-data report comes back.
+            workers.push(std::thread::spawn(move || {
+                ShardWorker::new(shard, telemetry, remset).run(rx)
+            }));
+            inboxes.push(tx);
+        }
+        Self {
+            router,
+            telemetry: cfg.telemetry,
+            remset,
+            inboxes,
+            workers,
+            streams: BTreeSet::new(),
+        }
+    }
+
+    /// The shard count the fleet runs on.
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// The telemetry level sessions are opened with.
+    pub fn telemetry(&self) -> TelemetryLevel {
+        self.telemetry
+    }
+
+    /// Streams currently open.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The home shard the router pins `stream` to.
+    pub fn home_shard(&self, stream: StreamId) -> usize {
+        self.router.route(stream)
+    }
+
+    /// Current inter-shard remset counters.
+    pub fn remset_stats(&self) -> RemsetStats {
+        self.remset.stats()
+    }
+
+    /// Opens a session for `stream` under `cfg` on its home shard.
+    pub fn open_stream(&mut self, stream: StreamId, cfg: RunConfig) -> Result<()> {
+        if !self.streams.insert(stream) {
+            return Err(PgcError::Session(format!("stream {stream} already open")));
+        }
+        self.send(
+            self.router.route(stream),
+            ShardMsg::Open {
+                stream,
+                cfg: Box::new(cfg),
+            },
+        )
+    }
+
+    /// Submits a batch of events to `stream`'s session. Batches for the
+    /// same stream apply in submission order; batches for different
+    /// streams are independent.
+    pub fn submit(&mut self, stream: StreamId, events: &[Event]) -> Result<()> {
+        if !self.streams.contains(&stream) {
+            return Err(PgcError::Session(format!("stream {stream} is not open")));
+        }
+        self.send(
+            self.router.route(stream),
+            ShardMsg::Batch {
+                stream,
+                events: events.to_vec(),
+            },
+        )
+    }
+
+    /// Registers a cross-shard reference: `source`'s graph references
+    /// `node` in `target`'s graph. Routed to the target's home shard,
+    /// which resolves the node and records the link in the shared
+    /// inter-shard remset (unresolvable targets count as dangling).
+    ///
+    /// The reference apply-point is the target session's state when the
+    /// message drains — deterministic per stream because one server
+    /// handle feeds each inbox in program order.
+    pub fn link(&mut self, source: StreamId, target: StreamId, node: NodeId) -> Result<()> {
+        if !self.streams.contains(&target) {
+            return Err(PgcError::Session(format!("stream {target} is not open")));
+        }
+        self.send(
+            self.router.route(target),
+            ShardMsg::Link {
+                source,
+                target,
+                node,
+            },
+        )
+    }
+
+    fn send(&self, shard: usize, msg: ShardMsg) -> Result<()> {
+        self.inboxes[shard]
+            .send(msg)
+            .map_err(|_| PgcError::Session(format!("shard {shard} worker is gone")))
+    }
+
+    /// Closes every inbox, joins the workers, and folds their reports
+    /// into the fleet outcome. The fold is deterministic: outcomes sort
+    /// by stream id and telemetry merges in ascending shard-id order, so
+    /// the result is independent of worker completion order.
+    pub fn shutdown(self) -> Result<FleetOutcome> {
+        drop(self.inboxes);
+        let mut outcomes = Vec::new();
+        let mut fleet = FleetSnapshot::new();
+        let mut first_err = None;
+        for worker in self.workers {
+            match worker.join().expect("shard worker panicked") {
+                Ok(report) => {
+                    if let Some(snapshot) = report.telemetry {
+                        fleet.add_shard(report.shard, report.outcomes.len() as u32, snapshot);
+                    }
+                    outcomes.extend(report.outcomes);
+                }
+                Err(e) => first_err = Some(first_err.unwrap_or(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        outcomes.sort_by_key(|(stream, _)| *stream);
+        Ok(FleetOutcome {
+            outcomes,
+            fleet,
+            remset: self.remset.stats(),
+            shards: self.router.shards(),
+        })
+    }
+}

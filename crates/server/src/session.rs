@@ -1,0 +1,172 @@
+//! The session layer: shard workers multiplexing client streams.
+//!
+//! Each shard is one OS thread owning a table of sessions — a session is
+//! one client stream bound to its own [`Shard`] (database + policy +
+//! scheduler + barrier bus + telemetry). The server routes every message
+//! for a stream to its home shard's inbox; the worker drains the inbox in
+//! arrival order and steps the addressed session. Because one server
+//! handle feeds the inboxes, each session sees its events in exactly the
+//! submission order — thousands of streams interleave freely on the wire
+//! while every individual stream replays deterministically.
+//!
+//! At shutdown the worker finishes its sessions in ascending stream-id
+//! order and reports per-stream [`RunOutcome`]s plus one merged telemetry
+//! snapshot, ready for the fleet-wide fold.
+
+use crate::remset::{InterShardRemset, RemsetBridge};
+use crate::router::StreamId;
+use pgc_sim::{RunConfig, RunOutcome, Shard};
+use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot};
+use pgc_types::{PgcError, Result};
+use pgc_workload::generator::GenStats;
+use pgc_workload::{Event, NodeId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One message on a shard inbox.
+pub(crate) enum ShardMsg {
+    /// Open a session for `stream` under `cfg`.
+    Open {
+        /// The stream the session serves.
+        stream: StreamId,
+        /// The session's full run configuration (boxed: it dwarfs the
+        /// other variants).
+        cfg: Box<RunConfig>,
+    },
+    /// Step `stream`'s session through a batch of events.
+    Batch {
+        /// The addressed stream.
+        stream: StreamId,
+        /// The events, in submission order.
+        events: Vec<Event>,
+    },
+    /// Register that `source`'s graph references `node` in `target`'s
+    /// graph. Routed to the *target*'s home shard, which resolves the
+    /// node against the target session and records the link in the
+    /// shared inter-shard remset.
+    Link {
+        /// The referencing stream.
+        source: StreamId,
+        /// The referenced stream (lives on this shard).
+        target: StreamId,
+        /// The referenced node in the target's workload id space.
+        node: NodeId,
+    },
+}
+
+/// What one shard worker hands back at shutdown.
+pub struct ShardReport {
+    /// The shard's index.
+    pub shard: usize,
+    /// One outcome per hosted session, in ascending stream-id order.
+    pub outcomes: Vec<(StreamId, RunOutcome)>,
+    /// Every hosted session's telemetry folded together (`None` when the
+    /// server ran with telemetry off or the shard hosted no streams).
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+/// The per-thread state of one shard worker: its session table.
+pub(crate) struct ShardWorker {
+    shard: usize,
+    telemetry: TelemetryLevel,
+    remset: Arc<InterShardRemset>,
+    sessions: BTreeMap<StreamId, Shard>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        shard: usize,
+        telemetry: TelemetryLevel,
+        remset: Arc<InterShardRemset>,
+    ) -> Self {
+        Self {
+            shard,
+            telemetry,
+            remset,
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// Drains the inbox until every sender hangs up, then finishes all
+    /// sessions into the shard's report.
+    pub(crate) fn run(mut self, inbox: std::sync::mpsc::Receiver<ShardMsg>) -> Result<ShardReport> {
+        for msg in inbox.iter() {
+            self.handle(msg)?;
+        }
+        Ok(self.finish())
+    }
+
+    fn handle(&mut self, msg: ShardMsg) -> Result<()> {
+        match msg {
+            ShardMsg::Open { stream, cfg } => self.open(stream, &cfg),
+            ShardMsg::Batch { stream, events } => self.session(stream)?.step_batch(&events),
+            ShardMsg::Link {
+                source,
+                target,
+                node,
+            } => {
+                self.link(source, target, node);
+                Ok(())
+            }
+        }
+    }
+
+    fn open(&mut self, stream: StreamId, cfg: &RunConfig) -> Result<()> {
+        if self.sessions.contains_key(&stream) {
+            return Err(PgcError::Session(format!("stream {stream} already open")));
+        }
+        let mut shard = Shard::new(cfg)?;
+        // Bus registration order is part of the determinism contract:
+        // bridge first, telemetry last — constant across shard counts.
+        shard.add_observer(Box::new(RemsetBridge::new(
+            stream,
+            Arc::clone(&self.remset),
+        )));
+        shard.enable_telemetry(self.telemetry);
+        self.sessions.insert(stream, shard);
+        Ok(())
+    }
+
+    fn session(&mut self, stream: StreamId) -> Result<&mut Shard> {
+        self.sessions
+            .get_mut(&stream)
+            .ok_or_else(|| PgcError::Session(format!("stream {stream} is not open")))
+    }
+
+    /// Resolves a cross-shard reference against the target session and
+    /// records it; unresolvable targets count as dangling instead of
+    /// failing (the link API is advisory bookkeeping, not a mutation).
+    fn link(&mut self, source: StreamId, target: StreamId, node: NodeId) {
+        let resolved = self.sessions.get(&target).and_then(|session| {
+            let oid = session.oid_of(node)?;
+            let partition = session.db().partition_of(oid)?;
+            Some((oid, partition))
+        });
+        match resolved {
+            Some((oid, partition)) => {
+                self.remset.register(source, target, oid, partition);
+            }
+            None => self.remset.note_dangling(),
+        }
+    }
+
+    fn finish(self) -> ShardReport {
+        let mut outcomes = Vec::with_capacity(self.sessions.len());
+        let mut telemetry: Option<TelemetrySnapshot> = None;
+        for (stream, shard) in self.sessions {
+            let outcome = shard.finish(GenStats::default());
+            if let Some(snap) = &outcome.telemetry {
+                match telemetry.as_mut() {
+                    Some(merged) => merged.merge(snap),
+                    None => telemetry = Some(snap.clone()),
+                }
+            }
+            outcomes.push((stream, outcome));
+        }
+        ShardReport {
+            shard: self.shard,
+            outcomes,
+            telemetry,
+        }
+    }
+}

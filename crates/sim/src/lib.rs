@@ -13,6 +13,10 @@
 //! * [`run`] — [`run::RunConfig`] + [`run::Simulation::builder`]: one
 //!   complete simulation from a parameter set, a shared encoded trace, or
 //!   a recorded event slice, with optional bus observers and telemetry.
+//! * [`shard`] — [`shard::Shard`]: the self-contained unit a run drives —
+//!   one database + policy + scheduler + barrier bus + telemetry handle,
+//!   stepped by event batches. `Simulation` is its 1-shard special case;
+//!   the multi-tenant `pgc-server` runtime hosts one per client stream.
 //! * [`shadow`] — shadow-scoreboard policy races: one driver policy makes
 //!   the collection decisions while every other honest policy's scoreboard
 //!   rides the same barrier event bus and records the victim it *would*
@@ -46,6 +50,7 @@ pub mod replay;
 pub mod report;
 pub mod run;
 pub mod shadow;
+pub mod shard;
 pub mod summary;
 
 pub use chart::{render_chart, ChartMetric};
@@ -62,6 +67,7 @@ pub use shadow::{
     agreement_table, regret_table, run_race, run_race_with_telemetry, RaceOutcome, RaceRecord,
     ShadowPick,
 };
+pub use shard::Shard;
 pub use summary::Summary;
 // The telemetry vocabulary rides along so simulator users don't need a
 // direct `pgc_telemetry` dependency for the common cases.

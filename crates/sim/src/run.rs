@@ -3,25 +3,22 @@
 //! [`Simulation::builder`] is the single entry point: it wires a
 //! [`RunConfig`] to an event source — the synthetic workload by default, a
 //! shared [`EncodedTrace`] via [`SimulationBuilder::trace`], or a recorded
-//! event slice via [`SimulationBuilder::events`] — streams the events into
-//! a [`Replayer`] holding a [`Database`] and a [`Collector`], optionally
-//! registers bystander observers and a telemetry tap on the barrier bus,
-//! takes time-series samples every `sample_every` events, and condenses
-//! the final state into [`RunTotals`] (with one last oracle pass for the
-//! live/garbage split).
+//! event slice via [`SimulationBuilder::events`] — and drives one
+//! [`Shard`] (database + collector + barrier bus + telemetry + sampling)
+//! through it. A `Simulation` run is exactly the 1-shard special case of
+//! the sharded runtime: the multi-tenant server hosts one [`Shard`] per
+//! client stream and steps each through the same API, which is why
+//! per-stream server results are bit-identical to dedicated runs.
 //!
 //! The pre-builder entry points ([`Simulation::run`] and friends) survive
 //! as thin deprecated shims.
 
-use crate::metrics::{RunTotals, SamplePoint, TimeSeries};
+use crate::metrics::{RunTotals, TimeSeries};
 use crate::replay::Replayer;
+use crate::shard::Shard;
 use pgc_core::{build_policy_with, Collector, DeriveStats, PolicyKind, Trigger};
-use pgc_odb::oracle::OracleScratch;
-use pgc_odb::{oracle, BarrierObserver, CollectionOutcome, Database, DbStats};
-use pgc_telemetry::{
-    DeriveSummary, TelemetryHandle, TelemetryLevel, TelemetryObserver, TelemetrySnapshot,
-    TriggerReason,
-};
+use pgc_odb::{BarrierObserver, CollectionOutcome, Database, DbStats};
+use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot, TriggerReason};
 use pgc_types::{Bytes, DbConfig, Parallelism, PlacementPolicy, Result};
 use pgc_workload::generator::GenStats;
 use pgc_workload::{
@@ -415,7 +412,8 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
-    /// Runs the simulation to completion.
+    /// Runs the simulation to completion: builds one [`Shard`], streams
+    /// the configured source into it, and finishes it.
     pub fn run(self) -> Result<RunOutcome> {
         let cfg_override;
         let cfg = match self.parallelism {
@@ -425,142 +423,60 @@ impl<'a> SimulationBuilder<'a> {
             }
             None => self.cfg,
         };
-        let mut replayer = cfg.build_replayer()?;
+        let mut shard = Shard::new(cfg)?;
+        // User observers register before the telemetry tap, so the bus
+        // order (and thus every observer's view) matches the pre-shard
+        // builder exactly.
         for obs in self.observers {
-            replayer.collector_mut().add_observer(obs);
+            shard.add_observer(obs);
         }
-        let telemetry: Option<TelemetryHandle> = if self.telemetry.is_enabled() {
-            let (obs, handle) = TelemetryObserver::new(self.telemetry, cfg.trigger_reason());
-            replayer.collector_mut().add_observer(Box::new(obs));
-            Some(handle)
-        } else {
-            None
-        };
-
-        let mut series = TimeSeries::new();
-        // One scratch per run: every sampling/final oracle pass reuses it.
-        let mut scratch = OracleScratch::new();
-        let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
-        let mut next_sample = sample_every;
+        shard.enable_telemetry(self.telemetry);
         let gen_stats = match self.source {
             Source::Synthetic => {
                 let mut generator = SyntheticWorkload::new(cfg.workload.clone())?;
                 for event in generator.by_ref() {
-                    replayer.apply(&event)?;
-                    if replayer.events_applied() >= next_sample {
-                        take_sample(&mut series, &replayer, &mut scratch);
-                        next_sample += sample_every;
-                    }
+                    shard.step(&event)?;
                 }
                 generator.stats()
             }
             Source::Encoded(trace) => {
-                let mut sampler = Sampler {
-                    series: &mut series,
-                    scratch: &mut scratch,
-                    every: sample_every,
-                    next: next_sample,
-                };
-                drive_blocks(&mut replayer, trace, cfg.parallelism, Some(&mut sampler))?;
+                pipeline_blocks(trace, cfg.parallelism, |block| shard.step_block(block))?;
                 trace.stats()
             }
             Source::Events(events) => {
-                for event in events {
-                    replayer.apply(event)?;
-                    if replayer.events_applied() >= next_sample {
-                        take_sample(&mut series, &replayer, &mut scratch);
-                        next_sample += sample_every;
-                    }
-                }
+                shard.step_batch(events)?;
                 GenStats::default()
             }
         };
-        if cfg.sample_every.is_some() {
-            take_sample(&mut series, &replayer, &mut scratch);
-        }
-
-        let mut out = finish(cfg, replayer, series, gen_stats, &mut scratch);
-        out.telemetry = telemetry.map(TelemetryHandle::finish);
-        if let (Some(snap), Some(stats)) = (out.telemetry.as_mut(), out.derive) {
-            snap.derive = Some(DeriveSummary {
-                inputs: stats.inputs,
-                queries: stats.queries,
-                revision: stats.revision,
-                hits: stats.hits,
-                partial: stats.partial,
-                full: stats.full,
-            });
-        }
-        Ok(out)
+        Ok(shard.finish(gen_stats))
     }
 }
 
-/// Time-series sampling state threaded through the block replay loops.
-struct Sampler<'s> {
-    series: &'s mut TimeSeries,
-    scratch: &'s mut OracleScratch,
-    every: u64,
-    next: u64,
-}
-
-impl Sampler<'_> {
-    /// Events that may be applied before the next sample boundary.
-    fn room(&self, replayer: &Replayer) -> u64 {
-        self.next.saturating_sub(replayer.events_applied())
-    }
-
-    /// Samples if the boundary has been reached.
-    fn maybe_sample(&mut self, replayer: &Replayer) {
-        if replayer.events_applied() >= self.next {
-            take_sample(self.series, replayer, self.scratch);
-            self.next += self.every;
-        }
-    }
-}
-
-/// Applies one decoded block, stopping at each sample boundary inside it.
-fn apply_block_sampled(
-    replayer: &mut Replayer,
-    block: &EventBlock,
-    sampler: &mut Option<&mut Sampler<'_>>,
-) -> Result<()> {
-    let Some(sampler) = sampler else {
-        return replayer.apply_block(block, 0, block.len());
-    };
-    let mut at = 0usize;
-    while at < block.len() {
-        let room = sampler.room(replayer).min((block.len() - at) as u64) as usize;
-        replayer.apply_block(block, at, at + room)?;
-        at += room;
-        sampler.maybe_sample(replayer);
-    }
-    Ok(())
-}
-
-/// Drives a replayer through an encoded trace with batched block decode.
+/// Streams an encoded trace's decoded blocks into `apply`, in stream
+/// order, with batched block decode.
 ///
-/// Under [`Parallelism::Serial`] (or one worker) decode and apply alternate
-/// on the calling thread; under [`Parallelism::Deterministic`] a scoped
-/// decode-ahead thread fills a small ring of recycled [`EventBlock`]s while
-/// the calling thread applies them, hiding decode latency behind apply
-/// work. Blocks arrive in stream order either way, and every event passes
-/// through [`Replayer::apply`] — the two modes are bit-identical.
+/// Under [`Parallelism::Serial`] (or one worker) decode and apply
+/// alternate on the calling thread; under [`Parallelism::Deterministic`] a
+/// scoped decode-ahead thread fills a small ring of recycled
+/// [`EventBlock`]s while the calling thread applies them, hiding decode
+/// latency behind apply work. Blocks arrive in stream order either way and
+/// `apply` always runs on the calling thread — the two modes are
+/// bit-identical.
 ///
 /// The synthetic source is *not* pipelined: the generator mutates its
 /// mirror as it emits, so its event stream cannot be produced ahead of the
 /// apply loop without recording it first (which is exactly what
 /// [`EncodedTrace::record`] is for).
-fn drive_blocks(
-    replayer: &mut Replayer,
+fn pipeline_blocks(
     trace: &EncodedTrace,
     parallelism: Parallelism,
-    mut sampler: Option<&mut Sampler<'_>>,
+    mut apply: impl FnMut(&EventBlock) -> Result<()>,
 ) -> Result<()> {
     if !parallelism.is_parallel() {
         let mut cursor = trace.cursor();
         let mut block = EventBlock::with_capacity(BLOCK_EVENTS);
         while cursor.next_block(&mut block)? > 0 {
-            apply_block_sampled(replayer, &block, &mut sampler)?;
+            apply(&block)?;
         }
         return Ok(());
     }
@@ -591,7 +507,7 @@ fn drive_blocks(
         });
         let mut applied = Ok(());
         for block in full_rx.iter() {
-            if let Err(e) = apply_block_sampled(replayer, &block, &mut sampler) {
+            if let Err(e) = apply(&block) {
                 applied = Err(e);
                 break;
             }
@@ -614,60 +530,9 @@ pub fn drive_encoded(
     trace: &EncodedTrace,
     parallelism: Parallelism,
 ) -> Result<()> {
-    drive_blocks(replayer, trace, parallelism, None)
-}
-
-fn take_sample(series: &mut TimeSeries, replayer: &Replayer, scratch: &mut OracleScratch) {
-    let db = replayer.db();
-    let report = oracle::analyze_with(db, scratch);
-    series.push(SamplePoint {
-        events: replayer.events_applied(),
-        resident_bytes: db.resident_bytes(),
-        garbage_bytes: report.garbage_bytes,
-        footprint: db.total_footprint(),
-        collections: db.stats().collections,
-    });
-}
-
-pub(crate) fn finish(
-    cfg: &RunConfig,
-    replayer: Replayer,
-    series: TimeSeries,
-    gen_stats: GenStats,
-    scratch: &mut OracleScratch,
-) -> RunOutcome {
-    let events = replayer.events_applied();
-    let db = replayer.db();
-    let final_report = oracle::analyze_with(db, scratch);
-    let io = db.io_stats();
-    let db_stats = db.stats();
-    let totals = RunTotals {
-        app_ios: io.app_ios(),
-        gc_ios: io.gc_ios(),
-        max_footprint: db.total_footprint(),
-        partitions: db.partition_count(),
-        collections: db_stats.collections,
-        reclaimed_bytes: db_stats.reclaimed_bytes,
-        reclaimed_objects: db_stats.reclaimed_objects,
-        final_live_bytes: final_report.live_bytes,
-        final_garbage_bytes: final_report.garbage_bytes,
-        final_nepotism_bytes: final_report.nepotism_bytes,
-        events,
-        app_net_ops: db.net_stats().app_reads + db.net_stats().app_writebacks,
-        gc_net_ops: db.net_stats().gc_reads + db.net_stats().gc_writebacks,
-    };
-    let (_db, collector, collections) = replayer.into_parts();
-    RunOutcome {
-        policy: cfg.policy,
-        seed: cfg.workload.seed,
-        totals,
-        series,
-        db_stats,
-        gen_stats,
-        collections,
-        telemetry: None,
-        derive: collector.policy().derive_stats(),
-    }
+    pipeline_blocks(trace, parallelism, |block| {
+        replayer.apply_block(block, 0, block.len())
+    })
 }
 
 #[cfg(test)]
@@ -874,8 +739,35 @@ mod trigger_tests {
         cfg.workload.deletions_per_round = 0; // no overwrites at all
         let overwrite_based = run(&cfg.clone());
         assert_eq!(overwrite_based.totals.collections, 0);
-        let alloc_based = run(&cfg.with_trigger(Trigger::AllocationBytes(Bytes::from_kib(32))));
+        let alloc_based = run(&cfg.with_trigger(Trigger::AllocationBytes(Bytes::from_kib(4))));
         assert!(alloc_based.totals.collections > 0);
+    }
+
+    #[test]
+    fn allocation_trigger_collections_invalidate_partially() {
+        // A collection only forces a full rescan for queries whose cached
+        // winner was the partition just collected. AdaptiveMeta races five
+        // candidate scoreboards, and most of their winners survive any
+        // given collection — so under a batched allocation trigger their
+        // re-selections must ride the derive engine's partial path instead
+        // of voiding the memo (the old behavior full-rescanned every query
+        // once per activation).
+        let cfg = RunConfig::small()
+            .with_seed(22)
+            .with_policy(PolicyKind::AdaptiveMeta)
+            .with_trigger(Trigger::AllocationBytes(Bytes::from_kib(4)))
+            .with_collect_batch(2);
+        let out = run(&cfg);
+        assert!(out.totals.collections > 1);
+        let stats = out.derive.expect("AdaptiveMeta keeps derived state");
+        assert!(
+            stats.partial > 0,
+            "batched allocation-trigger collections must invalidate partially: {stats:?}"
+        );
+        assert!(
+            stats.full < stats.selections(),
+            "not every selection may full-rescan: {stats:?}"
+        );
     }
 
     #[test]

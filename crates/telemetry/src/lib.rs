@@ -15,6 +15,8 @@
 //!   the snapshot.
 //! * [`snapshot`] — [`snapshot::TelemetrySnapshot`]: the in-memory sink
 //!   (counters, run-level histograms, records), mergeable across seeds.
+//! * [`fleet`] — [`fleet::FleetSnapshot`]: per-shard snapshots from a
+//!   sharded runtime plus the deterministic fleet-wide merge.
 //! * [`jsonl`] — the schema-versioned JSONL sink and its parser.
 //!
 //! The recorder is a pure bystander on the bus built in PR 3: it reads
@@ -27,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod cells;
+pub mod fleet;
 pub mod jsonl;
 pub mod observer;
 pub mod record;
 pub mod snapshot;
 
 pub use cells::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use fleet::{FleetSnapshot, ShardTelemetry};
 pub use jsonl::{parse_line, record_line, write_snapshot, ParsedLine, SCHEMA};
 pub use observer::{TelemetryHandle, TelemetryObserver};
 pub use record::{ActivationRecord, PolicySwitchNote, ShadowPickNote, TriggerReason};

@@ -50,6 +50,9 @@ pub enum PgcError {
     TraceFormat(String),
     /// An I/O error from reading or writing a trace file.
     TraceIo(String),
+    /// A sharded-runtime session error: an unknown or duplicate stream,
+    /// or a shard worker that went away.
+    Session(String),
 }
 
 impl fmt::Display for PgcError {
@@ -79,6 +82,7 @@ impl fmt::Display for PgcError {
             }
             PgcError::TraceFormat(msg) => write!(f, "malformed trace: {msg}"),
             PgcError::TraceIo(msg) => write!(f, "trace I/O error: {msg}"),
+            PgcError::Session(msg) => write!(f, "session error: {msg}"),
         }
     }
 }

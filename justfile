@@ -67,3 +67,19 @@ bench:
 parallel threads="4":
     cargo test -q -p pgc-sim --test parallel_equivalence
     cargo run --release -p pgc-bench --bin perf_report -- --intra-threads {{threads}}
+
+# The sharded multi-tenant server: run the client_server driver on a
+# fleet of `shards` shard worker threads hosting `streams` client
+# streams (per-shard telemetry, aggregate events/sec, inter-shard
+# remset counters, and a stream-0 fidelity check against a dedicated
+# single-Simulation run). Scaled down by default; pass scale=100 for
+# full paper-size tenants.
+serve shards="4" streams="8" scale="25":
+    cargo run --release -p pgc-bench --bin client_server -- \
+        --shards {{shards}} --streams {{streams}} --scale {{scale}}
+
+# Shard-count invariance: the 1/2/4-shard equivalence suite plus the
+# server_scalability section of the perf report (BENCH_server.json).
+shards:
+    cargo test -q --test shard_equivalence
+    cargo run --release -p pgc-bench --bin perf_report

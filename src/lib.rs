@@ -31,6 +31,10 @@
 //! * [`sim`] — the trace-driven simulator, metrics, multi-seed experiment
 //!   runner, and the experiment definitions that regenerate every table and
 //!   figure in the paper.
+//! * [`server`] — the sharded multi-tenant runtime: a deterministic router
+//!   hashing client streams onto shard worker threads, one self-contained
+//!   [`sim::Shard`] per session, and cross-shard references as weak
+//!   remset traffic over the barrier event bus.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +70,7 @@
 pub use pgc_buffer as buffer;
 pub use pgc_core as core;
 pub use pgc_odb as odb;
+pub use pgc_server as server;
 pub use pgc_sim as sim;
 pub use pgc_storage as storage;
 pub use pgc_telemetry as telemetry;
@@ -84,10 +89,12 @@ pub use pgc_workload as workload;
 /// ```
 pub mod prelude {
     pub use pgc_core::{PolicyKind, Trigger};
+    pub use pgc_server::{FleetOutcome, Server, ServerConfig, StreamId};
     pub use pgc_sim::report;
     pub use pgc_sim::{
         run_race, run_race_with_telemetry, Comparison, Experiment, PolicyRow, RaceOutcome,
-        RunConfig, RunOutcome, RunTelemetry, RunTotals, Simulation, SimulationBuilder, Summary,
+        RunConfig, RunOutcome, RunTelemetry, RunTotals, Shard, Simulation, SimulationBuilder,
+        Summary,
     };
     pub use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot};
     pub use pgc_types::{Bytes, DbConfig, PlacementPolicy};

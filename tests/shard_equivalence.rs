@@ -1,0 +1,225 @@
+//! Shard-count invariance for the multi-tenant server runtime.
+//!
+//! The whole point of `pgc-server`'s design — sessions as self-contained
+//! `Shard`s, a pure-hash router, weak cross-shard links — is that shard
+//! placement decides only *where* a session executes, never *what* it
+//! computes. These tests pin that: the same client streams run on 1, 2,
+//! and 4 shards must produce bit-identical per-stream totals, victim
+//! sequences, and telemetry score bits, all equal to dedicated
+//! single-`Simulation` runs; and the inter-shard remset must register
+//! each cross-stream pointer exactly once, clean it when the target is
+//! reclaimed, and report identical counters at every shard count.
+
+use pgc::core::PolicyKind;
+use pgc::prelude::{RunConfig, RunOutcome, Server, ServerConfig, Simulation, StreamId};
+use pgc::telemetry::TelemetryLevel;
+use pgc::workload::{Event, NodeId, SyntheticWorkload};
+
+const STREAMS: usize = 5;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn stream_configs() -> Vec<(StreamId, RunConfig)> {
+    (0..STREAMS as u64)
+        .map(|i| {
+            let policy = PolicyKind::PAPER[i as usize % PolicyKind::PAPER.len()];
+            let cfg = RunConfig::small().with_policy(policy).with_seed(i + 1);
+            (StreamId(i), cfg)
+        })
+        .collect()
+}
+
+fn stream_events(configs: &[(StreamId, RunConfig)]) -> Vec<Vec<Event>> {
+    configs
+        .iter()
+        .map(|(_, cfg)| {
+            SyntheticWorkload::new(cfg.workload.clone())
+                .expect("workload params")
+                .collect()
+        })
+        .collect()
+}
+
+/// Nodes to cross-link per link-ring edge.
+const LINKS_PER_EDGE: usize = 16;
+
+/// A deterministic sample of nodes the target stream allocated in its
+/// first half — spread across the allocation order so the sample mixes
+/// long-lived tree spine with doomed subtree nodes (some targets must be
+/// reclaimed later for the clean path to be exercised).
+fn link_nodes(events: &[Event]) -> Vec<NodeId> {
+    let allocated: Vec<NodeId> = events[..events.len() / 2]
+        .iter()
+        .filter_map(|e| match *e {
+            Event::CreateRoot { node, .. } | Event::CreateChild { node, .. } => Some(node),
+            _ => None,
+        })
+        .collect();
+    let step = (allocated.len() / LINKS_PER_EDGE).max(1);
+    allocated
+        .iter()
+        .step_by(step)
+        .take(LINKS_PER_EDGE)
+        .copied()
+        .collect()
+}
+
+/// Runs every stream on a fleet of `shards` shards, interleaving batches
+/// round-robin and registering a ring of cross-stream links midway.
+fn run_fleet(
+    shards: usize,
+    configs: &[(StreamId, RunConfig)],
+    events: &[Vec<Event>],
+) -> pgc::server::FleetOutcome {
+    let mut server = Server::start(ServerConfig::new(shards).with_telemetry(TelemetryLevel::Full));
+    for (stream, cfg) in configs {
+        server.open_stream(*stream, cfg.clone()).expect("open");
+    }
+    let mut cursors = vec![0usize; configs.len()];
+    let mut linked = false;
+    loop {
+        let mut any = false;
+        for (i, (stream, _)) in configs.iter().enumerate() {
+            let at = cursors[i];
+            if at >= events[i].len() {
+                continue;
+            }
+            let end = (at + 512).min(events[i].len());
+            server.submit(*stream, &events[i][at..end]).expect("submit");
+            cursors[i] = end;
+            any = true;
+        }
+        // Halfway through the first stream, wire the link ring — early
+        // enough that later collections reclaim or relocate some targets.
+        if !linked && cursors[0] >= events[0].len() / 2 {
+            linked = true;
+            for i in 0..configs.len() {
+                let target = StreamId((i + 1) as u64 % configs.len() as u64);
+                for node in link_nodes(&events[(i + 1) % configs.len()]) {
+                    // Twice on purpose: registration must be idempotent.
+                    server.link(configs[i].0, target, node).expect("link");
+                    server.link(configs[i].0, target, node).expect("link");
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    server.shutdown().expect("shutdown")
+}
+
+fn dedicated_runs(configs: &[(StreamId, RunConfig)], events: &[Vec<Event>]) -> Vec<RunOutcome> {
+    configs
+        .iter()
+        .zip(events)
+        .map(|((_, cfg), events)| {
+            Simulation::builder(cfg)
+                .events(events)
+                .telemetry(TelemetryLevel::Full)
+                .run()
+                .expect("dedicated run")
+        })
+        .collect()
+}
+
+#[test]
+fn per_stream_results_are_shard_count_invariant() {
+    let configs = stream_configs();
+    let events = stream_events(&configs);
+    let baseline = dedicated_runs(&configs, &events);
+
+    for shards in SHARD_COUNTS {
+        let fleet = run_fleet(shards, &configs, &events);
+        assert_eq!(fleet.shards, shards);
+        assert_eq!(fleet.outcomes.len(), STREAMS);
+        for ((stream, cfg), dedicated) in configs.iter().zip(&baseline) {
+            let outcome = fleet.outcome(*stream).expect("stream outcome");
+            assert_eq!(
+                outcome.totals, dedicated.totals,
+                "{} totals diverged on {shards} shard(s) ({:?})",
+                stream, cfg.policy
+            );
+            let fleet_victims: Vec<_> = outcome.collections.iter().map(|c| c.victim).collect();
+            let solo_victims: Vec<_> = dedicated.collections.iter().map(|c| c.victim).collect();
+            assert_eq!(
+                fleet_victims, solo_victims,
+                "{stream} victim sequence diverged on {shards} shard(s)"
+            );
+            assert_eq!(
+                outcome.collections, dedicated.collections,
+                "{stream} collection outcomes diverged on {shards} shard(s)"
+            );
+            // Full-level telemetry includes the score histograms and
+            // per-activation records — every bit must survive hosting.
+            assert_eq!(
+                outcome.telemetry, dedicated.telemetry,
+                "{stream} telemetry diverged on {shards} shard(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_aggregates_are_shard_count_invariant() {
+    let configs = stream_configs();
+    let events = stream_events(&configs);
+
+    let fleets: Vec<_> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| run_fleet(shards, &configs, &events))
+        .collect();
+    let first = &fleets[0];
+    for fleet in &fleets[1..] {
+        assert_eq!(
+            fleet.total_events(),
+            first.total_events(),
+            "aggregate event count depends on shard count"
+        );
+        assert_eq!(fleet.total_collections(), first.total_collections());
+        assert_eq!(
+            fleet.remset, first.remset,
+            "inter-shard remset counters depend on shard count"
+        );
+        // The fleet-wide telemetry merge folds counters and histograms,
+        // which are order-independent — the aggregate must not notice how
+        // sessions were grouped into shards.
+        let a = fleet.fleet.merged().expect("telemetry enabled");
+        let b = first.fleet.merged().expect("telemetry enabled");
+        assert_eq!(a.runs, b.runs, "merged session count");
+        assert_eq!(a.counters, b.counters, "merged counters");
+        assert_eq!(fleet.fleet.streams(), first.fleet.streams());
+    }
+}
+
+#[test]
+fn cross_shard_links_register_once_and_clean_on_reclaim() {
+    let configs = stream_configs();
+    let events = stream_events(&configs);
+    let fleet = run_fleet(2, &configs, &events);
+
+    let stats = fleet.remset;
+    // Each ring edge links LINKS_PER_EDGE nodes, each twice: idempotency
+    // caps distinct registrations at streams × links-per-edge; duplicate
+    // attempts must not double-count (resolved duplicates are absorbed,
+    // unresolved ones count dangling).
+    let attempted = (STREAMS * LINKS_PER_EDGE) as u64;
+    assert!(
+        stats.registered <= attempted,
+        "duplicate link registrations were counted: {stats:?}"
+    );
+    assert!(
+        stats.registered > 0,
+        "no cross-stream link resolved — the ring never registered: {stats:?}"
+    );
+    // Every registration is eventually either live or cleaned; cleaning
+    // only happens for registered links.
+    assert!(
+        stats.cleaned <= stats.registered,
+        "cleaned more links than were registered: {stats:?}"
+    );
+    assert!(
+        stats.cleaned > 0,
+        "no linked target was reclaimed — the workload never exercised \
+         the clean path: {stats:?}"
+    );
+}
