@@ -6,15 +6,22 @@
 //!
 //! * [`router`] — [`router::StreamId`] and the stateless [`router::Router`]
 //!   hashing streams onto shards.
+//! * [`ring`] — the [`ring::RingInbox`]: fixed-capacity shard inboxes with
+//!   park/unpark backpressure, FIFO drain, and an occupancy high-water
+//!   mark; a slow shard throttles its producers instead of buffering the
+//!   world.
 //! * [`session`] — the session layer: each shard worker owns a table of
-//!   sessions (one [`pgc_sim::Shard`] per stream), drains its inbox in
-//!   arrival order, and reports per-stream outcomes plus merged telemetry
-//!   at shutdown.
+//!   sessions (one [`pgc_sim::Shard`] per stream), drains its ring in
+//!   arrival order, coalesces consecutive batches for a stream, and steps
+//!   them block-at-a-time through one reusable decode scratch.
 //! * [`remset`] — the [`remset::InterShardRemset`]: cross-shard references
-//!   as remset traffic over the existing barrier event bus, weak by
-//!   design so they cannot perturb any session's collection decisions.
+//!   as remset traffic over the existing barrier event bus, striped by
+//!   target stream so shards touching different tenants never contend,
+//!   and weak by design so they cannot perturb any session's collection
+//!   decisions.
 //! * [`server`] — [`server::Server`]: start, open streams, submit event
-//!   batches, link across streams, and fold the fleet into a
+//!   batches (zero-copy [`TraceSegment`]s, owned vectors, or borrowed
+//!   slices), link across streams, and fold the fleet into a
 //!   [`server::FleetOutcome`] at shutdown.
 //!
 //! # Determinism
@@ -32,11 +39,13 @@
 #![warn(missing_docs)]
 
 pub mod remset;
+pub mod ring;
 pub mod router;
 pub mod server;
 pub mod session;
 
-pub use remset::{InterShardRemset, LinkRecord, RemsetBridge, RemsetStats};
+pub use remset::{InterShardRemset, LinkRecord, RemsetBridge, RemsetStats, REMSET_STRIPES};
+pub use ring::{RingInbox, DEFAULT_INBOX_CAPACITY};
 pub use router::{Router, StreamId};
 pub use server::{FleetOutcome, Server, ServerConfig};
 pub use session::ShardReport;
@@ -44,3 +53,4 @@ pub use session::ShardReport;
 // direct dependency on every lower crate for the common cases.
 pub use pgc_sim::{RunConfig, RunOutcome};
 pub use pgc_telemetry::{FleetSnapshot, ShardTelemetry, TelemetryLevel};
+pub use pgc_workload::TraceSegment;

@@ -26,11 +26,26 @@
 //! around (the paper's policies are only comparable under deterministic
 //! replay).
 
+//! The table is **striped**: entries spread over
+//! [`REMSET_STRIPES`] independently locked shards of the map, selected by
+//! [`pgc_types::fast_hash_u64`] of the *target* stream. Every operation a
+//! [`RemsetBridge`] performs is keyed by its own session's stream, so
+//! bridges riding different streams take different stripes and never
+//! contend — the one global mutex this table used to be disappears from
+//! the workers' hot paths. Counters accumulate per stripe and
+//! [`InterShardRemset::stats`] folds them in ascending stripe order;
+//! every field is a sum, so the fold is deterministic for a given set of
+//! link calls and event streams at any shard count and any interleaving.
+
 use crate::router::StreamId;
 use pgc_odb::{BarrierEvent, BarrierObserver};
-use pgc_types::{Oid, PartitionId};
+use pgc_types::{fast_hash_u64, Oid, PartitionId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
+
+/// Lock stripes the table spreads over (a power of two so stripe selection
+/// is a mask).
+pub const REMSET_STRIPES: usize = 16;
 
 /// One target object's cross-shard inbound references.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,20 +81,37 @@ struct RemsetInner {
     stats: RemsetStats,
 }
 
-/// The shared cross-shard reference table.
+/// The shared cross-shard reference table, striped by target stream.
 ///
-/// One instance per server, shared by every shard worker behind a mutex.
-/// Lock scope is a single entry update — the table is bookkeeping beside
-/// the sessions' hot paths, not on them.
-#[derive(Debug, Default)]
+/// One instance per server. Every operation is keyed by a target stream,
+/// which hashes to one of [`REMSET_STRIPES`] independently locked map
+/// shards — bystander bridges on different streams touch different
+/// stripes, so they never serialize on each other. Lock scope stays a
+/// single entry update.
+#[derive(Debug)]
 pub struct InterShardRemset {
-    inner: Mutex<RemsetInner>,
+    stripes: Vec<Mutex<RemsetInner>>,
+}
+
+impl Default for InterShardRemset {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl InterShardRemset {
     /// An empty table.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            stripes: (0..REMSET_STRIPES)
+                .map(|_| Mutex::new(RemsetInner::default()))
+                .collect(),
+        }
+    }
+
+    /// The stripe holding every entry for `target`'s graph.
+    fn stripe(&self, target: StreamId) -> &Mutex<RemsetInner> {
+        &self.stripes[fast_hash_u64(target.0) as usize & (REMSET_STRIPES - 1)]
     }
 
     /// Records that `source` holds a reference to `oid` in `target`'s
@@ -92,7 +124,7 @@ impl InterShardRemset {
         oid: Oid,
         partition: PartitionId,
     ) -> bool {
-        let mut inner = self.inner.lock().expect("remset lock");
+        let mut inner = self.stripe(target).lock().expect("remset lock");
         let entry = inner
             .links
             .entry((target, oid))
@@ -107,15 +139,20 @@ impl InterShardRemset {
         fresh
     }
 
-    /// Counts a link attempt whose target could not be resolved.
-    pub fn note_dangling(&self) {
-        self.inner.lock().expect("remset lock").stats.dangling += 1;
+    /// Counts a link attempt into `target`'s graph whose target object
+    /// could not be resolved.
+    pub fn note_dangling(&self, target: StreamId) {
+        self.stripe(target)
+            .lock()
+            .expect("remset lock")
+            .stats
+            .dangling += 1;
     }
 
     /// Removes every link into `(target, oid)` — the object was
     /// reclaimed. Each removed source counts toward `cleaned`.
     fn clean(&self, target: StreamId, oid: Oid) {
-        let mut inner = self.inner.lock().expect("remset lock");
+        let mut inner = self.stripe(target).lock().expect("remset lock");
         if let Some(record) = inner.links.remove(&(target, oid)) {
             inner.stats.cleaned += record.sources.len() as u64;
         }
@@ -124,21 +161,32 @@ impl InterShardRemset {
     /// Re-points every link into `(target, oid)` at the partition the
     /// object was evacuated to.
     fn relocate(&self, target: StreamId, oid: Oid, to: PartitionId) {
-        let mut inner = self.inner.lock().expect("remset lock");
+        let mut inner = self.stripe(target).lock().expect("remset lock");
         if let Some(record) = inner.links.get_mut(&(target, oid)) {
             record.partition = to;
             inner.stats.relocated += 1;
         }
     }
 
-    /// Current counters.
+    /// Current counters: per-stripe stats folded in ascending stripe
+    /// order. Each field is a sum, so the fold is independent of which
+    /// stripe any entry landed on.
     pub fn stats(&self) -> RemsetStats {
-        self.inner.lock().expect("remset lock").stats
+        let mut out = RemsetStats::default();
+        for stripe in &self.stripes {
+            let inner = stripe.lock().expect("remset lock");
+            out.registered += inner.stats.registered;
+            out.cleaned += inner.stats.cleaned;
+            out.relocated += inner.stats.relocated;
+            out.dangling += inner.stats.dangling;
+        }
+        out
     }
 
-    /// Live links into `target`'s graph, in ascending oid order.
+    /// Live links into `target`'s graph, in ascending oid order (all of a
+    /// target's entries live on one stripe).
     pub fn links_into(&self, target: StreamId) -> Vec<(Oid, LinkRecord)> {
-        let inner = self.inner.lock().expect("remset lock");
+        let inner = self.stripe(target).lock().expect("remset lock");
         inner
             .links
             .range((target, Oid(0))..=(target, Oid(u64::MAX)))
@@ -146,10 +194,19 @@ impl InterShardRemset {
             .collect()
     }
 
-    /// Total live links across the table.
+    /// Total live links across the table, folded in stripe order.
     pub fn live_links(&self) -> u64 {
-        let inner = self.inner.lock().expect("remset lock");
-        inner.links.values().map(|r| r.sources.len() as u64).sum()
+        self.stripes
+            .iter()
+            .map(|stripe| {
+                let inner = stripe.lock().expect("remset lock");
+                inner
+                    .links
+                    .values()
+                    .map(|r| r.sources.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
     }
 }
 
@@ -225,6 +282,68 @@ mod tests {
         let stats = remset.stats();
         assert_eq!(stats.cleaned, 2, "both sources cleaned");
         assert_eq!(stats.relocated, 1);
+    }
+
+    /// Parallel register/clean/relocate across every stripe: the striping
+    /// must be invisible in the folded counters. Registrations from N
+    /// threads race on shared entries (idempotency makes the fresh count
+    /// exact anyway); cleans and relocations then partition the key space
+    /// per thread so the expected totals are exact, not just bounded.
+    #[test]
+    fn striped_table_sums_exactly_under_parallel_mutation() {
+        const THREADS: u64 = 8;
+        const TARGETS: u64 = 2 * REMSET_STRIPES as u64; // every stripe hit
+        const OIDS: u64 = 32;
+        let remset = Arc::new(InterShardRemset::new());
+
+        // Phase 1: every thread registers every (target, oid) under its
+        // own source — twice, so half the attempts race on idempotency —
+        // and notes a few dangling misses.
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let remset = Arc::clone(&remset);
+                scope.spawn(move || {
+                    for target in 0..TARGETS {
+                        for oid in 0..OIDS {
+                            for _ in 0..2 {
+                                remset.register(StreamId(1000 + t), StreamId(target), Oid(oid), P0);
+                            }
+                        }
+                        remset.note_dangling(StreamId(target));
+                    }
+                });
+            }
+        });
+        let stats = remset.stats();
+        assert_eq!(stats.registered, THREADS * TARGETS * OIDS);
+        assert_eq!(stats.dangling, THREADS * TARGETS);
+        assert_eq!(remset.live_links(), THREADS * TARGETS * OIDS);
+
+        // Phase 2: threads partition the targets; each relocates its even
+        // oids then cleans everything it owns — parallel across stripes,
+        // deterministic within a partition.
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let remset = Arc::clone(&remset);
+                scope.spawn(move || {
+                    for target in (t..TARGETS).step_by(THREADS as usize) {
+                        for oid in (0..OIDS).step_by(2) {
+                            remset.relocate(StreamId(target), Oid(oid), P1);
+                        }
+                        for oid in 0..OIDS {
+                            remset.clean(StreamId(target), Oid(oid));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = remset.stats();
+        assert_eq!(stats.relocated, TARGETS * OIDS / 2);
+        assert_eq!(stats.cleaned, THREADS * TARGETS * OIDS);
+        assert_eq!(remset.live_links(), 0);
+        for target in 0..TARGETS {
+            assert!(remset.links_into(StreamId(target)).is_empty());
+        }
     }
 
     #[test]

@@ -1,32 +1,38 @@
 //! The N-shard runtime: router + workers + fleet-wide shutdown fold.
 
 use crate::remset::{InterShardRemset, RemsetStats};
+use crate::ring::{RingInbox, SenderGuard, DEFAULT_INBOX_CAPACITY};
 use crate::router::{Router, StreamId};
-use crate::session::{ShardMsg, ShardReport, ShardWorker};
+use crate::session::{DataPayload, ShardMsg, ShardReport, ShardWorker};
 use pgc_sim::{RunConfig, RunOutcome};
 use pgc_telemetry::{FleetSnapshot, TelemetryLevel};
 use pgc_types::{PgcError, Result};
-use pgc_workload::{Event, NodeId};
+use pgc_workload::{Event, NodeId, TraceSegment};
 use std::collections::BTreeSet;
-use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// How a [`Server`] is shaped: shard count and per-session telemetry.
+/// How a [`Server`] is shaped: shard count, per-session telemetry, and
+/// inbox depth.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads (and thus shard inboxes). Clamped to at least one.
+    /// Worker threads (and thus shard rings). Clamped to at least one.
     pub shards: usize,
     /// Telemetry level every session is opened with.
     pub telemetry: TelemetryLevel,
+    /// Messages a shard's ring inbox holds before producers block — the
+    /// backpressure knob. Clamped to at least one.
+    pub inbox_capacity: usize,
 }
 
 impl ServerConfig {
-    /// A server over `shards` shards with telemetry off.
+    /// A server over `shards` shards with telemetry off and the default
+    /// inbox depth.
     pub fn new(shards: usize) -> Self {
         Self {
             shards: shards.max(1),
             telemetry: TelemetryLevel::Off,
+            inbox_capacity: DEFAULT_INBOX_CAPACITY,
         }
     }
 
@@ -34,6 +40,13 @@ impl ServerConfig {
     #[must_use]
     pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
         self.telemetry = level;
+        self
+    }
+
+    /// Sets the per-shard ring inbox capacity, in messages.
+    #[must_use]
+    pub fn with_inbox_capacity(mut self, capacity: usize) -> Self {
+        self.inbox_capacity = capacity.max(1);
         self
     }
 }
@@ -52,6 +65,13 @@ pub struct FleetOutcome {
     pub remset: RemsetStats,
     /// How many shards the fleet ran on.
     pub shards: usize,
+    /// Peak ring-inbox occupancy per shard, indexed by shard id — how
+    /// close each shard ran to throttling its producers.
+    pub ring_high_water: Vec<u64>,
+    /// Events across every stream, folded once at shutdown.
+    total_events: u64,
+    /// Collections across every stream, folded once at shutdown.
+    total_collections: u64,
 }
 
 impl FleetOutcome {
@@ -63,49 +83,62 @@ impl FleetOutcome {
             .map(|i| &self.outcomes[i].1)
     }
 
-    /// Events processed across every stream.
+    /// Events processed across every stream (cached at shutdown).
     pub fn total_events(&self) -> u64 {
-        self.outcomes.iter().map(|(_, o)| o.totals.events).sum()
+        self.total_events
     }
 
-    /// Collections performed across every stream.
+    /// Collections performed across every stream (cached at shutdown).
     pub fn total_collections(&self) -> u64 {
-        self.outcomes
-            .iter()
-            .map(|(_, o)| o.totals.collections)
-            .sum()
+        self.total_collections
     }
 }
 
 /// A running sharded multi-tenant runtime.
 ///
-/// Streams are opened against a [`RunConfig`], fed event batches in any
+/// Streams are opened against a [`RunConfig`], fed events in any
 /// interleaving, optionally cross-linked, and folded into a
 /// [`FleetOutcome`] at [`Server::shutdown`]. The deterministic router
 /// pins each stream to a home shard; sessions never share mutable state,
 /// so per-stream results do not depend on the shard count — only
 /// wall-clock time does.
 ///
+/// Three submit paths feed a stream, cheapest first:
+///
+/// * [`Server::submit_segment`] — the zero-copy data plane: ships a
+///   [`TraceSegment`] (an `Arc` bump plus a byte range of a shared
+///   encoded trace); nothing is allocated or copied per event.
+/// * [`Server::submit_owned`] — moves an owned `Vec<Event>` into the
+///   ring without cloning it.
+/// * [`Server::submit`] — the compatibility wrapper for borrowed slices:
+///   encodes the slice once (~12 bytes/event in flight instead of a
+///   cloned `Vec`) and ships the result as a segment.
+///
+/// All three drain through the same block-stepped session path and are
+/// bit-identical per stream; a full ring blocks the submitting thread
+/// until the shard catches up (bounded memory, lossless).
+///
 /// ```
 /// use pgc_server::{Server, ServerConfig, StreamId};
 /// use pgc_sim::RunConfig;
-/// use pgc_workload::SyntheticWorkload;
+/// use pgc_workload::{EncodedTrace, TraceSegment};
+/// use std::sync::Arc;
 ///
 /// let cfg = RunConfig::small().with_seed(3);
-/// let events: Vec<_> = SyntheticWorkload::new(cfg.workload.clone())
-///     .unwrap()
-///     .collect();
+/// let trace = Arc::new(EncodedTrace::record(cfg.workload.clone()).unwrap());
 /// let mut server = Server::start(ServerConfig::new(2));
 /// server.open_stream(StreamId(0), cfg).unwrap();
-/// server.submit(StreamId(0), &events).unwrap();
+/// server
+///     .submit_segment(StreamId(0), TraceSegment::whole(Arc::clone(&trace)))
+///     .unwrap();
 /// let fleet = server.shutdown().unwrap();
-/// assert_eq!(fleet.total_events(), events.len() as u64);
+/// assert_eq!(fleet.total_events(), trace.events());
 /// ```
 pub struct Server {
     router: Router,
     telemetry: TelemetryLevel,
     remset: Arc<InterShardRemset>,
-    inboxes: Vec<Sender<ShardMsg>>,
+    inboxes: Vec<SenderGuard<ShardMsg>>,
     workers: Vec<JoinHandle<Result<ShardReport>>>,
     streams: BTreeSet<StreamId>,
 }
@@ -118,7 +151,8 @@ impl Server {
         let mut inboxes = Vec::with_capacity(router.shards());
         let mut workers = Vec::with_capacity(router.shards());
         for shard in 0..router.shards() {
-            let (tx, rx) = mpsc::channel::<ShardMsg>();
+            let ring = RingInbox::with_capacity(cfg.inbox_capacity);
+            let rx = Arc::clone(&ring);
             let remset = Arc::clone(&remset);
             let telemetry = cfg.telemetry;
             // Sessions hold thread-local state (Rc-based telemetry taps,
@@ -127,7 +161,7 @@ impl Server {
             workers.push(std::thread::spawn(move || {
                 ShardWorker::new(shard, telemetry, remset).run(rx)
             }));
-            inboxes.push(tx);
+            inboxes.push(SenderGuard(ring));
         }
         Self {
             router,
@@ -178,19 +212,41 @@ impl Server {
         )
     }
 
-    /// Submits a batch of events to `stream`'s session. Batches for the
-    /// same stream apply in submission order; batches for different
-    /// streams are independent.
+    /// Submits a segment of a shared encoded trace to `stream`'s session —
+    /// the zero-copy path: the send is an `Arc` bump plus a byte range,
+    /// however many events the segment spans, and the worker decodes
+    /// straight from the shared buffer into its block scratch.
+    ///
+    /// Segments for the same stream apply in submission order; segments
+    /// for different streams are independent. Blocks while the home
+    /// shard's ring is full.
+    pub fn submit_segment(&mut self, stream: StreamId, segment: TraceSegment) -> Result<()> {
+        self.submit_payload(stream, DataPayload::Segment(segment))
+    }
+
+    /// Submits an owned batch of events, moving it into the ring — for
+    /// callers that already hold a `Vec<Event>` and would otherwise pay a
+    /// pointless clone.
+    pub fn submit_owned(&mut self, stream: StreamId, events: Vec<Event>) -> Result<()> {
+        self.submit_payload(stream, DataPayload::Owned(events))
+    }
+
+    /// Submits a borrowed batch of events — the compatibility wrapper:
+    /// encodes the slice once into a fresh single-segment trace (~12
+    /// bytes/event in flight, versus `size_of::<Event>()` for the deep
+    /// clone this path used to take) and ships it through
+    /// [`Server::submit_segment`].
     pub fn submit(&mut self, stream: StreamId, events: &[Event]) -> Result<()> {
+        self.submit_payload(stream, DataPayload::Segment(TraceSegment::encode(events)))
+    }
+
+    fn submit_payload(&mut self, stream: StreamId, payload: DataPayload) -> Result<()> {
         if !self.streams.contains(&stream) {
             return Err(PgcError::Session(format!("stream {stream} is not open")));
         }
         self.send(
             self.router.route(stream),
-            ShardMsg::Batch {
-                stream,
-                events: events.to_vec(),
-            },
+            ShardMsg::Data { stream, payload },
         )
     }
 
@@ -201,7 +257,8 @@ impl Server {
     ///
     /// The reference apply-point is the target session's state when the
     /// message drains — deterministic per stream because one server
-    /// handle feeds each inbox in program order.
+    /// handle feeds each ring in program order, and batch coalescing
+    /// never crosses a link message.
     pub fn link(&mut self, source: StreamId, target: StreamId, node: NodeId) -> Result<()> {
         if !self.streams.contains(&target) {
             return Err(PgcError::Session(format!("stream {target} is not open")));
@@ -218,24 +275,46 @@ impl Server {
 
     fn send(&self, shard: usize, msg: ShardMsg) -> Result<()> {
         self.inboxes[shard]
-            .send(msg)
+            .ring()
+            .push(msg)
             .map_err(|_| PgcError::Session(format!("shard {shard} worker is gone")))
     }
 
-    /// Closes every inbox, joins the workers, and folds their reports
-    /// into the fleet outcome. The fold is deterministic: outcomes sort
-    /// by stream id and telemetry merges in ascending shard-id order, so
-    /// the result is independent of worker completion order.
+    /// Closes every ring, joins the workers, and folds their reports into
+    /// the fleet outcome. The fold is deterministic: outcomes sort by
+    /// stream id and telemetry merges in ascending shard-id order, so the
+    /// result is independent of worker completion order. A worker that
+    /// panicked surfaces as a [`PgcError::Session`] carrying the panic
+    /// payload — one poisoned shard reports instead of crashing the fold.
     pub fn shutdown(self) -> Result<FleetOutcome> {
         drop(self.inboxes);
         let mut outcomes = Vec::new();
         let mut fleet = FleetSnapshot::new();
+        let mut ring_high_water = vec![0u64; self.router.shards()];
         let mut first_err = None;
         for worker in self.workers {
-            match worker.join().expect("shard worker panicked") {
+            let report = match worker.join() {
+                Ok(result) => result,
+                // `&*` reaches the payload inside the box — a bare `&`
+                // would unsize the `Box` itself into the trait object and
+                // every downcast would miss.
+                Err(panic) => Err(PgcError::Session(format!(
+                    "shard worker panicked: {}",
+                    panic_message(&*panic)
+                ))),
+            };
+            match report {
                 Ok(report) => {
+                    if let Some(slot) = ring_high_water.get_mut(report.shard) {
+                        *slot = report.ring_high_water;
+                    }
                     if let Some(snapshot) = report.telemetry {
-                        fleet.add_shard(report.shard, report.outcomes.len() as u32, snapshot);
+                        fleet.add_shard(
+                            report.shard,
+                            report.outcomes.len() as u32,
+                            report.ring_high_water,
+                            snapshot,
+                        );
                     }
                     outcomes.extend(report.outcomes);
                 }
@@ -246,11 +325,28 @@ impl Server {
             return Err(e);
         }
         outcomes.sort_by_key(|(stream, _)| *stream);
+        let total_events = outcomes.iter().map(|(_, o)| o.totals.events).sum();
+        let total_collections = outcomes.iter().map(|(_, o)| o.totals.collections).sum();
         Ok(FleetOutcome {
             outcomes,
             fleet,
             remset: self.remset.stats(),
             shards: self.router.shards(),
+            ring_high_water,
+            total_events,
+            total_collections,
         })
+    }
+}
+
+/// Renders a worker panic payload for the shutdown error (panics carry a
+/// `&str` or `String` message in practice; anything else is opaque).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }

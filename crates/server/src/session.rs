@@ -3,27 +3,51 @@
 //! Each shard is one OS thread owning a table of sessions — a session is
 //! one client stream bound to its own [`Shard`] (database + policy +
 //! scheduler + barrier bus + telemetry). The server routes every message
-//! for a stream to its home shard's inbox; the worker drains the inbox in
-//! arrival order and steps the addressed session. Because one server
-//! handle feeds the inboxes, each session sees its events in exactly the
-//! submission order — thousands of streams interleave freely on the wire
-//! while every individual stream replays deterministically.
+//! for a stream to its home shard's bounded ring inbox; the worker drains
+//! the ring in arrival order and steps the addressed session. Because one
+//! server handle feeds the rings, each session sees its events in exactly
+//! the submission order — thousands of streams interleave freely on the
+//! wire while every individual stream replays deterministically.
+//!
+//! Data messages carry either a [`TraceSegment`] (a refcounted byte range
+//! of a shared encoded trace — the zero-copy path) or an owned
+//! `Vec<Event>` (moved, never cloned). The worker **coalesces** runs of
+//! consecutive queued data messages for the same stream — taken strictly
+//! from the head of the ring, so arrival order is untouched — and drives
+//! them through [`Shard::step_block`] with one reusable per-worker
+//! [`EventBlock`] scratch: segments decode block-at-a-time straight from
+//! the shared buffer, owned batches pack into the same scratch. Block
+//! boundaries are semantically invisible (`step_block` is bit-identical
+//! to per-event stepping), so coalescing can never change a result, only
+//! the number of dispatch round-trips.
 //!
 //! At shutdown the worker finishes its sessions in ascending stream-id
-//! order and reports per-stream [`RunOutcome`]s plus one merged telemetry
-//! snapshot, ready for the fleet-wide fold.
+//! order and reports per-stream [`RunOutcome`]s, one merged telemetry
+//! snapshot, and the ring's occupancy high-water mark, ready for the
+//! fleet-wide fold.
 
 use crate::remset::{InterShardRemset, RemsetBridge};
+use crate::ring::{ReceiverGuard, RingInbox};
 use crate::router::StreamId;
 use pgc_sim::{RunConfig, RunOutcome, Shard};
 use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot};
 use pgc_types::{PgcError, Result};
 use pgc_workload::generator::GenStats;
-use pgc_workload::{Event, NodeId};
+use pgc_workload::{Event, EventBlock, NodeId, TraceSegment};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// One message on a shard inbox.
+/// The event payload of one data message.
+pub(crate) enum DataPayload {
+    /// A refcounted byte range of a shared encoded trace: submitting one
+    /// costs an `Arc` bump, however many events it spans.
+    Segment(TraceSegment),
+    /// An owned, already-decoded batch (moved from the caller, not
+    /// cloned).
+    Owned(Vec<Event>),
+}
+
+/// One message on a shard ring.
 pub(crate) enum ShardMsg {
     /// Open a session for `stream` under `cfg`.
     Open {
@@ -33,12 +57,12 @@ pub(crate) enum ShardMsg {
         /// other variants).
         cfg: Box<RunConfig>,
     },
-    /// Step `stream`'s session through a batch of events.
-    Batch {
+    /// Step `stream`'s session through a run of events.
+    Data {
         /// The addressed stream.
         stream: StreamId,
         /// The events, in submission order.
-        events: Vec<Event>,
+        payload: DataPayload,
     },
     /// Register that `source`'s graph references `node` in `target`'s
     /// graph. Routed to the *target*'s home shard, which resolves the
@@ -63,14 +87,19 @@ pub struct ShardReport {
     /// Every hosted session's telemetry folded together (`None` when the
     /// server ran with telemetry off or the shard hosted no streams).
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Peak occupancy of the shard's ring inbox, in messages — how close
+    /// the shard ran to saturating its producers.
+    pub ring_high_water: u64,
 }
 
-/// The per-thread state of one shard worker: its session table.
+/// The per-thread state of one shard worker: its session table plus one
+/// reusable block of decode scratch shared by every hosted session.
 pub(crate) struct ShardWorker {
     shard: usize,
     telemetry: TelemetryLevel,
     remset: Arc<InterShardRemset>,
     sessions: BTreeMap<StreamId, Shard>,
+    scratch: EventBlock,
 }
 
 impl ShardWorker {
@@ -84,31 +113,90 @@ impl ShardWorker {
             telemetry,
             remset,
             sessions: BTreeMap::new(),
+            scratch: EventBlock::new(),
         }
     }
 
-    /// Drains the inbox until every sender hangs up, then finishes all
-    /// sessions into the shard's report.
-    pub(crate) fn run(mut self, inbox: std::sync::mpsc::Receiver<ShardMsg>) -> Result<ShardReport> {
-        for msg in inbox.iter() {
-            self.handle(msg)?;
-        }
-        Ok(self.finish())
-    }
-
-    fn handle(&mut self, msg: ShardMsg) -> Result<()> {
-        match msg {
-            ShardMsg::Open { stream, cfg } => self.open(stream, &cfg),
-            ShardMsg::Batch { stream, events } => self.session(stream)?.step_batch(&events),
-            ShardMsg::Link {
-                source,
-                target,
-                node,
-            } => {
-                self.link(source, target, node);
-                Ok(())
+    /// Drains the ring until the sender closes, then finishes all
+    /// sessions into the shard's report. The receiver guard marks the
+    /// ring dead on any exit — return or panic — so parked producers fail
+    /// fast instead of deadlocking.
+    pub(crate) fn run(mut self, inbox: Arc<RingInbox<ShardMsg>>) -> Result<ShardReport> {
+        let guard = ReceiverGuard(Arc::clone(&inbox));
+        while let Some(msg) = inbox.pop() {
+            match msg {
+                ShardMsg::Open { stream, cfg } => self.open(stream, &cfg)?,
+                ShardMsg::Data { stream, payload } => {
+                    self.step_run(stream, payload, &inbox)?;
+                }
+                ShardMsg::Link {
+                    source,
+                    target,
+                    node,
+                } => self.link(source, target, node),
             }
         }
+        let high_water = guard.ring().high_water() as u64;
+        Ok(self.finish(high_water))
+    }
+
+    /// Steps one coalesced run: the popped payload plus every data
+    /// message for the same stream sitting consecutively at the head of
+    /// the ring. Only head messages are taken (`pop_front_if`), so the
+    /// ring's arrival order — and with it every link's apply-point — is
+    /// exactly what a message-at-a-time drain would see.
+    fn step_run(
+        &mut self,
+        stream: StreamId,
+        first: DataPayload,
+        inbox: &RingInbox<ShardMsg>,
+    ) -> Result<()> {
+        let shard = self
+            .sessions
+            .get_mut(&stream)
+            .ok_or_else(|| PgcError::Session(format!("stream {stream} is not open")))?;
+        let block = &mut self.scratch;
+        block.clear();
+        let mut next = Some(first);
+        while let Some(payload) = next {
+            match payload {
+                DataPayload::Owned(events) => {
+                    // Pack owned events into the scratch block, flushing
+                    // each time it fills — consecutive small batches merge
+                    // into full blocks.
+                    for event in &events {
+                        block.push(event);
+                        if block.is_full() {
+                            shard.step_block(block)?;
+                            block.clear();
+                        }
+                    }
+                }
+                DataPayload::Segment(segment) => {
+                    // Order: anything packed so far precedes the segment.
+                    if !block.is_empty() {
+                        shard.step_block(block)?;
+                        block.clear();
+                    }
+                    let mut cursor = segment.cursor();
+                    while cursor.next_block(block)? > 0 {
+                        shard.step_block(block)?;
+                    }
+                    block.clear();
+                }
+            }
+            next = inbox
+                .pop_front_if(|msg| matches!(msg, ShardMsg::Data { stream: s, .. } if *s == stream))
+                .map(|msg| match msg {
+                    ShardMsg::Data { payload, .. } => payload,
+                    _ => unreachable!("predicate admits only data messages"),
+                });
+        }
+        if !block.is_empty() {
+            shard.step_block(block)?;
+            block.clear();
+        }
+        Ok(())
     }
 
     fn open(&mut self, stream: StreamId, cfg: &RunConfig) -> Result<()> {
@@ -127,12 +215,6 @@ impl ShardWorker {
         Ok(())
     }
 
-    fn session(&mut self, stream: StreamId) -> Result<&mut Shard> {
-        self.sessions
-            .get_mut(&stream)
-            .ok_or_else(|| PgcError::Session(format!("stream {stream} is not open")))
-    }
-
     /// Resolves a cross-shard reference against the target session and
     /// records it; unresolvable targets count as dangling instead of
     /// failing (the link API is advisory bookkeeping, not a mutation).
@@ -146,11 +228,11 @@ impl ShardWorker {
             Some((oid, partition)) => {
                 self.remset.register(source, target, oid, partition);
             }
-            None => self.remset.note_dangling(),
+            None => self.remset.note_dangling(target),
         }
     }
 
-    fn finish(self) -> ShardReport {
+    fn finish(self, ring_high_water: u64) -> ShardReport {
         let mut outcomes = Vec::with_capacity(self.sessions.len());
         let mut telemetry: Option<TelemetrySnapshot> = None;
         for (stream, shard) in self.sessions {
@@ -167,6 +249,7 @@ impl ShardWorker {
             shard: self.shard,
             outcomes,
             telemetry,
+            ring_high_water,
         }
     }
 }

@@ -16,7 +16,12 @@
 //! one `Shard` per client session across N worker threads — each shard
 //! owns its partitions, policy, scheduler, and telemetry, so sessions
 //! never share mutable state and per-stream results are bit-identical to
-//! a dedicated single-`Simulation` run at any shard count.
+//! a dedicated single-`Simulation` run at any shard count. Server workers
+//! lean on [`Shard::step_block`]'s invisibility guarantee: batches
+//! arriving over the ring inboxes are coalesced into full SoA blocks
+//! (decoded straight from shared encoded traces) without changing any
+//! result, because block boundaries — including sample boundaries split
+//! mid-block — replay exactly like per-event stepping.
 
 use crate::metrics::{RunTotals, SamplePoint, TimeSeries};
 use crate::replay::Replayer;

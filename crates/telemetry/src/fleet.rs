@@ -18,6 +18,9 @@ pub struct ShardTelemetry {
     pub shard: usize,
     /// Client streams whose sessions the shard hosted.
     pub streams: u32,
+    /// Peak occupancy of the shard's ring inbox over the run, in
+    /// messages — how close the shard ran to throttling its producers.
+    pub ring_high_water: u64,
     /// The shard's snapshot: every hosted session folded together (so
     /// `snapshot.runs` counts sessions, and per-activation records are
     /// already dropped by [`TelemetrySnapshot::merge`]).
@@ -38,10 +41,17 @@ impl FleetSnapshot {
 
     /// Adds one shard's merged snapshot, keeping the fleet ordered by
     /// ascending shard id regardless of insertion order.
-    pub fn add_shard(&mut self, shard: usize, streams: u32, snapshot: TelemetrySnapshot) {
+    pub fn add_shard(
+        &mut self,
+        shard: usize,
+        streams: u32,
+        ring_high_water: u64,
+        snapshot: TelemetrySnapshot,
+    ) {
         let entry = ShardTelemetry {
             shard,
             streams,
+            ring_high_water,
             snapshot,
         };
         let at = self.shards.partition_point(|s| s.shard < shard);
@@ -95,15 +105,17 @@ mod tests {
     #[test]
     fn merge_is_insertion_order_independent() {
         let mut a = FleetSnapshot::new();
-        a.add_shard(0, 2, shard_snapshot(3));
-        a.add_shard(1, 1, shard_snapshot(5));
+        a.add_shard(0, 2, 7, shard_snapshot(3));
+        a.add_shard(1, 1, 4, shard_snapshot(5));
 
         let mut b = FleetSnapshot::new();
-        b.add_shard(1, 1, shard_snapshot(5));
-        b.add_shard(0, 2, shard_snapshot(3));
+        b.add_shard(1, 1, 4, shard_snapshot(5));
+        b.add_shard(0, 2, 7, shard_snapshot(3));
 
         assert_eq!(a, b, "shards sort by id regardless of arrival order");
         assert_eq!(a.streams(), 3);
+        assert_eq!(a.shards()[0].ring_high_water, 7);
+        assert_eq!(a.shards()[1].ring_high_water, 4);
         let merged = a.merged().expect("non-empty fleet");
         assert_eq!(merged, b.merged().unwrap());
         assert_eq!(merged.runs, 2);

@@ -94,6 +94,12 @@ impl EventBlock {
         self.kind.is_empty()
     }
 
+    /// True once the block holds [`BLOCK_EVENTS`] events — the point a
+    /// packing loop flushes it and starts refilling.
+    pub fn is_full(&self) -> bool {
+        self.kind.len() >= BLOCK_EVENTS
+    }
+
     /// Smallest column capacity — the number of events the block can hold
     /// before any column reallocates.
     pub fn capacity(&self) -> usize {

@@ -18,6 +18,13 @@
 //! * [`TraceCache`] — an `Arc`-sharing cache keyed by
 //!   [`WorkloadParams::digest`], so concurrent experiment workers record
 //!   each distinct trace exactly once and replay it from shared memory.
+//! * [`TraceSegment`] — a refcounted handle onto a byte range of a shared
+//!   trace. A server data plane ships segments instead of `Vec<Event>`
+//!   batches: submitting one is an `Arc` bump plus three integers, however
+//!   many events it spans. Traces record event-boundary byte marks every
+//!   [`crate::block::BLOCK_EVENTS`] events, so carving a trace into
+//!   block-aligned segments is pure arithmetic (unaligned splits scan from
+//!   the nearest mark).
 //!
 //! Replay is bit-identical to live generation by construction: the
 //! generator is a pure function of its parameters and the codec round-trips
@@ -58,7 +65,16 @@ pub struct EncodedTrace {
     header: TraceHeader,
     params: WorkloadParams,
     buf: Vec<u8>,
+    /// Byte offset after every [`MARK_EVERY`]th event: `marks[k]` is the
+    /// position just past event `(k + 1) * MARK_EVERY`. Lets
+    /// [`EncodedTrace::segments`] carve block-aligned segments without
+    /// scanning the variable-length byte stream.
+    marks: Vec<usize>,
 }
+
+/// Event interval between recorded byte marks — one mark per decode block,
+/// so block-sized segmentation never scans.
+pub const MARK_EVERY: u64 = crate::block::BLOCK_EVENTS as u64;
 
 impl EncodedTrace {
     /// Runs the synthetic generator for `params` and encodes its entire
@@ -69,10 +85,14 @@ impl EncodedTrace {
         // The paper trace runs ~12.4 bytes/event and one event per ~21
         // allocated bytes; seed the buffer near that to avoid regrowth.
         let mut buf = Vec::with_capacity((params.target_allocated.get() / 2).min(1 << 28) as usize);
+        let mut marks = Vec::new();
         let mut events = 0u64;
         for event in generator.by_ref() {
             trace::encode_event(&mut buf, &event);
             events += 1;
+            if events.is_multiple_of(MARK_EVERY) {
+                marks.push(buf.len());
+            }
         }
         buf.shrink_to_fit();
         Ok(Self {
@@ -83,6 +103,7 @@ impl EncodedTrace {
             },
             params,
             buf,
+            marks,
         })
     }
 
@@ -94,10 +115,14 @@ impl EncodedTrace {
         events: impl IntoIterator<Item = &'a Event>,
     ) -> Self {
         let mut buf = Vec::new();
+        let mut marks = Vec::new();
         let mut count = 0u64;
         for event in events {
             trace::encode_event(&mut buf, event);
             count += 1;
+            if count.is_multiple_of(MARK_EVERY) {
+                marks.push(buf.len());
+            }
         }
         Self {
             header: TraceHeader {
@@ -107,6 +132,7 @@ impl EncodedTrace {
             },
             params,
             buf,
+            marks,
         }
     }
 
@@ -157,6 +183,62 @@ impl EncodedTrace {
         let mut cursor = self.cursor();
         while let Some(event) = cursor.next_event()? {
             out.push(event);
+        }
+        Ok(out)
+    }
+
+    /// Byte offset of the event boundary after `event` events: `0` for the
+    /// start of the stream, `byte_len()` for its end. Boundaries at
+    /// multiples of [`MARK_EVERY`] resolve from the recorded marks in O(1);
+    /// others scan forward from the nearest mark (at most one block's worth
+    /// of tag-skipping).
+    fn byte_pos_of(&self, event: u64) -> Result<usize> {
+        debug_assert!(event <= self.header.events);
+        if event == 0 {
+            return Ok(0);
+        }
+        if event == self.header.events {
+            return Ok(self.buf.len());
+        }
+        let whole_marks = (event / MARK_EVERY) as usize;
+        let mut pos = if whole_marks == 0 {
+            0
+        } else {
+            self.marks[whole_marks - 1]
+        };
+        for _ in 0..(event % MARK_EVERY) {
+            if trace::decode_event(&self.buf, &mut pos)?.is_none() {
+                return Err(pgc_types::PgcError::TraceFormat(format!(
+                    "encoded trace ended before event {event}"
+                )));
+            }
+        }
+        Ok(pos)
+    }
+
+    /// Carves a shared trace into consecutive [`TraceSegment`]s of at most
+    /// `max_events` events each (the last takes the remainder). Each
+    /// segment is an `Arc` bump plus a byte range — no event is copied.
+    /// When `max_events` is a multiple of [`MARK_EVERY`] the boundaries
+    /// come straight from the recorded marks; otherwise each split scans at
+    /// most one mark interval.
+    pub fn segments(trace: &Arc<Self>, max_events: u64) -> Result<Vec<TraceSegment>> {
+        assert!(max_events >= 1, "segments must hold at least one event");
+        let total = trace.header.events;
+        let mut out = Vec::with_capacity(total.div_ceil(max_events.max(1)) as usize);
+        let mut start_event = 0u64;
+        let mut start_byte = 0usize;
+        while start_event < total {
+            let end_event = (start_event + max_events).min(total);
+            let end_byte = trace.byte_pos_of(end_event)?;
+            out.push(TraceSegment {
+                trace: Arc::clone(trace),
+                start: start_byte,
+                end: end_byte,
+                events: end_event - start_event,
+            });
+            start_event = end_event;
+            start_byte = end_byte;
         }
         Ok(out)
     }
@@ -252,6 +334,88 @@ impl Iterator for TraceCursor<'_> {
     /// buffer (use [`TraceCursor::next_event`] to handle errors).
     fn next(&mut self) -> Option<Event> {
         self.next_event().expect("corrupt encoded trace")
+    }
+}
+
+/// A refcounted handle onto a byte range of a shared [`EncodedTrace`].
+///
+/// This is the zero-copy unit of a server data plane: where a `Vec<Event>`
+/// batch deep-copies (and re-allocates) every event it ships, a segment is
+/// an `Arc` bump plus a byte range — the events stay in the shared encoded
+/// buffer and decode straight into the consumer's reusable
+/// [`crate::block::EventBlock`] scratch. Cloning a segment is O(1)
+/// whatever it spans.
+///
+/// ```
+/// use pgc_workload::{EncodedTrace, TraceSegment, WorkloadParams};
+/// use std::sync::Arc;
+///
+/// let trace = Arc::new(EncodedTrace::record(WorkloadParams::small().with_seed(3)).unwrap());
+/// let segments = EncodedTrace::segments(&trace, 4096).unwrap();
+/// let replayed: u64 = segments.iter().map(|s| s.cursor().count() as u64).sum();
+/// assert_eq!(replayed, trace.events());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSegment {
+    trace: Arc<EncodedTrace>,
+    start: usize,
+    end: usize,
+    events: u64,
+}
+
+impl TraceSegment {
+    /// The whole trace as one segment.
+    pub fn whole(trace: Arc<EncodedTrace>) -> Self {
+        let end = trace.buf.len();
+        let events = trace.header.events;
+        Self {
+            trace,
+            start: 0,
+            end,
+            events,
+        }
+    }
+
+    /// Encodes an event slice into a fresh single-segment trace — the
+    /// compatibility bridge for callers still holding decoded events. Pays
+    /// one encode pass (~12 bytes/event retained, versus
+    /// `size_of::<Event>()` for a cloned `Vec`); after that the segment
+    /// ships and replays like any other.
+    pub fn encode(events: &[Event]) -> Self {
+        Self::whole(Arc::new(EncodedTrace::from_events(
+            WorkloadParams::default(),
+            events,
+        )))
+    }
+
+    /// Events the segment spans.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// True when the segment spans no events.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Size of the segment's byte range.
+    pub fn byte_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// The shared trace the segment points into.
+    pub fn trace(&self) -> &Arc<EncodedTrace> {
+        &self.trace
+    }
+
+    /// A decoding cursor over exactly this segment's events.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor {
+            buf: &self.trace.buf[self.start..self.end],
+            pos: 0,
+            decoded: 0,
+            expected: self.events,
+        }
     }
 }
 
@@ -420,6 +584,62 @@ mod tests {
             err.to_string().contains("ended after"),
             "count mismatch must be reported, got {err}"
         );
+    }
+
+    #[test]
+    fn segments_tile_the_trace_exactly() {
+        let trace = Arc::new(EncodedTrace::record(small(12)).unwrap());
+        let all: Vec<Event> = trace.cursor().collect();
+        // Aligned (mark-resolved), unaligned (scan-resolved), and
+        // degenerate (single-segment) carvings must all tile the stream.
+        for max_events in [MARK_EVERY, 1000, 97, trace.events() + 1] {
+            let segments = EncodedTrace::segments(&trace, max_events).unwrap();
+            let mut replayed = Vec::with_capacity(all.len());
+            let mut bytes = 0usize;
+            for seg in &segments {
+                assert!(seg.events() <= max_events);
+                assert!(!seg.is_empty());
+                let mut cursor = seg.cursor();
+                while let Some(e) = cursor.next_event().unwrap() {
+                    replayed.push(e);
+                }
+                assert_eq!(cursor.decoded(), seg.events());
+                bytes += seg.byte_len();
+            }
+            assert_eq!(replayed, all, "segment size {max_events}");
+            assert_eq!(bytes, trace.byte_len(), "segment size {max_events}");
+        }
+    }
+
+    #[test]
+    fn whole_and_encode_segments_round_trip() {
+        let trace = Arc::new(EncodedTrace::record(small(13)).unwrap());
+        let whole = TraceSegment::whole(Arc::clone(&trace));
+        assert_eq!(whole.events(), trace.events());
+        assert_eq!(whole.byte_len(), trace.byte_len());
+        assert!(Arc::ptr_eq(whole.trace(), &trace));
+        let events = trace.decode_all().unwrap();
+        let encoded = TraceSegment::encode(&events);
+        let back: Vec<Event> = encoded.cursor().collect();
+        assert_eq!(back, events);
+        // Cloning a segment shares the underlying trace.
+        let clone = whole.clone();
+        assert!(Arc::ptr_eq(clone.trace(), whole.trace()));
+    }
+
+    #[test]
+    fn segment_cursor_feeds_blocks() {
+        let trace = Arc::new(EncodedTrace::record(small(14)).unwrap());
+        let segments = EncodedTrace::segments(&trace, 1500).unwrap();
+        let mut block = crate::block::EventBlock::new();
+        let mut replayed = Vec::new();
+        for seg in &segments {
+            let mut cursor = seg.cursor();
+            while cursor.next_block(&mut block).unwrap() > 0 {
+                replayed.extend(block.iter());
+            }
+        }
+        assert_eq!(replayed, trace.decode_all().unwrap());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod trace;
 
 pub use assembly::{AssemblyParams, AssemblyWorkload};
 pub use block::{EventBlock, BLOCK_EVENTS};
-pub use encoded::{EncodedTrace, TraceCache, TraceCursor, TraceHeader};
+pub use encoded::{EncodedTrace, TraceCache, TraceCursor, TraceHeader, TraceSegment, MARK_EVERY};
 pub use event::{Event, NodeId};
 pub use generator::SyntheticWorkload;
 pub use params::WorkloadParams;

@@ -83,3 +83,9 @@ serve shards="4" streams="8" scale="25":
 shards:
     cargo test -q --test shard_equivalence
     cargo run --release -p pgc-bench --bin perf_report
+
+# Zero-copy ingest: the submit-path equivalence suite plus the ingest
+# section of the perf report (clone vs segment legs, BENCH_server.json).
+ingest:
+    cargo test -q --test shard_equivalence
+    cargo run --release -p pgc-bench --bin perf_report

@@ -98,5 +98,5 @@ pub mod prelude {
     };
     pub use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot};
     pub use pgc_types::{Bytes, DbConfig, PlacementPolicy};
-    pub use pgc_workload::{EncodedTrace, TraceCache, WorkloadParams};
+    pub use pgc_workload::{EncodedTrace, TraceCache, TraceSegment, WorkloadParams};
 }
