@@ -53,7 +53,7 @@ fn main() {
     // one shared trace cache records each seed's trace once and every sweep
     // point replays it.
     let cache = TraceCache::new();
-    let experiment = Experiment::new().cache(&cache);
+    let experiment = Experiment::new().with_cache(&cache);
     let run = |policies: &[PolicyKind],
                make: &(dyn Fn(PolicyKind, u64) -> RunConfig + Sync)|
      -> Comparison { experiment.compare(policies, &seeds, make).expect("runs") };

@@ -22,12 +22,12 @@ fn main() {
     // figures reuse it at other scales) replay the same recorded trace
     // instead of regenerating it.
     let cache = TraceCache::new();
-    let experiment = Experiment::new().cache(&cache);
+    let experiment = Experiment::new().with_cache(&cache);
 
     // Tables 2-4 share one experiment; telemetry (if requested via
     // --telemetry-out) taps the headline grid.
     let headline = experiment
-        .telemetry(args.telemetry_level())
+        .with_telemetry(args.telemetry_level())
         .compare(
             &args.policy_list(&PolicyKind::PAPER),
             &args.seed_list(),

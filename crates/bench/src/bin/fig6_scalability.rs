@@ -24,7 +24,7 @@ fn main() {
     let mut results: Vec<(u64, Comparison)> = Vec::new();
     for mib in paper::FIG6_SIZES_MIB {
         let cmp = Experiment::new()
-            .telemetry(args.telemetry_level())
+            .with_telemetry(args.telemetry_level())
             .compare(
                 &args.policy_list(&PolicyKind::PAPER),
                 &args.seed_list(),

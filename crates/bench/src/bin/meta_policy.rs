@@ -64,7 +64,7 @@ fn main() {
         .flat_map(|&seed| fixed.iter().map(move |&p| ((p, seed), scaled(p, seed))))
         .collect();
     let fixed_runs = Experiment::new()
-        .cache(&cache)
+        .with_cache(&cache)
         .run_jobs(jobs)
         .expect("fixed-policy runs");
     let meta_runs: Vec<_> = seeds

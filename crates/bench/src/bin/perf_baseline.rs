@@ -25,7 +25,7 @@ fn events_for(cfg: &RunConfig) -> Vec<Event> {
 }
 
 /// Mirrors `Simulation`'s replayer construction (same policy seed formula,
-/// same trigger), so these replays match `compare_policies` runs.
+/// same trigger), so these replays match `Experiment::compare` runs.
 fn replayer_for(cfg: &RunConfig) -> Replayer {
     let db = Database::new(cfg.db.clone()).expect("db config");
     let policy_seed = cfg.workload.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5;

@@ -61,21 +61,32 @@
 //! cannot bind (reduced scale, too few cores) record an explicit
 //! `skipped` status in their artifact instead of a silent pass.
 //!
+//! Finally it gates the **durable storage backend** and writes
+//! `BENCH_storage.json`: the paper `MostGarbage` replay timed bare, with
+//! the append-only change log (`LogOnly`), and with snapshots + log. The
+//! log path must hold ≥ 90% of bare throughput (binding at full scale,
+//! explicit skipped status otherwise), victims must match across legs at
+//! any scale, and a persisted run is recovered from its data directory —
+//! timed as recovery replay speed — with the recovered digest pinned to
+//! the original.
+//!
 //! Usage: `cargo run --release --bin perf_report` (or `just bench-report`).
 //! `--scale PCT` shrinks the paper workload for quick runs.
 
 use pgc_bench::CommonArgs;
 use pgc_core::policy::{fallback_victim, PolicyKind, SelectionPolicy};
 use pgc_core::{build_policy, build_policy_with, Collector};
+use pgc_durable::{DurabilityConfig, ScratchDir};
 use pgc_odb::oracle::{self, OracleScratch};
 use pgc_odb::{BarrierEvent, BarrierObserver, Database};
 use pgc_server::{Server, ServerConfig, StreamId};
 use pgc_sim::{
-    drive_encoded, experiment, Experiment, Replayer, RunConfig, RunOutcome, Simulation,
-    TelemetryLevel,
+    drive_encoded, experiment, outcome_digest, recover, Experiment, Replayer, RunConfig,
+    RunOutcome, Shard, Simulation, TelemetryLevel,
 };
 use pgc_telemetry::TelemetryObserver;
 use pgc_types::{Bytes, Parallelism, PartitionId};
+use pgc_workload::generator::GenStats;
 use pgc_workload::{EncodedTrace, Event, NodeId, SyntheticWorkload, TraceCache, TraceSegment};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -274,7 +285,7 @@ fn events_for(cfg: &RunConfig) -> Vec<Event> {
 }
 
 /// Builds the policy exactly as `Simulation` does (same decorrelated
-/// policy seed, same weight cap), so replays here match `compare_policies`.
+/// policy seed, same weight cap), so replays here match `Experiment::compare`.
 fn dense_policy(cfg: &RunConfig) -> Box<dyn SelectionPolicy> {
     build_policy(cfg.policy, cfg.policy_seed(), cfg.db.max_weight)
 }
@@ -761,8 +772,8 @@ fn main() {
             let labeled: Vec<(usize, RunConfig)> = sweep_jobs.iter().cloned().enumerate().collect();
             let t0 = Instant::now();
             let outcomes = Experiment::new()
-                .threads(threads)
-                .cache(&cache)
+                .with_threads(threads)
+                .with_cache(&cache)
                 .run_jobs(labeled)
                 .expect("engine sweep");
             rep = t0.elapsed().as_secs_f64();
@@ -1361,6 +1372,123 @@ fn main() {
         eprintln!("REGRESSION: ingest gate failed ({ingest_gate_status})");
     }
 
+    // --- Storage backend: the durable write path must stay off the hot
+    // path. Three legs over the identical paper `MostGarbage` replay
+    // through the shard pump: bare (durability off), the append-only
+    // change log (`LogOnly` — every input event written ahead of
+    // application, fsync batched to safepoints), and full snapshots +
+    // log. Paired best-of-N passes with the leg order rotating; the
+    // within-pass ratios cancel background load and the best ratio wins.
+    // The gate holds `LogOnly` to >= 90% of bare throughput, binding at
+    // full scale only (a shrunk workload changes the event/safepoint
+    // balance); victim sequences must match across legs at any scale.
+    // Afterwards one more persisted run times `recover()` — the replay
+    // side of the durability story — and pins the recovered digest. ---
+    println!("measuring the storage backend (bare / log-only / snapshot+log)...");
+    const STORAGE_PASSES: usize = 5;
+    let storage_leg = |durability: DurabilityConfig| {
+        let cfg = paper.clone().with_durability(durability);
+        let mut shard = Shard::new(&cfg).expect("storage-leg shard");
+        let t0 = Instant::now();
+        shard.step_batch(&paper_events).expect("storage-leg replay");
+        let out = shard
+            .finish(GenStats::default())
+            .expect("storage-leg finish");
+        let secs = t0.elapsed().as_secs_f64();
+        let victims: Vec<PartitionId> = out.collections.iter().map(|c| c.victim).collect();
+        (secs, victims, out)
+    };
+    let mut storage_bare_secs = f64::INFINITY;
+    let mut storage_log_secs = f64::INFINITY;
+    let mut storage_snap_secs = f64::INFINITY;
+    let mut best_log_ratio = 0.0f64;
+    let mut best_snap_ratio = 0.0f64;
+    let mut storage_victims: [Option<Vec<PartitionId>>; 3] = [None, None, None];
+    for pass in 0..STORAGE_PASSES {
+        let (mut b, mut l, mut s) = (0.0f64, 0.0f64, 0.0f64);
+        let order = [[0usize, 1, 2], [1, 2, 0], [2, 0, 1]][pass % 3];
+        for leg in order {
+            // Fresh scratch dir per durable leg: a data dir is single-use.
+            let scratch = ScratchDir::new("bench-storage");
+            let (secs, victims, _) = match leg {
+                0 => storage_leg(DurabilityConfig::off()),
+                1 => storage_leg(DurabilityConfig::log_only(scratch.path())),
+                _ => storage_leg(DurabilityConfig::snapshot_and_log(scratch.path())),
+            };
+            match leg {
+                0 => b = secs,
+                1 => l = secs,
+                _ => s = secs,
+            }
+            match &storage_victims[leg] {
+                Some(v) => assert_eq!(*v, victims, "storage-leg replay determinism"),
+                None => storage_victims[leg] = Some(victims),
+            }
+        }
+        best_log_ratio = best_log_ratio.max(b / l.max(1e-9));
+        best_snap_ratio = best_snap_ratio.max(b / s.max(1e-9));
+        storage_bare_secs = storage_bare_secs.min(b);
+        storage_log_secs = storage_log_secs.min(l);
+        storage_snap_secs = storage_snap_secs.min(s);
+    }
+    // Same two noise-shedding estimators as the telemetry gate.
+    best_log_ratio = best_log_ratio.max(storage_bare_secs / storage_log_secs.max(1e-9));
+    best_snap_ratio = best_snap_ratio.max(storage_bare_secs / storage_snap_secs.max(1e-9));
+    let storage_identical = storage_victims[0].is_some()
+        && storage_victims[0] == storage_victims[1]
+        && storage_victims[1] == storage_victims[2];
+    let storage_gate_applies = args.scale_pct == 100;
+    let storage_gate_ok = (!storage_gate_applies || best_log_ratio >= 0.90) && storage_identical;
+    // Recovery replay speed: persist once more, then rebuild the run from
+    // the directory alone and pin the digest.
+    let recovery_scratch = ScratchDir::new("bench-recover");
+    let (_, _, persisted) =
+        storage_leg(DurabilityConfig::snapshot_and_log(recovery_scratch.path()));
+    let t0 = Instant::now();
+    let recovered = recover(recovery_scratch.path()).expect("recover persisted bench run");
+    let recovery_secs = t0.elapsed().as_secs_f64();
+    let recovery_eps = recovered.events_replayed as f64 / recovery_secs.max(1e-9);
+    let recovery_digest_match = outcome_digest(&recovered.outcome) == outcome_digest(&persisted);
+    drop(recovery_scratch);
+    let storage_gate_ok = storage_gate_ok && recovery_digest_match;
+    let storage_gate_status = if !storage_identical {
+        "failed (victim mismatch)"
+    } else if !recovery_digest_match {
+        "failed (recovery digest mismatch)"
+    } else if !storage_gate_applies {
+        "skipped (reduced scale)"
+    } else if best_log_ratio >= 0.90 {
+        "passed"
+    } else {
+        "failed"
+    };
+    println!(
+        "  bare:          {storage_bare_secs:>8.3}s  ({:.0} events/sec)",
+        paper_event_count / storage_bare_secs.max(1e-9)
+    );
+    println!(
+        "  log-only:      {storage_log_secs:>8.3}s  ({:.1}% of bare, gate 90%{})",
+        best_log_ratio * 100.0,
+        if storage_gate_applies {
+            ""
+        } else {
+            ", not binding at this --scale"
+        }
+    );
+    println!(
+        "  snapshot+log:  {storage_snap_secs:>8.3}s  ({:.1}% of bare)",
+        best_snap_ratio * 100.0
+    );
+    println!(
+        "  recovery:      {recovery_secs:>8.3}s  ({recovery_eps:.0} events/sec replayed, {} snapshots verified, digest match: {recovery_digest_match})",
+        recovered.snapshots_verified
+    );
+    println!("  storage gate status: {storage_gate_status}");
+    println!("  victims bit-identical across legs: {storage_identical}");
+    if !storage_gate_ok {
+        eprintln!("REGRESSION: storage backend gate failed ({storage_gate_status})");
+    }
+
     let rss = peak_rss_kib();
 
     // --- Emit JSON (hand-rolled; the workspace has no serde). ---
@@ -1667,6 +1795,67 @@ fn main() {
     std::fs::write("BENCH_server.json", &sjson).expect("write server report");
     println!("wrote BENCH_server.json");
 
+    // --- BENCH_storage.json: the durable-backend overhead gate. ---
+    let mut stjson = String::from("{\n");
+    let _ = writeln!(stjson, "  \"harness\": \"perf_report/storage_backend\",");
+    let _ = writeln!(stjson, "  \"scale_pct\": {},", args.scale_pct);
+    let _ = writeln!(stjson, "  \"config\": \"paper\",");
+    let _ = writeln!(stjson, "  \"policy\": \"MostGarbage\",");
+    let _ = writeln!(stjson, "  \"events\": {},", paper_events.len());
+    let _ = writeln!(stjson, "  \"bare_secs\": {storage_bare_secs:.4},");
+    let _ = writeln!(stjson, "  \"log_only_secs\": {storage_log_secs:.4},");
+    let _ = writeln!(
+        stjson,
+        "  \"snapshot_and_log_secs\": {storage_snap_secs:.4},"
+    );
+    let _ = writeln!(
+        stjson,
+        "  \"bare_events_per_sec\": {:.1},",
+        paper_event_count / storage_bare_secs.max(1e-9)
+    );
+    let _ = writeln!(
+        stjson,
+        "  \"log_only_events_per_sec\": {:.1},",
+        paper_event_count / storage_log_secs.max(1e-9)
+    );
+    let _ = writeln!(
+        stjson,
+        "  \"snapshot_and_log_events_per_sec\": {:.1},",
+        paper_event_count / storage_snap_secs.max(1e-9)
+    );
+    let _ = writeln!(
+        stjson,
+        "  \"log_only_throughput_ratio\": {best_log_ratio:.4},"
+    );
+    let _ = writeln!(
+        stjson,
+        "  \"snapshot_and_log_throughput_ratio\": {best_snap_ratio:.4},"
+    );
+    let _ = writeln!(stjson, "  \"gate_ratio\": 0.90,");
+    let _ = writeln!(stjson, "  \"gate_applies\": {storage_gate_applies},");
+    let _ = writeln!(stjson, "  \"gate_status\": \"{storage_gate_status}\",");
+    let _ = writeln!(stjson, "  \"gate_ok\": {storage_gate_ok},");
+    let _ = writeln!(stjson, "  \"bit_identical\": {storage_identical},");
+    let _ = writeln!(stjson, "  \"recovery\": {{");
+    let _ = writeln!(
+        stjson,
+        "    \"events_replayed\": {},",
+        recovered.events_replayed
+    );
+    let _ = writeln!(stjson, "    \"secs\": {recovery_secs:.4},");
+    let _ = writeln!(stjson, "    \"events_per_sec\": {recovery_eps:.1},");
+    let _ = writeln!(stjson, "    \"safepoints\": {},", recovered.safepoints);
+    let _ = writeln!(
+        stjson,
+        "    \"snapshots_verified\": {},",
+        recovered.snapshots_verified
+    );
+    let _ = writeln!(stjson, "    \"digest_match\": {recovery_digest_match}");
+    let _ = writeln!(stjson, "  }}");
+    stjson.push_str("}\n");
+    std::fs::write("BENCH_storage.json", &stjson).expect("write storage report");
+    println!("wrote BENCH_storage.json");
+
     if !identical
         || !sweep_identical
         || !sweep_gate_ok
@@ -1676,6 +1865,7 @@ fn main() {
         || !parallel_gate_ok
         || !server_gate_ok
         || !ingest_gate_ok
+        || !storage_gate_ok
     {
         std::process::exit(1);
     }

@@ -13,7 +13,7 @@ use pgc_sim::{paper, report, Experiment};
 fn main() {
     let args = CommonArgs::parse();
     let cmp = Experiment::new()
-        .telemetry(args.telemetry_level())
+        .with_telemetry(args.telemetry_level())
         .compare(
             &args.policy_list(&PolicyKind::PAPER),
             &args.seed_list(),

@@ -15,7 +15,7 @@ fn main() {
     let mut results: Vec<(f64, Comparison)> = Vec::new();
     for (connectivity, dense) in paper::TABLE5_CONNECTIVITY {
         let cmp = Experiment::new()
-            .telemetry(args.telemetry_level())
+            .with_telemetry(args.telemetry_level())
             .compare(
                 &args.policy_list(&PolicyKind::PAPER),
                 &args.seed_list(),

@@ -1,0 +1,323 @@
+//! Compact event codec for change-log frames.
+//!
+//! The change log is write-amplification-sensitive: every byte is
+//! checksummed, copied through the kernel, and eventually fsynced, so
+//! the log uses a tighter encoding than the PGCT trace format. Node
+//! ids in practice are small sequential counters, so each event tag has
+//! a narrow form with `u32` ids; the rare event touching an id (or
+//! byte size) that does not fit gets the same layout with the
+//! [`WIDE`] bit set and `u64` ids / `u64` sizes. Replay decodes both,
+//! so the compaction is invisible above [`crate::log::read_log`].
+//!
+//! ```text
+//! tag u8 (| WIDE) | fields (little-endian, fixed width per tag)
+//! ```
+
+use pgc_types::{Bytes, PgcError, Result};
+use pgc_workload::{Event, NodeId};
+
+const TAG_CREATE_ROOT: u8 = 1;
+const TAG_CREATE_CHILD: u8 = 2;
+const TAG_WRITE_POINTER: u8 = 3;
+const TAG_ADD_SLOT: u8 = 4;
+const TAG_VISIT: u8 = 5;
+const TAG_DATA_WRITE: u8 = 6;
+
+/// Tag bit marking the wide (`u64` ids and sizes) form of an event.
+const WIDE: u8 = 0x80;
+
+const NARROW: u64 = u32::MAX as u64;
+
+/// Appends one event's compact encoding to `buf`. The event is staged
+/// in a fixed stack buffer so the `Vec` pays one capacity check per
+/// event, not one per field.
+pub(crate) fn encode_compact(buf: &mut Vec<u8>, event: &Event) {
+    let mut tmp = [0u8; 41];
+    let len = match *event {
+        Event::CreateRoot { node, size, slots } => {
+            if node.0 <= NARROW && size.get() <= NARROW {
+                tmp[0] = TAG_CREATE_ROOT;
+                tmp[1..5].copy_from_slice(&(node.0 as u32).to_le_bytes());
+                tmp[5..9].copy_from_slice(&(size.get() as u32).to_le_bytes());
+                tmp[9..11].copy_from_slice(&slots.to_le_bytes());
+                11
+            } else {
+                tmp[0] = TAG_CREATE_ROOT | WIDE;
+                tmp[1..9].copy_from_slice(&node.0.to_le_bytes());
+                tmp[9..17].copy_from_slice(&size.get().to_le_bytes());
+                tmp[17..19].copy_from_slice(&slots.to_le_bytes());
+                19
+            }
+        }
+        Event::CreateChild {
+            node,
+            parent,
+            parent_slot,
+            size,
+            slots,
+        } => {
+            if node.0 <= NARROW && parent.0 <= NARROW && size.get() <= NARROW {
+                tmp[0] = TAG_CREATE_CHILD;
+                tmp[1..5].copy_from_slice(&(node.0 as u32).to_le_bytes());
+                tmp[5..9].copy_from_slice(&(parent.0 as u32).to_le_bytes());
+                tmp[9..11].copy_from_slice(&parent_slot.to_le_bytes());
+                tmp[11..15].copy_from_slice(&(size.get() as u32).to_le_bytes());
+                tmp[15..17].copy_from_slice(&slots.to_le_bytes());
+                17
+            } else {
+                tmp[0] = TAG_CREATE_CHILD | WIDE;
+                tmp[1..9].copy_from_slice(&node.0.to_le_bytes());
+                tmp[9..17].copy_from_slice(&parent.0.to_le_bytes());
+                tmp[17..19].copy_from_slice(&parent_slot.to_le_bytes());
+                tmp[19..27].copy_from_slice(&size.get().to_le_bytes());
+                tmp[27..29].copy_from_slice(&slots.to_le_bytes());
+                29
+            }
+        }
+        Event::WritePointer { owner, slot, new } => {
+            let new_id = new.map_or(0, |t| t.0);
+            if owner.0 <= NARROW && new_id <= NARROW {
+                tmp[0] = TAG_WRITE_POINTER;
+                tmp[1..5].copy_from_slice(&(owner.0 as u32).to_le_bytes());
+                tmp[5..7].copy_from_slice(&slot.to_le_bytes());
+                match new {
+                    Some(t) => {
+                        tmp[7] = 1;
+                        tmp[8..12].copy_from_slice(&(t.0 as u32).to_le_bytes());
+                        12
+                    }
+                    None => {
+                        tmp[7] = 0;
+                        8
+                    }
+                }
+            } else {
+                tmp[0] = TAG_WRITE_POINTER | WIDE;
+                tmp[1..9].copy_from_slice(&owner.0.to_le_bytes());
+                tmp[9..11].copy_from_slice(&slot.to_le_bytes());
+                match new {
+                    Some(t) => {
+                        tmp[11] = 1;
+                        tmp[12..20].copy_from_slice(&t.0.to_le_bytes());
+                        20
+                    }
+                    None => {
+                        tmp[11] = 0;
+                        12
+                    }
+                }
+            }
+        }
+        Event::AddSlot { owner } => encode_id(&mut tmp, TAG_ADD_SLOT, owner.0),
+        Event::Visit { node } => encode_id(&mut tmp, TAG_VISIT, node.0),
+        Event::DataWrite { node } => encode_id(&mut tmp, TAG_DATA_WRITE, node.0),
+    };
+    buf.extend_from_slice(&tmp[..len]);
+}
+
+#[inline]
+fn encode_id(tmp: &mut [u8; 41], tag: u8, id: u64) -> usize {
+    if id <= NARROW {
+        tmp[0] = tag;
+        tmp[1..5].copy_from_slice(&(id as u32).to_le_bytes());
+        5
+    } else {
+        tmp[0] = tag | WIDE;
+        tmp[1..9].copy_from_slice(&id.to_le_bytes());
+        9
+    }
+}
+
+#[inline]
+fn short() -> PgcError {
+    PgcError::TraceFormat("truncated compact event".into())
+}
+
+#[inline]
+fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N]> {
+    let bytes = buf
+        .get(*pos..*pos + N)
+        .ok_or_else(short)?
+        .try_into()
+        .expect("slice has length N");
+    *pos += N;
+    Ok(bytes)
+}
+
+#[inline]
+fn take_id(buf: &[u8], pos: &mut usize, wide: bool) -> Result<u64> {
+    Ok(if wide {
+        u64::from_le_bytes(take::<8>(buf, pos)?)
+    } else {
+        u32::from_le_bytes(take::<4>(buf, pos)?) as u64
+    })
+}
+
+#[inline]
+fn take_u16(buf: &[u8], pos: &mut usize) -> Result<u16> {
+    Ok(u16::from_le_bytes(take::<2>(buf, pos)?))
+}
+
+/// Decodes one compact event starting at `pos`, advancing `pos` past
+/// it. Returns `None` when `pos` is exactly at the end of `buf`.
+pub(crate) fn decode_compact(buf: &[u8], pos: &mut usize) -> Result<Option<Event>> {
+    if *pos == buf.len() {
+        return Ok(None);
+    }
+    let tag = buf[*pos];
+    *pos += 1;
+    let wide = tag & WIDE != 0;
+    let event = match tag & !WIDE {
+        TAG_CREATE_ROOT => Event::CreateRoot {
+            node: NodeId(take_id(buf, pos, wide)?),
+            size: Bytes(take_id(buf, pos, wide)?),
+            slots: take_u16(buf, pos)?,
+        },
+        TAG_CREATE_CHILD => Event::CreateChild {
+            node: NodeId(take_id(buf, pos, wide)?),
+            parent: NodeId(take_id(buf, pos, wide)?),
+            parent_slot: take_u16(buf, pos)?,
+            size: Bytes(take_id(buf, pos, wide)?),
+            slots: take_u16(buf, pos)?,
+        },
+        TAG_WRITE_POINTER => {
+            let owner = NodeId(take_id(buf, pos, wide)?);
+            let slot = take_u16(buf, pos)?;
+            let new = match take::<1>(buf, pos)?[0] {
+                0 => None,
+                1 => Some(NodeId(take_id(buf, pos, wide)?)),
+                other => {
+                    return Err(PgcError::TraceFormat(format!(
+                        "bad pointer-presence byte {other}"
+                    )));
+                }
+            };
+            Event::WritePointer { owner, slot, new }
+        }
+        TAG_ADD_SLOT => Event::AddSlot {
+            owner: NodeId(take_id(buf, pos, wide)?),
+        },
+        TAG_VISIT => Event::Visit {
+            node: NodeId(take_id(buf, pos, wide)?),
+        },
+        TAG_DATA_WRITE => Event::DataWrite {
+            node: NodeId(take_id(buf, pos, wide)?),
+        },
+        other => {
+            return Err(PgcError::TraceFormat(format!(
+                "unknown compact event tag {other}"
+            )));
+        }
+    };
+    Ok(Some(event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(events: &[Event]) {
+        let mut buf = Vec::new();
+        for e in events {
+            encode_compact(&mut buf, e);
+        }
+        let mut pos = 0;
+        let mut back = Vec::new();
+        while let Some(e) = decode_compact(&buf, &mut pos).unwrap() {
+            back.push(e);
+        }
+        assert_eq!(back, events);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn narrow_and_wide_forms_round_trip() {
+        let wide_id = u32::MAX as u64 + 1;
+        round_trip(&[
+            Event::CreateRoot {
+                node: NodeId(0),
+                size: Bytes(64),
+                slots: 3,
+            },
+            Event::CreateRoot {
+                node: NodeId(wide_id),
+                size: Bytes(u32::MAX as u64 + 7),
+                slots: u16::MAX,
+            },
+            Event::CreateChild {
+                node: NodeId(u32::MAX as u64),
+                parent: NodeId(17),
+                parent_slot: 2,
+                size: Bytes(128),
+                slots: 4,
+            },
+            Event::CreateChild {
+                node: NodeId(1),
+                parent: NodeId(wide_id),
+                parent_slot: u16::MAX,
+                size: Bytes(1),
+                slots: 0,
+            },
+            Event::WritePointer {
+                owner: NodeId(9),
+                slot: 1,
+                new: Some(NodeId(11)),
+            },
+            Event::WritePointer {
+                owner: NodeId(9),
+                slot: 1,
+                new: None,
+            },
+            Event::WritePointer {
+                owner: NodeId(wide_id),
+                slot: 0,
+                new: None,
+            },
+            Event::WritePointer {
+                owner: NodeId(3),
+                slot: 0,
+                new: Some(NodeId(wide_id)),
+            },
+            Event::AddSlot { owner: NodeId(5) },
+            Event::Visit { node: NodeId(123) },
+            Event::Visit {
+                node: NodeId(u64::MAX),
+            },
+            Event::DataWrite { node: NodeId(0) },
+        ]);
+    }
+
+    #[test]
+    fn common_events_encode_small() {
+        let mut buf = Vec::new();
+        encode_compact(
+            &mut buf,
+            &Event::Visit {
+                node: NodeId(100_000),
+            },
+        );
+        assert_eq!(buf.len(), 5, "narrow visit is tag + u32");
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_errors_not_panics() {
+        let mut buf = Vec::new();
+        encode_compact(
+            &mut buf,
+            &Event::CreateChild {
+                node: NodeId(1),
+                parent: NodeId(2),
+                parent_slot: 0,
+                size: Bytes(64),
+                slots: 2,
+            },
+        );
+        for cut in 1..buf.len() {
+            let mut pos = 0;
+            assert!(decode_compact(&buf[..cut], &mut pos).is_err());
+        }
+        let mut pos = 0;
+        assert!(decode_compact(&[0xFF, 0, 0, 0, 0], &mut pos).is_err());
+        assert!(decode_compact(&[7, 0, 0, 0, 0], &mut pos).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Durability knobs: what to persist, where, and how eagerly to sync.
+
+use std::path::{Path, PathBuf};
+
+/// What the durable store persists.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// Nothing touches disk (the historical in-memory behavior).
+    #[default]
+    Off,
+    /// Append-only change log only: every input event is written ahead of
+    /// being applied, so recovery replays the whole run from the log.
+    LogOnly,
+    /// Change log plus per-partition snapshot files at collection
+    /// safepoints.
+    SnapshotAndLog,
+}
+
+/// Configuration of the durable storage backend for one run (one data
+/// directory per shard/stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// What to persist.
+    pub mode: DurabilityMode,
+    /// The data directory (created on first use; must not already hold a
+    /// manifest from a previous run).
+    pub dir: PathBuf,
+    /// Fsync the log after this many event frames (`0` — the batched
+    /// default — syncs only at snapshot generations, segment rotation,
+    /// and shutdown; every safepoint still *flushes* to the OS, which is
+    /// enough to survive a process kill — fsync buys power-loss
+    /// durability).
+    pub fsync_every: u64,
+    /// Write a snapshot generation every this many collection safepoints
+    /// (`SnapshotAndLog` only; a final generation is always written at
+    /// clean shutdown).
+    pub snapshot_every: u64,
+    /// Rotate to a new log segment once the current one reaches this many
+    /// bytes (checked at safepoints).
+    pub segment_bytes: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl DurabilityConfig {
+    /// Durability disabled (the default): no directory is touched.
+    pub fn off() -> Self {
+        Self {
+            mode: DurabilityMode::Off,
+            dir: PathBuf::new(),
+            fsync_every: 0,
+            snapshot_every: 16,
+            segment_bytes: 4 << 20,
+        }
+    }
+
+    /// Change log only, rooted at `dir`.
+    pub fn log_only(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            mode: DurabilityMode::LogOnly,
+            dir: dir.into(),
+            ..Self::off()
+        }
+    }
+
+    /// Change log plus per-partition snapshots, rooted at `dir`.
+    pub fn snapshot_and_log(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            mode: DurabilityMode::SnapshotAndLog,
+            dir: dir.into(),
+            ..Self::off()
+        }
+    }
+
+    /// Sets the fsync batching interval (frames; `0` = snapshot
+    /// generations, rotation, and shutdown only).
+    #[must_use]
+    pub fn with_fsync_every(mut self, frames: u64) -> Self {
+        self.fsync_every = frames;
+        self
+    }
+
+    /// Sets the snapshot cadence in collection safepoints (clamped ≥ 1).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, safepoints: u64) -> Self {
+        self.snapshot_every = safepoints.max(1);
+        self
+    }
+
+    /// Sets the log segment rotation threshold in bytes (clamped ≥ 4 KiB).
+    #[must_use]
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(4 << 10);
+        self
+    }
+
+    /// True unless the mode is [`DurabilityMode::Off`].
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.mode != DurabilityMode::Off
+    }
+
+    /// True when per-partition snapshots are written.
+    #[inline]
+    pub fn snapshots_enabled(&self) -> bool {
+        self.mode == DurabilityMode::SnapshotAndLog
+    }
+
+    /// The data directory.
+    #[inline]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}

@@ -1,0 +1,471 @@
+//! The segmented append-only change log: `log-NNNNNNNN.pgcl`.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! segment header: magic "PGCL" | version u32 | seq u64 | start_event u64
+//! frame:          len u32 | kind u8 | payload[len] | crc32 u32
+//! ```
+//!
+//! The checksum covers `kind` and the payload. Two frame kinds exist:
+//!
+//! * **events** (`kind 1`): `count u32` followed by `count` workload
+//!   events in the compact log codec (`u32` ids with a wide fallback;
+//!   see `crate::codec`). Events are logged *ahead* of being applied, so
+//!   the concatenated event frames are a replayable prefix of the run's
+//!   input stream.
+//! * **safepoint** (`kind 2`): `events_applied u64 | collections u64 |
+//!   generation u64` — a collection boundary; `generation` names the
+//!   snapshot generation written at this safepoint (0 = none).
+//!
+//! The reader is torn-tail tolerant: a truncated or checksum-corrupt
+//! frame at the end of the **newest** segment is reported as a
+//! [`TornTail`] and dropped (frames end on event boundaries, so the
+//! surviving prefix is always cleanly replayable). The same damage in an
+//! older segment is a hard [`PgcError::TraceFormat`] error — that is real
+//! corruption, not an interrupted write.
+
+use crate::codec::decode_compact;
+use crate::crc::{crc32, Crc32};
+use pgc_types::{PgcError, Result};
+use pgc_workload::Event;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+
+pub(crate) const MAGIC: &[u8; 4] = b"PGCL";
+pub(crate) const VERSION: u32 = 1;
+const HEADER_BYTES: u64 = 4 + 4 + 8 + 8;
+
+pub(crate) const FRAME_EVENTS: u8 = 1;
+pub(crate) const FRAME_SAFEPOINT: u8 = 2;
+
+fn io_err(e: std::io::Error) -> PgcError {
+    PgcError::TraceIo(e.to_string())
+}
+
+/// File name of log segment `seq`.
+pub(crate) fn segment_name(seq: u64) -> String {
+    format!("log-{seq:08}.pgcl")
+}
+
+/// Write buffer in front of each segment file; sized so a whole block of
+/// frames accumulates between safepoint flushes without write syscalls.
+const WRITE_BUF_BYTES: usize = 512 << 10;
+
+/// Dirty bytes that accumulate before a safepoint kicks the background
+/// flusher. Kicking on every safepoint would sync near-clean files over
+/// and over; kicking by volume keeps the dirty-page debt bounded while
+/// staying off the hot path between kicks.
+const KICK_BYTES: u64 = 1 << 20;
+
+/// Background fsync helper. An `fsync` pays for every dirty page still
+/// unwritten, so if syncs only ever happen at the mandatory durability
+/// points (rotation, snapshot generations, shutdown) each one stalls the
+/// hot path for the full accumulated delta. The flusher drains that debt
+/// concurrently: at every safepoint the writer hands it a duplicated
+/// file handle and it fsyncs in the background while the run keeps
+/// going, so the synchronous syncs only cover the small tail written
+/// since. Dropped kicks are fine — this is an optimization, not a
+/// guarantee; the synchronous syncs still establish durability.
+struct Flusher {
+    tx: Option<mpsc::SyncSender<File>>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Flusher {
+    fn spawn() -> Self {
+        let (tx, rx) = mpsc::sync_channel::<File>(2);
+        let handle = thread::Builder::new()
+            .name("pgc-log-flush".into())
+            .spawn(move || {
+                for file in rx {
+                    // Best-effort: a failed background sync is retried by
+                    // the next synchronous durability point.
+                    let _ = file.sync_data();
+                }
+            })
+            .ok();
+        Self {
+            tx: Some(tx),
+            handle,
+        }
+    }
+
+    /// Asks for a background fsync of `file`; drops the request if the
+    /// flusher is still busy with earlier ones.
+    fn kick(&self, file: &File) {
+        if let (Some(tx), Ok(clone)) = (&self.tx, file.try_clone()) {
+            let _ = tx.try_send(clone);
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.tx = None; // close the channel so the thread exits
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The append side. Owned by [`crate::store::DurableStore`].
+pub(crate) struct LogWriter {
+    dir: PathBuf,
+    out: BufWriter<File>,
+    seq: u64,
+    seg_bytes: u64,
+    segment_limit: u64,
+    fsync_every: u64,
+    frames_since_sync: u64,
+    bytes_since_kick: u64,
+    flusher: Flusher,
+    // Counters surfaced through StorageStats.
+    pub(crate) bytes_written: u64,
+    pub(crate) frames: u64,
+    pub(crate) fsyncs: u64,
+    pub(crate) segments: u64,
+}
+
+impl LogWriter {
+    pub(crate) fn create(dir: &Path, fsync_every: u64, segment_limit: u64) -> Result<Self> {
+        let mut writer = Self {
+            dir: dir.to_path_buf(),
+            out: BufWriter::with_capacity(WRITE_BUF_BYTES, open_segment(dir, 0, 0)?),
+            seq: 0,
+            seg_bytes: HEADER_BYTES,
+            segment_limit,
+            fsync_every,
+            frames_since_sync: 0,
+            bytes_since_kick: 0,
+            flusher: Flusher::spawn(),
+            bytes_written: HEADER_BYTES,
+            frames: 0,
+            fsyncs: 0,
+            segments: 1,
+        };
+        writer.write_header(0)?;
+        Ok(writer)
+    }
+
+    fn write_header(&mut self, start_event: u64) -> Result<()> {
+        self.out.write_all(MAGIC).map_err(io_err)?;
+        self.out.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+        self.out
+            .write_all(&self.seq.to_le_bytes())
+            .map_err(io_err)?;
+        self.out
+            .write_all(&start_event.to_le_bytes())
+            .map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Writes one frame whose payload is the concatenation of `parts`,
+    /// checksumming as it goes — no intermediate assembly copy.
+    fn write_frame(&mut self, kind: u8, parts: &[&[u8]]) -> Result<()> {
+        let payload_len: usize = parts.iter().map(|p| p.len()).sum();
+        let mut crc = Crc32::new();
+        crc.update(&[kind]);
+        self.out
+            .write_all(&(payload_len as u32).to_le_bytes())
+            .map_err(io_err)?;
+        self.out.write_all(&[kind]).map_err(io_err)?;
+        for part in parts {
+            crc.update(part);
+            self.out.write_all(part).map_err(io_err)?;
+        }
+        self.out
+            .write_all(&crc.finish().to_le_bytes())
+            .map_err(io_err)?;
+        let frame_bytes = 4 + 1 + payload_len as u64 + 4;
+        self.seg_bytes += frame_bytes;
+        self.bytes_written += frame_bytes;
+        self.bytes_since_kick += frame_bytes;
+        self.frames += 1;
+        self.frames_since_sync += 1;
+        if self.fsync_every > 0 && self.frames_since_sync >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Appends an events frame: `count` events already encoded in `body`.
+    pub(crate) fn append_events(&mut self, count: u32, body: &[u8]) -> Result<()> {
+        self.write_frame(FRAME_EVENTS, &[&count.to_le_bytes(), body])
+    }
+
+    /// Appends a safepoint frame and rotates the segment if it outgrew
+    /// the configured limit.
+    ///
+    /// Every safepoint *flushes* to the OS — buffered frames survive a
+    /// process kill from here on — and, once [`KICK_BYTES`] of frames
+    /// have accumulated, kicks the background [`Flusher`] so dirty pages
+    /// drain to disk while the run continues. The
+    /// synchronous `fsync` (power-loss durability) is reserved for
+    /// safepoints that carry a snapshot generation, segment rotation,
+    /// and shutdown; `fsync_every` tightens that from the frame side.
+    /// Per-collection synchronous fsyncs would dominate the whole write
+    /// path (milliseconds each against a microsecond-scale
+    /// inter-collection interval) for a guarantee the torn-tail recovery
+    /// does not need.
+    pub(crate) fn safepoint(
+        &mut self,
+        events_applied: u64,
+        collections: u64,
+        generation: u64,
+    ) -> Result<()> {
+        let mut payload = [0u8; 24];
+        payload[..8].copy_from_slice(&events_applied.to_le_bytes());
+        payload[8..16].copy_from_slice(&collections.to_le_bytes());
+        payload[16..].copy_from_slice(&generation.to_le_bytes());
+        self.write_frame(FRAME_SAFEPOINT, &[&payload])?;
+        if generation > 0 {
+            self.sync()?;
+        } else {
+            self.out.flush().map_err(io_err)?;
+            if self.bytes_since_kick >= KICK_BYTES {
+                self.flusher.kick(self.out.get_ref());
+                self.bytes_since_kick = 0;
+            }
+        }
+        if self.seg_bytes >= self.segment_limit {
+            self.rotate(events_applied)?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self, start_event: u64) -> Result<()> {
+        // A sealed segment is made power-loss durable before the next one
+        // opens, so only the newest segment can ever hold a torn tail.
+        self.sync()?;
+        self.seq += 1;
+        self.out = BufWriter::with_capacity(
+            WRITE_BUF_BYTES,
+            open_segment(&self.dir, self.seq, start_event)?,
+        );
+        self.seg_bytes = HEADER_BYTES;
+        self.bytes_written += HEADER_BYTES;
+        self.segments += 1;
+        self.write_header(start_event)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.out.flush().map_err(io_err)?;
+        self.out.get_ref().sync_data().map_err(io_err)?;
+        self.fsyncs += 1;
+        self.frames_since_sync = 0;
+        self.bytes_since_kick = 0;
+        Ok(())
+    }
+
+    /// Final flush + fsync at shutdown.
+    pub(crate) fn finish(&mut self) -> Result<()> {
+        self.sync()
+    }
+}
+
+fn open_segment(dir: &Path, seq: u64, _start_event: u64) -> Result<File> {
+    File::create(dir.join(segment_name(seq))).map_err(io_err)
+}
+
+/// A safepoint frame as read back from the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SafepointNote {
+    /// Events applied when the safepoint was written.
+    pub events_applied: u64,
+    /// Collections completed at that point.
+    pub collections: u64,
+    /// Snapshot generation written at this safepoint (0 = none).
+    pub generation: u64,
+}
+
+/// An interrupted write detected (and dropped) at the end of the newest
+/// log segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Segment sequence number the tear was found in.
+    pub segment: u64,
+    /// Byte offset of the first unusable frame.
+    pub offset: u64,
+    /// Human-readable cause (`truncated frame`, `checksum mismatch`, …).
+    pub reason: String,
+}
+
+/// Everything read back from a data directory's change log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogContents {
+    /// The replayable input events, in append order.
+    pub events: Vec<Event>,
+    /// Safepoint markers, in append order.
+    pub safepoints: Vec<SafepointNote>,
+    /// The torn tail, when the newest segment ended mid-frame.
+    pub torn: Option<TornTail>,
+    /// Number of segment files read.
+    pub segments: usize,
+}
+
+/// Reads the whole change log under `dir`, tolerating a torn tail in the
+/// newest segment.
+pub fn read_log(dir: &Path) -> Result<LogContents> {
+    let mut seqs: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(dir).map_err(io_err)? {
+        let name = entry.map_err(io_err)?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("log-")
+            .and_then(|s| s.strip_suffix(".pgcl"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    if seqs.is_empty() {
+        return Err(PgcError::TraceFormat(format!(
+            "no log segments under {}",
+            dir.display()
+        )));
+    }
+    let mut contents = LogContents {
+        events: Vec::new(),
+        safepoints: Vec::new(),
+        torn: None,
+        segments: seqs.len(),
+    };
+    for (i, &seq) in seqs.iter().enumerate() {
+        if seq != i as u64 {
+            return Err(PgcError::TraceFormat(format!(
+                "log segments not contiguous: expected seq {i}, found {seq}"
+            )));
+        }
+        let last = i + 1 == seqs.len();
+        read_segment(dir, seq, last, &mut contents)?;
+        if contents.torn.is_some() {
+            break;
+        }
+    }
+    Ok(contents)
+}
+
+fn read_segment(dir: &Path, seq: u64, last: bool, out: &mut LogContents) -> Result<()> {
+    let bytes = fs::read(dir.join(segment_name(seq))).map_err(io_err)?;
+    let torn = |offset: usize, reason: &str| TornTail {
+        segment: seq,
+        offset: offset as u64,
+        reason: reason.to_string(),
+    };
+    let hard = |reason: &str| {
+        PgcError::TraceFormat(format!(
+            "log segment {seq}: {reason} (not in newest segment)"
+        ))
+    };
+    if bytes.len() < HEADER_BYTES as usize || &bytes[..4] != MAGIC {
+        return Err(PgcError::TraceFormat(format!(
+            "log segment {seq}: bad or missing header"
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(PgcError::TraceFormat(format!(
+            "log segment {seq}: unsupported version {version}"
+        )));
+    }
+    let stated_seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    if stated_seq != seq {
+        return Err(PgcError::TraceFormat(format!(
+            "log segment {seq}: header says seq {stated_seq}"
+        )));
+    }
+    let start_event = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    if start_event != out.events.len() as u64 {
+        return Err(PgcError::TraceFormat(format!(
+            "log segment {seq}: starts at event {start_event}, but {} events precede it",
+            out.events.len()
+        )));
+    }
+    let mut pos = HEADER_BYTES as usize;
+    while pos < bytes.len() {
+        let frame_start = pos;
+        if bytes.len() - pos < 4 + 1 + 4 {
+            if last {
+                out.torn = Some(torn(frame_start, "truncated frame header"));
+                return Ok(());
+            }
+            return Err(hard("truncated frame header"));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if bytes.len() - pos < 1 + len + 4 {
+            if last {
+                out.torn = Some(torn(frame_start, "truncated frame body"));
+                return Ok(());
+            }
+            return Err(hard("truncated frame body"));
+        }
+        let kind_and_payload = &bytes[pos..pos + 1 + len];
+        let stated_crc =
+            u32::from_le_bytes(bytes[pos + 1 + len..pos + 1 + len + 4].try_into().unwrap());
+        if crc32(kind_and_payload) != stated_crc {
+            if last {
+                out.torn = Some(torn(frame_start, "frame checksum mismatch"));
+                return Ok(());
+            }
+            return Err(hard("frame checksum mismatch"));
+        }
+        let kind = kind_and_payload[0];
+        let payload = &kind_and_payload[1..];
+        pos += 1 + len + 4;
+        match kind {
+            FRAME_EVENTS => decode_events_frame(seq, payload, &mut out.events)?,
+            FRAME_SAFEPOINT => {
+                if payload.len() != 24 {
+                    return Err(PgcError::TraceFormat(format!(
+                        "log segment {seq}: safepoint frame has {} bytes",
+                        payload.len()
+                    )));
+                }
+                out.safepoints.push(SafepointNote {
+                    events_applied: u64::from_le_bytes(payload[..8].try_into().unwrap()),
+                    collections: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+                    generation: u64::from_le_bytes(payload[16..].try_into().unwrap()),
+                });
+            }
+            other => {
+                return Err(PgcError::TraceFormat(format!(
+                    "log segment {seq}: unknown frame kind {other}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_events_frame(seq: u64, payload: &[u8], events: &mut Vec<Event>) -> Result<()> {
+    if payload.len() < 4 {
+        return Err(PgcError::TraceFormat(format!(
+            "log segment {seq}: events frame too short"
+        )));
+    }
+    let count = u32::from_le_bytes(payload[..4].try_into().unwrap());
+    let body = &payload[4..];
+    let mut pos = 0usize;
+    for _ in 0..count {
+        match decode_compact(body, &mut pos)? {
+            Some(event) => events.push(event),
+            None => {
+                return Err(PgcError::TraceFormat(format!(
+                    "log segment {seq}: events frame ended early"
+                )));
+            }
+        }
+    }
+    if pos != body.len() {
+        return Err(PgcError::TraceFormat(format!(
+            "log segment {seq}: events frame has trailing bytes"
+        )));
+    }
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! The checksummed run manifest: `MANIFEST.pgc`.
+//!
+//! A tiny ordered key=value text format so recovery can rebuild the exact
+//! run configuration without out-of-band knowledge:
+//!
+//! ```text
+//! pgc-manifest v1
+//! <key> = <value>
+//! ...
+//! crc = <crc32 of everything above, lowercase hex>
+//! ```
+//!
+//! Values that must round-trip exactly (the workload's probability knobs)
+//! are stored as `f64::to_bits` hex, never as decimal floats.
+
+use crate::crc::crc32;
+use pgc_types::{PgcError, Result};
+use std::fmt::Display;
+use std::fs;
+use std::path::Path;
+
+/// File name of the manifest inside a data directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.pgc";
+
+const HEADER: &str = "pgc-manifest v1";
+
+/// An ordered key=value manifest with a whole-file checksum.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    entries: Vec<(String, String)>,
+}
+
+impl Manifest {
+    /// An empty manifest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends (or replaces) `key` with `value`'s display form.
+    pub fn set(&mut self, key: &str, value: impl Display) {
+        let value = value.to_string();
+        debug_assert!(!key.contains('=') && !key.contains('\n'));
+        debug_assert!(!value.contains('\n'));
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key.to_string(), value));
+        }
+    }
+
+    /// Stores an `f64` by bit pattern (exact round-trip).
+    pub fn set_f64(&mut self, key: &str, value: f64) {
+        self.set(key, format!("{:016x}", value.to_bits()));
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up `key` or fails with a format error naming it.
+    pub fn require(&self, key: &str) -> Result<&str> {
+        self.get(key)
+            .ok_or_else(|| PgcError::TraceFormat(format!("manifest: missing key `{key}`")))
+    }
+
+    /// Parses `key` as a `u64`.
+    pub fn require_u64(&self, key: &str) -> Result<u64> {
+        self.require(key)?
+            .parse()
+            .map_err(|_| PgcError::TraceFormat(format!("manifest: `{key}` is not an integer")))
+    }
+
+    /// Parses `key` as an `f64` stored by bit pattern.
+    pub fn require_f64(&self, key: &str) -> Result<f64> {
+        let bits = u64::from_str_radix(self.require(key)?, 16)
+            .map_err(|_| PgcError::TraceFormat(format!("manifest: `{key}` is not f64 bits")))?;
+        Ok(f64::from_bits(bits))
+    }
+
+    /// Serializes to the checksummed text form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = String::from(HEADER);
+        body.push('\n');
+        for (k, v) in &self.entries {
+            body.push_str(k);
+            body.push_str(" = ");
+            body.push_str(v);
+            body.push('\n');
+        }
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc = {crc:08x}\n"));
+        body.into_bytes()
+    }
+
+    /// Parses the checksummed text form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| PgcError::TraceFormat("manifest: not utf-8".into()))?;
+        let body_end = text
+            .rfind("crc = ")
+            .ok_or_else(|| PgcError::TraceFormat("manifest: missing checksum line".into()))?;
+        let (body, crc_line) = text.split_at(body_end);
+        let stated = crc_line
+            .trim()
+            .strip_prefix("crc = ")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| PgcError::TraceFormat("manifest: bad checksum line".into()))?;
+        if crc32(body.as_bytes()) != stated {
+            return Err(PgcError::TraceFormat("manifest: checksum mismatch".into()));
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(PgcError::TraceFormat("manifest: bad header".into()));
+        }
+        let mut entries = Vec::new();
+        for line in lines {
+            let (k, v) = line
+                .split_once(" = ")
+                .ok_or_else(|| PgcError::TraceFormat("manifest: malformed entry".into()))?;
+            entries.push((k.to_string(), v.to_string()));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Writes `MANIFEST.pgc` into `dir` (temp file + rename).
+    pub fn write_to(&self, dir: &Path) -> Result<()> {
+        let tmp = dir.join("MANIFEST.pgc.tmp");
+        let path = dir.join(MANIFEST_FILE);
+        fs::write(&tmp, self.to_bytes()).map_err(io_err)?;
+        fs::rename(&tmp, &path).map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Reads and verifies `MANIFEST.pgc` from `dir`.
+    pub fn read_from(dir: &Path) -> Result<Self> {
+        let bytes = fs::read(dir.join(MANIFEST_FILE)).map_err(io_err)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+fn io_err(e: std::io::Error) -> PgcError {
+    PgcError::TraceIo(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::ScratchDir;
+
+    #[test]
+    fn round_trips_entries_and_float_bits() {
+        let mut m = Manifest::new();
+        m.set("policy", "MostGarbage");
+        m.set("seed", 7u64);
+        m.set_f64("p_delete", 0.1234567890123_f64);
+        let back = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.require("policy").unwrap(), "MostGarbage");
+        assert_eq!(back.require_u64("seed").unwrap(), 7);
+        assert_eq!(
+            back.require_f64("p_delete").unwrap().to_bits(),
+            0.1234567890123_f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut m = Manifest::new();
+        m.set("k", 1u32);
+        m.set("k", 2u32);
+        assert_eq!(m.get("k"), Some("2"));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut m = Manifest::new();
+        m.set("seed", 7u64);
+        let mut bytes = m.to_bytes();
+        let flip = bytes.iter().position(|&b| b == b'7').unwrap();
+        bytes[flip] = b'8';
+        assert!(Manifest::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = ScratchDir::new("manifest");
+        let mut m = Manifest::new();
+        m.set("seed", 3u64);
+        m.write_to(dir.path()).unwrap();
+        assert_eq!(Manifest::read_from(dir.path()).unwrap(), m);
+    }
+}

@@ -1,0 +1,104 @@
+//! The barrier-bus bystander that schedules durability safepoints.
+//!
+//! [`LogObserver`] rides the shard's barrier event bus exactly like the
+//! telemetry tap: it never mutates the database, it only watches
+//! [`BarrierEvent::CollectionCompleted`] and raises the shared
+//! [`SafepointSignal`]. The owning shard polls the signal after each step
+//! and, when a collection has completed since the last poll, drives the
+//! [`crate::store::DurableStore`] through a safepoint (snapshot
+//! generation, safepoint frame, fsync). The split keeps the bus contract
+//! intact — observers are bystanders — while the store, which needs
+//! `&Database` and file handles, stays outside the bus.
+//!
+//! The signal also meters on-disk churn per collection (bytes copied and
+//! reclaimed), the Sears & van Ingen fragmentation angle.
+
+use pgc_odb::{BarrierEvent, BarrierObserver};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared between the [`LogObserver`] on the bus and the shard that owns
+/// the durable store.
+#[derive(Debug, Default)]
+pub struct SafepointSignal {
+    collections: AtomicU64,
+    copied_bytes: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+}
+
+impl SafepointSignal {
+    /// Collections completed so far.
+    pub fn collections(&self) -> u64 {
+        self.collections.load(Ordering::Relaxed)
+    }
+
+    /// Bytes evacuated (copied out of victims) so far.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes reclaimed so far.
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.reclaimed_bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// The bus-side half: counts completed collections into the signal.
+pub struct LogObserver {
+    signal: Arc<SafepointSignal>,
+}
+
+impl LogObserver {
+    /// Creates the observer and the signal the owning shard polls.
+    pub fn new() -> (Self, Arc<SafepointSignal>) {
+        let signal = Arc::new(SafepointSignal::default());
+        (
+            Self {
+                signal: Arc::clone(&signal),
+            },
+            signal,
+        )
+    }
+}
+
+impl BarrierObserver for LogObserver {
+    fn on_event(&mut self, event: &BarrierEvent) {
+        if let BarrierEvent::CollectionCompleted(outcome) = event {
+            self.signal
+                .copied_bytes
+                .fetch_add(outcome.live_bytes.get(), Ordering::Relaxed);
+            self.signal
+                .reclaimed_bytes
+                .fetch_add(outcome.garbage_bytes.get(), Ordering::Relaxed);
+            self.signal.collections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgc_odb::CollectionOutcome;
+    use pgc_types::{Bytes, PartitionId};
+
+    #[test]
+    fn counts_only_collection_completions() {
+        let (mut obs, signal) = LogObserver::new();
+        obs.on_event(&BarrierEvent::TriggerTick { activation: 1 });
+        assert_eq!(signal.collections(), 0);
+        obs.on_event(&BarrierEvent::CollectionCompleted(CollectionOutcome {
+            victim: PartitionId(1),
+            target: PartitionId(0),
+            live_objects: 2,
+            live_bytes: Bytes(300),
+            garbage_objects: 1,
+            garbage_bytes: Bytes(100),
+            forwarded_pointers: 0,
+            gc_reads: 0,
+            gc_writes: 0,
+        }));
+        assert_eq!(signal.collections(), 1);
+        assert_eq!(signal.copied_bytes(), 300);
+        assert_eq!(signal.reclaimed_bytes(), 100);
+    }
+}

@@ -47,10 +47,11 @@ pub mod session;
 pub use remset::{InterShardRemset, LinkRecord, RemsetBridge, RemsetStats, REMSET_STRIPES};
 pub use ring::{RingInbox, DEFAULT_INBOX_CAPACITY};
 pub use router::{Router, StreamId};
-pub use server::{FleetOutcome, Server, ServerConfig};
+pub use server::{FleetOutcome, Server, ServerConfig, StreamHandle, StreamRef};
 pub use session::ShardReport;
 // The pieces a server driver needs ride along so callers don't take a
 // direct dependency on every lower crate for the common cases.
+pub use pgc_durable::{DurabilityConfig, DurabilityMode};
 pub use pgc_sim::{RunConfig, RunOutcome};
 pub use pgc_telemetry::{FleetSnapshot, ShardTelemetry, TelemetryLevel};
 pub use pgc_workload::TraceSegment;

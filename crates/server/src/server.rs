@@ -4,17 +4,20 @@ use crate::remset::{InterShardRemset, RemsetStats};
 use crate::ring::{RingInbox, SenderGuard, DEFAULT_INBOX_CAPACITY};
 use crate::router::{Router, StreamId};
 use crate::session::{DataPayload, ShardMsg, ShardReport, ShardWorker};
+use pgc_durable::DurabilityMode;
 use pgc_sim::{RunConfig, RunOutcome};
 use pgc_telemetry::{FleetSnapshot, TelemetryLevel};
 use pgc_types::{PgcError, Result};
 use pgc_workload::{Event, NodeId, TraceSegment};
 use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// How a [`Server`] is shaped: shard count, per-session telemetry, and
-/// inbox depth.
-#[derive(Debug, Clone, Copy)]
+/// How a [`Server`] is shaped: shard count, per-session telemetry, inbox
+/// depth, and (optionally) where streams persist.
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads (and thus shard rings). Clamped to at least one.
     pub shards: usize,
@@ -23,16 +26,25 @@ pub struct ServerConfig {
     /// Messages a shard's ring inbox holds before producers block — the
     /// backpressure knob. Clamped to at least one.
     pub inbox_capacity: usize,
+    /// Root data directory for durability. Each stream persists into its
+    /// own subdirectory `stream-NNNNNN/` (one recoverable data dir per
+    /// stream); `None` keeps the fleet purely in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// The durability mode streams persist under when [`ServerConfig::data_dir`]
+    /// is set (ignored otherwise).
+    pub durability: DurabilityMode,
 }
 
 impl ServerConfig {
-    /// A server over `shards` shards with telemetry off and the default
-    /// inbox depth.
+    /// A server over `shards` shards with telemetry off, the default
+    /// inbox depth, and no persistence.
     pub fn new(shards: usize) -> Self {
         Self {
             shards: shards.max(1),
             telemetry: TelemetryLevel::Off,
             inbox_capacity: DEFAULT_INBOX_CAPACITY,
+            data_dir: None,
+            durability: DurabilityMode::SnapshotAndLog,
         }
     }
 
@@ -48,6 +60,88 @@ impl ServerConfig {
     pub fn with_inbox_capacity(mut self, capacity: usize) -> Self {
         self.inbox_capacity = capacity.max(1);
         self
+    }
+
+    /// Persists every stream under `dir` (one recoverable data directory
+    /// per stream: `dir/stream-NNNNNN/`), at the configured
+    /// [`ServerConfig::durability`] mode (snapshots + change log unless
+    /// overridden with [`ServerConfig::with_durability_mode`]).
+    #[must_use]
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the durability mode used under
+    /// [`ServerConfig::with_data_dir`] (e.g. [`DurabilityMode::LogOnly`]
+    /// to skip snapshots).
+    #[must_use]
+    pub fn with_durability_mode(mut self, mode: DurabilityMode) -> Self {
+        self.durability = mode;
+        self
+    }
+}
+
+/// Distinguishes server instances within a process, so a [`StreamHandle`]
+/// can only address the server that issued it.
+static SERVER_TAG: AtomicU64 = AtomicU64::new(1);
+
+/// A typed handle to an open stream: the id, the home shard the router
+/// pinned it to, and the issuing server. Returned by
+/// [`Server::open_stream`] and accepted anywhere a [`StreamId`] is —
+/// [`Server::submit_segment`], [`Server::submit_owned`], [`Server::link`]
+/// — with the extra guarantee that a handle from another server instance
+/// is rejected instead of silently addressing the wrong fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHandle {
+    id: StreamId,
+    shard: usize,
+    server: u64,
+}
+
+impl StreamHandle {
+    /// The raw stream id (for logs, maps, and the thin-delegate paths).
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// The home shard the router pinned this stream to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// Anything that can address an open stream: a raw [`StreamId`] (thin
+/// delegate, no provenance check) or a [`StreamHandle`] (validated
+/// against the issuing server).
+pub trait StreamRef {
+    /// Resolves to the raw stream id, or errors when the reference was
+    /// issued by a different server instance (`server_tag` identifies the
+    /// server doing the resolving).
+    fn resolve(&self, server_tag: u64) -> Result<StreamId>;
+}
+
+impl StreamRef for StreamId {
+    fn resolve(&self, _server_tag: u64) -> Result<StreamId> {
+        Ok(*self)
+    }
+}
+
+impl StreamRef for StreamHandle {
+    fn resolve(&self, server_tag: u64) -> Result<StreamId> {
+        if self.server != server_tag {
+            return Err(PgcError::Session(format!(
+                "stream handle {} belongs to a different server",
+                self.id
+            )));
+        }
+        Ok(self.id)
+    }
+}
+
+impl StreamRef for &StreamHandle {
+    fn resolve(&self, server_tag: u64) -> Result<StreamId> {
+        (*self).resolve(server_tag)
     }
 }
 
@@ -110,13 +204,16 @@ impl FleetOutcome {
 ///   encoded trace); nothing is allocated or copied per event.
 /// * [`Server::submit_owned`] — moves an owned `Vec<Event>` into the
 ///   ring without cloning it.
-/// * [`Server::submit`] — the compatibility wrapper for borrowed slices:
-///   encodes the slice once (~12 bytes/event in flight instead of a
-///   cloned `Vec`) and ships the result as a segment.
+/// * [`Server::submit`] — the **deprecated** compatibility wrapper for
+///   borrowed slices: encodes the slice once (~12 bytes/event in flight
+///   instead of a cloned `Vec`) and ships the result as a segment. New
+///   code should encode once and use the segment path.
 ///
 /// All three drain through the same block-stepped session path and are
 /// bit-identical per stream; a full ring blocks the submitting thread
-/// until the shard catches up (bounded memory, lossless).
+/// until the shard catches up (bounded memory, lossless). Each accepts a
+/// raw [`StreamId`] or the [`StreamHandle`] that [`Server::open_stream`]
+/// returned.
 ///
 /// ```
 /// use pgc_server::{Server, ServerConfig, StreamId};
@@ -127,9 +224,9 @@ impl FleetOutcome {
 /// let cfg = RunConfig::small().with_seed(3);
 /// let trace = Arc::new(EncodedTrace::record(cfg.workload.clone()).unwrap());
 /// let mut server = Server::start(ServerConfig::new(2));
-/// server.open_stream(StreamId(0), cfg).unwrap();
+/// let stream = server.open_stream(StreamId(0), cfg).unwrap();
 /// server
-///     .submit_segment(StreamId(0), TraceSegment::whole(Arc::clone(&trace)))
+///     .submit_segment(&stream, TraceSegment::whole(Arc::clone(&trace)))
 ///     .unwrap();
 /// let fleet = server.shutdown().unwrap();
 /// assert_eq!(fleet.total_events(), trace.events());
@@ -141,6 +238,7 @@ pub struct Server {
     inboxes: Vec<SenderGuard<ShardMsg>>,
     workers: Vec<JoinHandle<Result<ShardReport>>>,
     streams: BTreeSet<StreamId>,
+    tag: u64,
 }
 
 impl Server {
@@ -148,6 +246,7 @@ impl Server {
     pub fn start(cfg: ServerConfig) -> Self {
         let router = Router::new(cfg.shards);
         let remset = Arc::new(InterShardRemset::new());
+        let persist = cfg.data_dir.map(|dir| (dir, cfg.durability));
         let mut inboxes = Vec::with_capacity(router.shards());
         let mut workers = Vec::with_capacity(router.shards());
         for shard in 0..router.shards() {
@@ -155,11 +254,12 @@ impl Server {
             let rx = Arc::clone(&ring);
             let remset = Arc::clone(&remset);
             let telemetry = cfg.telemetry;
+            let persist = persist.clone();
             // Sessions hold thread-local state (Rc-based telemetry taps,
             // boxed policies), so the worker is built *on* its thread and
             // never crosses it — only the plain-data report comes back.
             workers.push(std::thread::spawn(move || {
-                ShardWorker::new(shard, telemetry, remset).run(rx)
+                ShardWorker::new(shard, telemetry, remset, persist).run(rx)
             }));
             inboxes.push(SenderGuard(ring));
         }
@@ -170,6 +270,7 @@ impl Server {
             inboxes,
             workers,
             streams: BTreeSet::new(),
+            tag: SERVER_TAG.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -198,18 +299,26 @@ impl Server {
         self.remset.stats()
     }
 
-    /// Opens a session for `stream` under `cfg` on its home shard.
-    pub fn open_stream(&mut self, stream: StreamId, cfg: RunConfig) -> Result<()> {
+    /// Opens a session for `stream` under `cfg` on its home shard and
+    /// returns its typed [`StreamHandle`] (stream id + pinned home shard),
+    /// which the submit and link paths accept in place of a raw id.
+    pub fn open_stream(&mut self, stream: StreamId, cfg: RunConfig) -> Result<StreamHandle> {
         if !self.streams.insert(stream) {
             return Err(PgcError::Session(format!("stream {stream} already open")));
         }
+        let shard = self.router.route(stream);
         self.send(
-            self.router.route(stream),
+            shard,
             ShardMsg::Open {
                 stream,
                 cfg: Box::new(cfg),
             },
-        )
+        )?;
+        Ok(StreamHandle {
+            id: stream,
+            shard,
+            server: self.tag,
+        })
     }
 
     /// Submits a segment of a shared encoded trace to `stream`'s session —
@@ -220,14 +329,16 @@ impl Server {
     /// Segments for the same stream apply in submission order; segments
     /// for different streams are independent. Blocks while the home
     /// shard's ring is full.
-    pub fn submit_segment(&mut self, stream: StreamId, segment: TraceSegment) -> Result<()> {
+    pub fn submit_segment(&mut self, stream: impl StreamRef, segment: TraceSegment) -> Result<()> {
+        let stream = stream.resolve(self.tag)?;
         self.submit_payload(stream, DataPayload::Segment(segment))
     }
 
     /// Submits an owned batch of events, moving it into the ring — for
     /// callers that already hold a `Vec<Event>` and would otherwise pay a
     /// pointless clone.
-    pub fn submit_owned(&mut self, stream: StreamId, events: Vec<Event>) -> Result<()> {
+    pub fn submit_owned(&mut self, stream: impl StreamRef, events: Vec<Event>) -> Result<()> {
+        let stream = stream.resolve(self.tag)?;
         self.submit_payload(stream, DataPayload::Owned(events))
     }
 
@@ -236,7 +347,11 @@ impl Server {
     /// bytes/event in flight, versus `size_of::<Event>()` for the deep
     /// clone this path used to take) and ships it through
     /// [`Server::submit_segment`].
-    pub fn submit(&mut self, stream: StreamId, events: &[Event]) -> Result<()> {
+    #[deprecated(
+        note = "encode once and use `submit_segment`, or move the events via `submit_owned`"
+    )]
+    pub fn submit(&mut self, stream: impl StreamRef, events: &[Event]) -> Result<()> {
+        let stream = stream.resolve(self.tag)?;
         self.submit_payload(stream, DataPayload::Segment(TraceSegment::encode(events)))
     }
 
@@ -259,7 +374,14 @@ impl Server {
     /// message drains — deterministic per stream because one server
     /// handle feeds each ring in program order, and batch coalescing
     /// never crosses a link message.
-    pub fn link(&mut self, source: StreamId, target: StreamId, node: NodeId) -> Result<()> {
+    pub fn link(
+        &mut self,
+        source: impl StreamRef,
+        target: impl StreamRef,
+        node: NodeId,
+    ) -> Result<()> {
+        let source = source.resolve(self.tag)?;
+        let target = target.resolve(self.tag)?;
         if !self.streams.contains(&target) {
             return Err(PgcError::Session(format!("stream {target} is not open")));
         }

@@ -29,12 +29,14 @@
 use crate::remset::{InterShardRemset, RemsetBridge};
 use crate::ring::{ReceiverGuard, RingInbox};
 use crate::router::StreamId;
+use pgc_durable::{DurabilityConfig, DurabilityMode};
 use pgc_sim::{RunConfig, RunOutcome, Shard};
 use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot};
 use pgc_types::{PgcError, Result};
 use pgc_workload::generator::GenStats;
 use pgc_workload::{Event, EventBlock, NodeId, TraceSegment};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// The event payload of one data message.
@@ -98,6 +100,9 @@ pub(crate) struct ShardWorker {
     shard: usize,
     telemetry: TelemetryLevel,
     remset: Arc<InterShardRemset>,
+    /// Durability root + mode when the fleet persists: each stream gets
+    /// its own recoverable data directory `<root>/stream-NNNNNN/`.
+    persist: Option<(PathBuf, DurabilityMode)>,
     sessions: BTreeMap<StreamId, Shard>,
     scratch: EventBlock,
 }
@@ -107,11 +112,13 @@ impl ShardWorker {
         shard: usize,
         telemetry: TelemetryLevel,
         remset: Arc<InterShardRemset>,
+        persist: Option<(PathBuf, DurabilityMode)>,
     ) -> Self {
         Self {
             shard,
             telemetry,
             remset,
+            persist,
             sessions: BTreeMap::new(),
             scratch: EventBlock::new(),
         }
@@ -137,7 +144,7 @@ impl ShardWorker {
             }
         }
         let high_water = guard.ring().high_water() as u64;
-        Ok(self.finish(high_water))
+        self.finish(high_water)
     }
 
     /// Steps one coalesced run: the popped payload plus every data
@@ -203,6 +210,24 @@ impl ShardWorker {
         if self.sessions.contains_key(&stream) {
             return Err(PgcError::Session(format!("stream {stream} already open")));
         }
+        // A persisting fleet gives each stream its own data directory —
+        // the stream's log + snapshots recover independently of every
+        // other tenant via `pgc_sim::durable::recover`.
+        let durable_cfg;
+        let cfg = match &self.persist {
+            Some((root, mode)) => {
+                let dir = root.join(format!("stream-{:06}", stream.0));
+                let mut cfg = cfg.clone();
+                cfg.durability = match mode {
+                    DurabilityMode::Off => DurabilityConfig::off(),
+                    DurabilityMode::LogOnly => DurabilityConfig::log_only(&dir),
+                    DurabilityMode::SnapshotAndLog => DurabilityConfig::snapshot_and_log(&dir),
+                };
+                durable_cfg = cfg;
+                &durable_cfg
+            }
+            None => cfg,
+        };
         let mut shard = Shard::new(cfg)?;
         // Bus registration order is part of the determinism contract:
         // bridge first, telemetry last — constant across shard counts.
@@ -232,11 +257,11 @@ impl ShardWorker {
         }
     }
 
-    fn finish(self, ring_high_water: u64) -> ShardReport {
+    fn finish(self, ring_high_water: u64) -> Result<ShardReport> {
         let mut outcomes = Vec::with_capacity(self.sessions.len());
         let mut telemetry: Option<TelemetrySnapshot> = None;
         for (stream, shard) in self.sessions {
-            let outcome = shard.finish(GenStats::default());
+            let outcome = shard.finish(GenStats::default())?;
             if let Some(snap) = &outcome.telemetry {
                 match telemetry.as_mut() {
                     Some(merged) => merged.merge(snap),
@@ -245,11 +270,11 @@ impl ShardWorker {
             }
             outcomes.push((stream, outcome));
         }
-        ShardReport {
+        Ok(ShardReport {
             shard: self.shard,
             outcomes,
             telemetry,
             ring_high_water,
-        }
+        })
     }
 }

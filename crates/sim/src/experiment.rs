@@ -12,7 +12,7 @@
 //! use pgc_core::PolicyKind;
 //!
 //! let cmp = Experiment::new()
-//!     .threads(4)
+//!     .with_threads(4)
 //!     .compare(&PolicyKind::PAPER, &[1, 2, 3], RunConfig::paper)
 //!     .unwrap();
 //! ```
@@ -30,13 +30,15 @@
 //! run is a pure function of its configuration, which the determinism
 //! tests below pin down.
 //!
-//! [`Experiment::telemetry`] taps every run: each job carries its
+//! [`Experiment::with_telemetry`] taps every run: each job carries its
 //! [`TelemetrySnapshot`] back on the [`Comparison`] (per-run in
 //! [`Comparison::telemetry`], merged per policy on
 //! [`PolicyRow::telemetry`]) without perturbing any simulation result.
 //!
-//! The pre-builder free functions ([`compare_policies`], [`run_jobs`], and
-//! their variants) survive as thin deprecated shims over [`Experiment`].
+//! The pre-builder free functions (`compare_policies`, `run_jobs`, and
+//! their variants) are gone as of the durability PR: [`Experiment`] is
+//! the one multi-run entry point; only [`default_threads`] remains
+//! free-standing.
 
 use crate::run::{RunConfig, RunOutcome, Simulation};
 use crate::summary::Summary;
@@ -75,7 +77,7 @@ pub struct PolicyRow {
     /// Collections performed.
     pub collections: Summary,
     /// This policy's telemetry merged across its seeds (`None` unless the
-    /// experiment ran with [`Experiment::telemetry`] above `Off`;
+    /// experiment ran with [`Experiment::with_telemetry`] above `Off`;
     /// per-activation records live on [`Comparison::telemetry`] — merging
     /// drops them).
     pub telemetry: Option<TelemetrySnapshot>,
@@ -129,7 +131,7 @@ pub struct Comparison {
     /// Rows, in the order the policies were given.
     pub rows: Vec<PolicyRow>,
     /// Per-run telemetry snapshots in job (seed-major) order — empty
-    /// unless the experiment ran with [`Experiment::telemetry`] above
+    /// unless the experiment ran with [`Experiment::with_telemetry`] above
     /// `Off`. This is the source for JSONL export; the per-policy rows
     /// carry the merged aggregates.
     pub telemetry: Vec<RunTelemetry>,
@@ -149,11 +151,9 @@ impl Comparison {
 
 /// A configurable multi-run experiment over the shared-trace engine.
 ///
-/// Unifies the pre-builder trio (`compare_policies`,
-/// `compare_policies_with_threads`, `compare_policies_cached`) and the
-/// `run_jobs*` family behind one builder: set [`Experiment::threads`],
-/// [`Experiment::cache`], and [`Experiment::telemetry`] as needed, then
-/// call [`Experiment::compare`] for a policy grid or
+/// The one multi-run entry point: set [`Experiment::with_threads`],
+/// [`Experiment::with_cache`], and [`Experiment::with_telemetry`] as
+/// needed, then call [`Experiment::compare`] for a policy grid or
 /// [`Experiment::run_jobs`] for arbitrary labelled configurations.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Experiment<'c> {
@@ -173,7 +173,7 @@ impl<'c> Experiment<'c> {
     /// independent of this — each run is a pure function of its
     /// configuration — which the determinism test below pins down.
     #[must_use]
-    pub fn threads(mut self, threads: usize) -> Self {
+    pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
     }
@@ -183,7 +183,7 @@ impl<'c> Experiment<'c> {
     /// tables and figures of one full evaluation — share recorded traces
     /// across calls.
     #[must_use]
-    pub fn cache(mut self, cache: &'c TraceCache) -> Self {
+    pub fn with_cache(mut self, cache: &'c TraceCache) -> Self {
         self.cache = Some(cache);
         self
     }
@@ -193,7 +193,7 @@ impl<'c> Experiment<'c> {
     /// [`Experiment::compare`]) or on each [`RunOutcome::telemetry`] (for
     /// [`Experiment::run_jobs`]).
     #[must_use]
-    pub fn telemetry(mut self, level: TelemetryLevel) -> Self {
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
         self.telemetry = level;
         self
     }
@@ -340,77 +340,11 @@ impl<'c> Experiment<'c> {
     }
 }
 
-/// Runs every `(policy, seed)` combination and aggregates per policy.
-#[deprecated(note = "use `Experiment::new().compare(policies, seeds, make_config)`")]
-pub fn compare_policies(
-    policies: &[PolicyKind],
-    seeds: &[u64],
-    make_config: impl Fn(PolicyKind, u64) -> RunConfig + Sync,
-) -> Result<Comparison> {
-    Experiment::new().compare(policies, seeds, make_config)
-}
-
-/// [`compare_policies`] with an explicit worker-thread count.
-#[deprecated(note = "use `Experiment::new().threads(n).compare(...)`")]
-pub fn compare_policies_with_threads(
-    policies: &[PolicyKind],
-    seeds: &[u64],
-    threads: usize,
-    make_config: impl Fn(PolicyKind, u64) -> RunConfig + Sync,
-) -> Result<Comparison> {
-    Experiment::new()
-        .threads(threads)
-        .compare(policies, seeds, make_config)
-}
-
-/// [`compare_policies_with_threads`] over an explicit [`TraceCache`].
-#[deprecated(note = "use `Experiment::new().threads(n).cache(cache).compare(...)`")]
-pub fn compare_policies_cached(
-    policies: &[PolicyKind],
-    seeds: &[u64],
-    threads: usize,
-    cache: &TraceCache,
-    make_config: impl Fn(PolicyKind, u64) -> RunConfig + Sync,
-) -> Result<Comparison> {
-    Experiment::new()
-        .threads(threads)
-        .cache(cache)
-        .compare(policies, seeds, make_config)
-}
-
 /// The default worker-thread count: one per available core.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-}
-
-/// Runs a set of independent configurations in parallel, preserving labels.
-#[deprecated(note = "use `Experiment::new().run_jobs(jobs)`")]
-pub fn run_jobs<L: Send + Sync>(jobs: Vec<(L, RunConfig)>) -> Result<Vec<(L, RunOutcome)>> {
-    Experiment::new().run_jobs(jobs)
-}
-
-/// [`run_jobs`] with an explicit worker-thread count (1 = sequential).
-#[deprecated(note = "use `Experiment::new().threads(n).run_jobs(jobs)`")]
-pub fn run_jobs_on<L: Send + Sync>(
-    jobs: Vec<(L, RunConfig)>,
-    threads: usize,
-) -> Result<Vec<(L, RunOutcome)>> {
-    Experiment::new().threads(threads).run_jobs(jobs)
-}
-
-/// [`run_jobs_on`] over an explicit [`TraceCache`].
-#[deprecated(note = "use `Experiment::new().threads(n).cache(cache).run_jobs(jobs)`")]
-pub fn run_jobs_cached<L: Send + Sync>(
-    jobs: Vec<(L, RunConfig)>,
-    threads: usize,
-    cache: &TraceCache,
-) -> Result<Vec<(L, RunOutcome)>> {
-    Experiment::new()
-        .threads(threads)
-        .cache(cache)
-        .run_jobs(jobs)
 }
 
 #[cfg(test)]
@@ -486,11 +420,11 @@ mod tests {
         ];
         let seeds = [11, 12, 13];
         let sequential = Experiment::new()
-            .threads(1)
+            .with_threads(1)
             .compare(&policies, &seeds, small_cfg)
             .unwrap();
         let parallel = Experiment::new()
-            .threads(4)
+            .with_threads(4)
             .compare(&policies, &seeds, small_cfg)
             .unwrap();
         assert_eq!(sequential.rows, parallel.rows);
@@ -520,16 +454,16 @@ mod tests {
         let cache = pgc_workload::TraceCache::new();
         let policies = [PolicyKind::UpdatedPointer, PolicyKind::Random];
         let seeds = [21, 22, 23];
-        let exp = Experiment::new().cache(&cache);
+        let exp = Experiment::new().with_cache(&cache);
         let first = exp
-            .threads(4)
+            .with_threads(4)
             .compare(&policies, &seeds, small_cfg)
             .unwrap();
         assert_eq!(cache.len(), seeds.len(), "one trace per seed, not per job");
         // A second comparison over the same seeds replays from the cache
         // (no new entries) and reduces to bit-identical rows.
         let second = exp
-            .threads(2)
+            .with_threads(2)
             .compare(&policies, &seeds, small_cfg)
             .unwrap();
         assert_eq!(cache.len(), seeds.len());
@@ -541,7 +475,7 @@ mod tests {
         let mut bad = small_cfg(PolicyKind::Random, 1);
         bad.workload.tree_nodes_min = 0; // fails validation at record time
         let jobs = vec![("ok", small_cfg(PolicyKind::Random, 1)), ("bad", bad)];
-        assert!(Experiment::new().threads(2).run_jobs(jobs).is_err());
+        assert!(Experiment::new().with_threads(2).run_jobs(jobs).is_err());
     }
 
     #[test]
@@ -552,7 +486,7 @@ mod tests {
             .compare(&policies, &seeds, small_cfg)
             .unwrap();
         let tapped = Experiment::new()
-            .telemetry(TelemetryLevel::Full)
+            .with_telemetry(TelemetryLevel::Full)
             .compare(&policies, &seeds, small_cfg)
             .unwrap();
         // Same table numbers with and without the tap.
@@ -579,18 +513,5 @@ mod tests {
 
     fn cmp_row(cmp: &Comparison, policy: PolicyKind) -> &PolicyRow {
         cmp.row(policy).expect("row present")
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder_results() {
-        let policies = [PolicyKind::UpdatedPointer, PolicyKind::Random];
-        let seeds = [41, 42];
-        let via_builder = Experiment::new()
-            .threads(2)
-            .compare(&policies, &seeds, small_cfg)
-            .unwrap();
-        let via_shim = compare_policies_with_threads(&policies, &seeds, 2, small_cfg).unwrap();
-        assert_eq!(via_builder.rows, via_shim.rows);
     }
 }

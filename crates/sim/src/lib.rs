@@ -17,6 +17,10 @@
 //!   one database + policy + scheduler + barrier bus + telemetry handle,
 //!   stepped by event batches. `Simulation` is its 1-shard special case;
 //!   the multi-tenant `pgc-server` runtime hosts one per client stream.
+//! * [`durable`] — recovery-by-replay over a `pgc-durable` data
+//!   directory: [`durable::recover`] rebuilds the exact run from the
+//!   manifest, change log, and checksummed snapshots, bit-identical to an
+//!   uninterrupted run over the surviving event prefix.
 //! * [`shadow`] — shadow-scoreboard policy races: one driver policy makes
 //!   the collection decisions while every other honest policy's scoreboard
 //!   rides the same barrier event bus and records the victim it *would*
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod durable;
 pub mod experiment;
 pub mod metrics;
 pub mod paper;
@@ -54,11 +59,7 @@ pub mod shard;
 pub mod summary;
 
 pub use chart::{render_chart, ChartMetric};
-#[allow(deprecated)]
-pub use experiment::{
-    compare_policies, compare_policies_cached, compare_policies_with_threads, run_jobs,
-    run_jobs_cached, run_jobs_on,
-};
+pub use durable::{outcome_digest, recover, RecoveredRun};
 pub use experiment::{default_threads, Comparison, Experiment, PolicyRow, RunTelemetry};
 pub use metrics::{RunTotals, SamplePoint, TimeSeries};
 pub use replay::Replayer;

@@ -66,6 +66,7 @@ pub fn scaled(policy: PolicyKind, seed: u64, alloc_mib: u64) -> RunConfig {
         trigger: None,
         collect_batch: 1,
         parallelism: pgc_types::Parallelism::Serial,
+        durability: pgc_durable::DurabilityConfig::off(),
     }
 }
 

@@ -493,7 +493,7 @@ mod tests {
         let plain = tiny_comparison();
         assert!(format_telemetry(&plain).is_empty(), "untapped is empty");
         let tapped = Experiment::new()
-            .telemetry(pgc_telemetry::TelemetryLevel::Metrics)
+            .with_telemetry(pgc_telemetry::TelemetryLevel::Metrics)
             .compare(
                 &[PolicyKind::UpdatedPointer, PolicyKind::MostGarbage],
                 &[1, 2],

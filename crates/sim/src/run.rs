@@ -10,13 +10,16 @@
 //! client stream and steps each through the same API, which is why
 //! per-stream server results are bit-identical to dedicated runs.
 //!
-//! The pre-builder entry points ([`Simulation::run`] and friends) survive
-//! as thin deprecated shims.
+//! With [`RunConfig::with_durability`] (or [`SimulationBuilder::durability`])
+//! the shard persists as it runs — write-ahead change log plus optional
+//! per-partition snapshots — and [`crate::durable::recover`] rebuilds a
+//! bit-identical outcome from the data directory alone.
 
 use crate::metrics::{RunTotals, TimeSeries};
 use crate::replay::Replayer;
 use crate::shard::Shard;
 use pgc_core::{build_policy_with, Collector, DeriveStats, PolicyKind, Trigger};
+use pgc_durable::{DurabilityConfig, StorageStats};
 use pgc_odb::{BarrierObserver, CollectionOutcome, Database, DbStats};
 use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot, TriggerReason};
 use pgc_types::{Bytes, DbConfig, Parallelism, PlacementPolicy, Result};
@@ -47,6 +50,10 @@ pub struct RunConfig {
     /// trace decode over `n` threads while staying bit-identical to
     /// `Serial` — same victims, same totals, same telemetry.
     pub parallelism: Parallelism,
+    /// Durable storage backend: `Off` (default, the historical in-memory
+    /// behavior), `LogOnly`, or `SnapshotAndLog` with a data directory.
+    /// Persistence is a pure bystander — it never changes any result.
+    pub durability: DurabilityConfig,
 }
 
 impl RunConfig {
@@ -62,6 +69,7 @@ impl RunConfig {
             trigger: None,
             collect_batch: 1,
             parallelism: Parallelism::Serial,
+            durability: DurabilityConfig::off(),
         }
     }
 
@@ -80,6 +88,7 @@ impl RunConfig {
             trigger: None,
             collect_batch: 1,
             parallelism: Parallelism::Serial,
+            durability: DurabilityConfig::off(),
         }
     }
 
@@ -122,6 +131,15 @@ impl RunConfig {
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the durable storage backend (mode + data directory). The
+    /// persisted run recovers bit-identically via
+    /// [`crate::durable::recover`].
+    #[must_use]
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -289,6 +307,9 @@ pub struct RunOutcome {
     /// when the policy keeps no derived state, e.g. `Random`). Also
     /// mirrored onto [`TelemetrySnapshot::derive`] when telemetry is on.
     pub derive: Option<DeriveStats>,
+    /// Durable-storage counters (`None` unless the run persisted). Also
+    /// mirrored onto [`TelemetrySnapshot::storage`] when telemetry is on.
+    pub storage: Option<StorageStats>,
 }
 
 /// Entry points for running simulations.
@@ -312,30 +333,8 @@ impl Simulation {
             observers: Vec::new(),
             telemetry: TelemetryLevel::Off,
             parallelism: None,
+            durability: None,
         }
-    }
-
-    /// Runs the synthetic workload described by `cfg`.
-    #[deprecated(note = "use `Simulation::builder(cfg).run()`")]
-    pub fn run(cfg: &RunConfig) -> Result<RunOutcome> {
-        Simulation::builder(cfg).run()
-    }
-
-    /// Replays a shared encoded trace under `cfg`.
-    #[deprecated(note = "use `Simulation::builder(cfg).trace(trace).run()`")]
-    pub fn run_encoded(cfg: &RunConfig, trace: &EncodedTrace) -> Result<RunOutcome> {
-        Simulation::builder(cfg).trace(trace).run()
-    }
-
-    /// Replays a recorded trace under `cfg` (the configured workload
-    /// parameters are ignored except for the seed, which labels the run).
-    #[deprecated(note = "use `Simulation::builder(cfg).events(&events).run()`")]
-    pub fn run_trace<'a>(
-        cfg: &RunConfig,
-        events: impl IntoIterator<Item = &'a Event>,
-    ) -> Result<RunOutcome> {
-        let events: Vec<Event> = events.into_iter().cloned().collect();
-        Simulation::builder(cfg).events(&events).run()
     }
 }
 
@@ -346,18 +345,14 @@ enum Source<'a> {
 }
 
 /// A configured-but-not-yet-run simulation: pick an event source, attach
-/// bus observers and telemetry, then [`SimulationBuilder::run`].
-///
-/// Replaces the pre-builder trio of entry points: `run` was
-/// `builder(cfg).run()`, `run_encoded` was `.trace(t)`, `run_trace` was
-/// `.events(&ev)` — with observer registration and telemetry available on
-/// every source.
+/// bus observers, telemetry, and durability, then [`SimulationBuilder::run`].
 pub struct SimulationBuilder<'a> {
     cfg: &'a RunConfig,
     source: Source<'a>,
     observers: Vec<Box<dyn BarrierObserver>>,
     telemetry: TelemetryLevel,
     parallelism: Option<Parallelism>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl<'a> SimulationBuilder<'a> {
@@ -412,16 +407,32 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
+    /// Overrides the configuration's durable storage backend for this run
+    /// (mode + data directory). Persistence is a bystander: the outcome is
+    /// bit-identical to an in-memory run, and recoverable from the data
+    /// directory via [`crate::durable::recover`].
+    #[must_use]
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
     /// Runs the simulation to completion: builds one [`Shard`], streams
     /// the configured source into it, and finishes it.
     pub fn run(self) -> Result<RunOutcome> {
         let cfg_override;
-        let cfg = match self.parallelism {
-            Some(p) => {
-                cfg_override = self.cfg.clone().with_parallelism(p);
-                &cfg_override
+        let cfg = if self.parallelism.is_some() || self.durability.is_some() {
+            let mut cfg = self.cfg.clone();
+            if let Some(p) = self.parallelism {
+                cfg = cfg.with_parallelism(p);
             }
-            None => self.cfg,
+            if let Some(d) = self.durability {
+                cfg = cfg.with_durability(d);
+            }
+            cfg_override = cfg;
+            &cfg_override
+        } else {
+            self.cfg
         };
         let mut shard = Shard::new(cfg)?;
         // User observers register before the telemetry tap, so the bus
@@ -448,7 +459,7 @@ impl<'a> SimulationBuilder<'a> {
                 GenStats::default()
             }
         };
-        Ok(shard.finish(gen_stats))
+        shard.finish(gen_stats)
     }
 }
 

@@ -141,7 +141,7 @@ pub struct RaceOutcome {
     /// One record per trigger activation.
     pub records: Vec<RaceRecord>,
     /// The driver run's ordinary outcome (identical to what
-    /// [`crate::Simulation::run`] would report without any shadows).
+    /// `Simulation::builder(cfg).run()` would report without any shadows).
     pub outcome: RunOutcome,
 }
 

@@ -26,12 +26,28 @@
 use crate::metrics::{RunTotals, SamplePoint, TimeSeries};
 use crate::replay::Replayer;
 use crate::run::{RunConfig, RunOutcome};
+use pgc_durable::{DurableStore, LogObserver, SafepointSignal};
 use pgc_odb::oracle::{self, OracleScratch};
 use pgc_odb::BarrierObserver;
-use pgc_telemetry::{DeriveSummary, TelemetryHandle, TelemetryLevel, TelemetryObserver};
+use pgc_telemetry::{
+    DeriveSummary, StorageSummary, TelemetryHandle, TelemetryLevel, TelemetryObserver,
+};
 use pgc_types::{Oid, Result};
 use pgc_workload::generator::GenStats;
 use pgc_workload::{Event, EventBlock, NodeId};
+use std::sync::Arc;
+
+/// The persistence half of a shard: the write side of a data directory
+/// plus the bus signal that tells the shard when a collection completed
+/// (the store itself stays off the bus — it needs `&Database` and file
+/// handles, which bystander observers must not hold).
+struct DurableState {
+    store: DurableStore,
+    signal: Arc<SafepointSignal>,
+    /// Collections already covered by a safepoint frame.
+    safepointed: u64,
+    manifest_written: bool,
+}
 
 /// One database + policy + scheduler + barrier bus + telemetry handle,
 /// stepped by event batches.
@@ -39,6 +55,8 @@ pub struct Shard {
     cfg: RunConfig,
     replayer: Replayer,
     telemetry: Option<TelemetryHandle>,
+    telemetry_level: TelemetryLevel,
+    durable: Option<DurableState>,
     series: TimeSeries,
     scratch: OracleScratch,
     sample_every: u64,
@@ -51,12 +69,27 @@ impl Shard {
     /// observers with [`Shard::add_observer`] and a telemetry tap with
     /// [`Shard::enable_telemetry`] *before* stepping the first event.
     pub fn new(cfg: &RunConfig) -> Result<Self> {
-        let replayer = cfg.build_replayer()?;
+        let mut replayer = cfg.build_replayer()?;
         let sample_every = cfg.sample_every.unwrap_or(u64::MAX);
+        let durable = if cfg.durability.is_enabled() {
+            let store = DurableStore::create(&cfg.durability)?;
+            let (observer, signal) = LogObserver::new();
+            replayer.collector_mut().add_observer(Box::new(observer));
+            Some(DurableState {
+                store,
+                signal,
+                safepointed: 0,
+                manifest_written: false,
+            })
+        } else {
+            None
+        };
         Ok(Self {
             cfg: cfg.clone(),
             replayer,
             telemetry: None,
+            telemetry_level: TelemetryLevel::Off,
+            durable,
             series: TimeSeries::new(),
             scratch: OracleScratch::new(),
             sample_every,
@@ -78,6 +111,7 @@ impl Shard {
             let (obs, handle) = TelemetryObserver::new(level, self.cfg.trigger_reason());
             self.replayer.collector_mut().add_observer(Box::new(obs));
             self.telemetry = Some(handle);
+            self.telemetry_level = level;
         }
     }
 
@@ -107,13 +141,15 @@ impl Shard {
         self.replayer.oid_of(node)
     }
 
-    /// Steps one event: charges its I/O, pumps the barrier bus, collects
-    /// when the trigger fires, and takes a time-series sample at each
-    /// configured boundary.
+    /// Steps one event: write-ahead logs it (when durability is on),
+    /// charges its I/O, pumps the barrier bus, collects when the trigger
+    /// fires, takes a time-series sample at each configured boundary, and
+    /// drives a durability safepoint when a collection completed.
     pub fn step(&mut self, event: &Event) -> Result<()> {
+        self.log_event(event)?;
         self.replayer.apply(event)?;
         self.maybe_sample();
-        Ok(())
+        self.maybe_safepoint()
     }
 
     /// Steps a batch of events (a session inbox message, a recorded
@@ -127,9 +163,18 @@ impl Shard {
 
     /// Steps one decoded SoA block, stopping at each sample boundary
     /// inside it. Bit-identical to stepping the block's events one by one.
+    /// Durability safepoints land at block granularity here (the whole
+    /// block is logged ahead, then one safepoint check follows it) — the
+    /// log stays a faithful write-ahead record either way.
     pub fn step_block(&mut self, block: &EventBlock) -> Result<()> {
+        if self.durable.is_some() {
+            for event in block.iter() {
+                self.log_event(&event)?;
+            }
+        }
         if self.sample_every == u64::MAX {
-            return self.replayer.apply_block(block, 0, block.len());
+            self.replayer.apply_block(block, 0, block.len())?;
+            return self.maybe_safepoint();
         }
         let mut at = 0usize;
         while at < block.len() {
@@ -140,6 +185,41 @@ impl Shard {
             self.replayer.apply_block(block, at, at + room)?;
             at += room;
             self.maybe_sample();
+        }
+        self.maybe_safepoint()
+    }
+
+    /// Write-ahead: the event reaches the change log before it is applied,
+    /// and the manifest reaches disk before the first event (written
+    /// lazily so [`Shard::enable_telemetry`] can still run after
+    /// [`Shard::new`]).
+    fn log_event(&mut self, event: &Event) -> Result<()> {
+        let Some(durable) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        if !durable.manifest_written {
+            let manifest = crate::durable::manifest_for(&self.cfg, self.telemetry_level);
+            durable.store.write_manifest(&manifest)?;
+            durable.manifest_written = true;
+        }
+        durable.store.append_event(event)
+    }
+
+    /// Persists a safepoint when the bus signal says collections completed
+    /// since the last one.
+    fn maybe_safepoint(&mut self) -> Result<()> {
+        let Some(durable) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        let completed = durable.signal.collections();
+        if completed > durable.safepointed {
+            durable.store.safepoint(
+                self.replayer.db(),
+                self.replayer.events_applied(),
+                completed,
+                false,
+            )?;
+            durable.safepointed = completed;
         }
         Ok(())
     }
@@ -154,16 +234,27 @@ impl Shard {
     /// Condenses the shard into a [`RunOutcome`]: one final time-series
     /// sample (when sampling is on), a last oracle pass for the
     /// live/garbage split, the aggregate totals, the collection log, and
-    /// the telemetry snapshot with the driving policy's derive counters
-    /// mirrored onto it.
+    /// the telemetry snapshot with the driving policy's derive and storage
+    /// counters mirrored onto it. When durability is on, the store is
+    /// closed first — a forced final snapshot generation, the closing
+    /// safepoint frame, and a last fsync — which is the only way this can
+    /// fail.
     ///
     /// `gen_stats` labels the outcome with the workload generator's
     /// counters (zeroed for replays of unlabelled event slices).
-    pub fn finish(mut self, gen_stats: GenStats) -> RunOutcome {
+    pub fn finish(mut self, gen_stats: GenStats) -> Result<RunOutcome> {
         if self.cfg.sample_every.is_some() {
             take_sample(&mut self.series, &self.replayer, &mut self.scratch);
         }
         let events = self.replayer.events_applied();
+        let mut storage = None;
+        if let Some(durable) = self.durable.as_mut() {
+            let collections = durable.signal.collections();
+            durable
+                .store
+                .finish(self.replayer.db(), events, collections)?;
+            storage = Some(durable.store.stats());
+        }
         let db = self.replayer.db();
         let final_report = oracle::analyze_with(db, &mut self.scratch);
         let io = db.io_stats();
@@ -199,7 +290,18 @@ impl Shard {
                 full: stats.full,
             });
         }
-        RunOutcome {
+        if let (Some(snap), Some(stats)) = (telemetry.as_mut(), storage) {
+            snap.storage = Some(StorageSummary {
+                log_bytes: stats.log_bytes,
+                log_frames: stats.log_frames,
+                log_segments: stats.log_segments,
+                fsyncs: stats.fsyncs,
+                snapshots: stats.snapshots,
+                snapshot_bytes: stats.snapshot_bytes,
+                safepoints: stats.safepoints,
+            });
+        }
+        Ok(RunOutcome {
             policy: self.cfg.policy,
             seed: self.cfg.workload.seed,
             totals,
@@ -209,7 +311,8 @@ impl Shard {
             collections,
             telemetry,
             derive,
-        }
+            storage,
+        })
     }
 }
 
@@ -241,7 +344,7 @@ mod tests {
         for event in generator.by_ref() {
             shard.step(&event).unwrap();
         }
-        let via_shard = shard.finish(generator.stats());
+        let via_shard = shard.finish(generator.stats()).unwrap();
 
         assert_eq!(via_sim.totals, via_shard.totals);
         assert_eq!(via_sim.collections, via_shard.collections);
@@ -260,14 +363,14 @@ mod tests {
 
         let mut whole = Shard::new(&cfg).unwrap();
         whole.step_batch(&events).unwrap();
-        let whole = whole.finish(GenStats::default());
+        let whole = whole.finish(GenStats::default()).unwrap();
 
         let mut chunked = Shard::new(&cfg).unwrap();
         // Ragged batch sizes: the session layer never sees tidy chunks.
         for chunk in events.chunks(97) {
             chunked.step_batch(chunk).unwrap();
         }
-        let chunked = chunked.finish(GenStats::default());
+        let chunked = chunked.finish(GenStats::default()).unwrap();
 
         assert_eq!(whole.totals, chunked.totals);
         assert_eq!(whole.collections, chunked.collections);
@@ -282,7 +385,7 @@ mod tests {
         let mut shard = Shard::new(&cfg).unwrap();
         shard.enable_telemetry(pgc_telemetry::TelemetryLevel::Full);
         shard.step_batch(&events).unwrap();
-        let out = shard.finish(GenStats::default());
+        let out = shard.finish(GenStats::default()).unwrap();
         let snap = out.telemetry.expect("telemetry requested");
         assert_eq!(snap.counters.activations, out.totals.collections);
         assert_eq!(snap.records.len() as u64, out.totals.collections);

@@ -102,7 +102,7 @@ fn scheduler_is_thread_count_and_cache_invariant() {
         v
     };
     let base = Experiment::new()
-        .threads(1)
+        .with_threads(1)
         .run_jobs(jobs(pgc_types::Parallelism::Serial))
         .expect("sequential");
     let shared = TraceCache::new();
@@ -113,8 +113,8 @@ fn scheduler_is_thread_count_and_cache_invariant() {
             pgc_types::Parallelism::Deterministic(4),
         ] {
             let got = Experiment::new()
-                .threads(threads)
-                .cache(&shared)
+                .with_threads(threads)
+                .with_cache(&shared)
                 .run_jobs(jobs(intra))
                 .expect("parallel");
             assert_eq!(got.len(), base.len());

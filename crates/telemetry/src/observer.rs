@@ -104,6 +104,7 @@ impl TelemetryState {
             records: self.records,
             switches: self.switches,
             derive: None,
+            storage: None,
         }
     }
 }
@@ -263,6 +264,7 @@ impl TelemetryHandle {
                     records: s.records.clone(),
                     switches: s.switches.clone(),
                     derive: None,
+                    storage: None,
                 }
             }
         }

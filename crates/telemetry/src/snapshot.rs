@@ -100,6 +100,41 @@ impl DeriveSummary {
     }
 }
 
+/// Durable-storage counters mirrored from the run's `DurableStore` as
+/// plain integers so telemetry stays dependency-free. Attached by the
+/// simulator after a run; absent when the run did not persist (including
+/// recovery replays, which run with durability off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageSummary {
+    /// Bytes appended to the change log.
+    pub log_bytes: u64,
+    /// Frames appended to the change log.
+    pub log_frames: u64,
+    /// Log segment files written.
+    pub log_segments: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Snapshot files written.
+    pub snapshots: u64,
+    /// Bytes written into snapshot files.
+    pub snapshot_bytes: u64,
+    /// Collection safepoints persisted.
+    pub safepoints: u64,
+}
+
+impl StorageSummary {
+    /// Adds another run's storage counters into this one.
+    pub fn merge(&mut self, other: &StorageSummary) {
+        self.log_bytes += other.log_bytes;
+        self.log_frames += other.log_frames;
+        self.log_segments += other.log_segments;
+        self.fsyncs += other.fsyncs;
+        self.snapshots += other.snapshots;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.safepoints += other.safepoints;
+    }
+}
+
 /// Everything telemetry captured for one run (or, after [`merge`], for a
 /// set of same-configuration runs).
 ///
@@ -129,6 +164,9 @@ pub struct TelemetrySnapshot {
     /// Recompute counters from the driving policy's derive engine, when it
     /// has one (attached by the simulator; summed on merge).
     pub derive: Option<DeriveSummary>,
+    /// Durable-storage counters, when the run persisted (attached by the
+    /// simulator; summed on merge).
+    pub storage: Option<StorageSummary>,
 }
 
 impl TelemetrySnapshot {
@@ -145,6 +183,7 @@ impl TelemetrySnapshot {
             records: Vec::new(),
             switches: Vec::new(),
             derive: None,
+            storage: None,
         }
     }
 
@@ -165,6 +204,11 @@ impl TelemetrySnapshot {
         if let Some(theirs) = &other.derive {
             self.derive
                 .get_or_insert_with(DeriveSummary::default)
+                .merge(theirs);
+        }
+        if let Some(theirs) = &other.storage {
+            self.storage
+                .get_or_insert_with(StorageSummary::default)
                 .merge(theirs);
         }
     }

@@ -642,6 +642,122 @@ mod tests {
         assert_eq!(replayed, trace.decode_all().unwrap());
     }
 
+    /// A deterministic synthetic event stream of exactly `n` events (no
+    /// generator involved, so edge sizes like 0 or one-block-exactly are
+    /// trivial to hit).
+    fn synthetic_events(n: usize) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Event::CreateRoot {
+                        node: crate::NodeId(i as u64),
+                        size: pgc_types::Bytes(64 + (i % 7) as u64 * 16),
+                        slots: 1 + (i % 4) as u16,
+                    }
+                } else {
+                    Event::Visit {
+                        node: crate::NodeId((i / 3) as u64),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn an_empty_trace_carves_and_cursors_cleanly() {
+        let trace = Arc::new(EncodedTrace::from_events(small(20), &[]));
+        assert_eq!(trace.events(), 0);
+        assert!(trace.cursor().next_event().unwrap().is_none());
+        assert!(EncodedTrace::segments(&trace, 1).unwrap().is_empty());
+        assert!(EncodedTrace::segments(&trace, MARK_EVERY)
+            .unwrap()
+            .is_empty());
+        // The whole-trace segment of an empty trace is itself empty.
+        let whole = TraceSegment::whole(Arc::clone(&trace));
+        assert_eq!(whole.events(), 0);
+        assert!(whole.is_empty());
+        assert!(whole.cursor().next_event().unwrap().is_none());
+    }
+
+    #[test]
+    fn exactly_one_mark_boundary_is_carved_without_scanning_past_it() {
+        // Exactly MARK_EVERY events: the single interior mark coincides
+        // with the end of the stream, so every carving must resolve end
+        // positions without running off the buffer.
+        let events = synthetic_events(MARK_EVERY as usize);
+        let trace = Arc::new(EncodedTrace::from_events(small(21), &events));
+        for max_events in [MARK_EVERY, MARK_EVERY - 1, 1] {
+            let segments = EncodedTrace::segments(&trace, max_events).unwrap();
+            let replayed: Vec<Event> = segments
+                .iter()
+                .flat_map(|seg| seg.cursor().collect::<Vec<Event>>())
+                .collect();
+            assert_eq!(replayed, events, "carve width {max_events}");
+            assert_eq!(
+                segments.iter().map(TraceSegment::byte_len).sum::<usize>(),
+                trace.byte_len()
+            );
+        }
+        // The one-segment carve is the whole trace.
+        let one = EncodedTrace::segments(&trace, MARK_EVERY).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].events(), MARK_EVERY);
+    }
+
+    #[test]
+    fn unaligned_split_lands_inside_the_final_partial_block() {
+        // One full block plus a 37-event tail; a carve width beyond the
+        // last mark forces the byte-position scan through the partial
+        // final block.
+        let events = synthetic_events(MARK_EVERY as usize + 37);
+        let trace = Arc::new(EncodedTrace::from_events(small(22), &events));
+        let width = MARK_EVERY + 13;
+        let segments = EncodedTrace::segments(&trace, width).unwrap();
+        assert_eq!(segments.len(), 2);
+        assert_eq!(segments[0].events(), width);
+        assert_eq!(segments[1].events(), MARK_EVERY + 37 - width);
+        let replayed: Vec<Event> = segments
+            .iter()
+            .flat_map(|seg| seg.cursor().collect::<Vec<Event>>())
+            .collect();
+        assert_eq!(replayed, events);
+    }
+
+    #[test]
+    fn carving_round_trips_across_sizes_and_widths() {
+        // Proptest-style sweep: pseudo-random trace sizes × carve widths,
+        // all pinned to one seed so failures reproduce. Every carving of
+        // every stream must replay exactly like the whole-trace cursor.
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move |bound: u64| {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng % bound.max(1)
+        };
+        for _ in 0..12 {
+            let size = next(3 * MARK_EVERY) as usize;
+            let events = synthetic_events(size);
+            let trace = Arc::new(EncodedTrace::from_events(small(23), &events));
+            let whole: Vec<Event> = trace.cursor().collect();
+            assert_eq!(whole, events);
+            for _ in 0..4 {
+                let width = 1 + next(MARK_EVERY + MARK_EVERY / 2);
+                let segments = EncodedTrace::segments(&trace, width).unwrap();
+                assert_eq!(
+                    segments.iter().map(TraceSegment::events).sum::<u64>(),
+                    size as u64,
+                    "size {size} width {width}"
+                );
+                let replayed: Vec<Event> = segments
+                    .iter()
+                    .flat_map(|seg| seg.cursor().collect::<Vec<Event>>())
+                    .collect();
+                assert_eq!(replayed, whole, "size {size} width {width}");
+            }
+        }
+    }
+
     #[test]
     fn cache_records_each_parameter_set_once() {
         let cache = TraceCache::new();

@@ -54,4 +54,4 @@ pub use encoded::{EncodedTrace, TraceCache, TraceCursor, TraceHeader, TraceSegme
 pub use event::{Event, NodeId};
 pub use generator::SyntheticWorkload;
 pub use params::WorkloadParams;
-pub use trace::{read_trace, write_trace, TraceReader, TraceWriter};
+pub use trace::{decode_event, encode_event, read_trace, write_trace, TraceReader, TraceWriter};

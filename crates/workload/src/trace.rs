@@ -33,14 +33,19 @@ fn io_err(e: io::Error) -> PgcError {
 }
 
 /// Appends one event's tagged encoding to `buf` (the PGCT body layout,
-/// shared by the file codec and [`crate::encoded::EncodedTrace`]).
-pub(crate) fn encode_event(buf: &mut Vec<u8>, event: &Event) {
-    match *event {
+/// shared by the file codec, [`crate::encoded::EncodedTrace`], and the
+/// durable change log in `pgc-durable`). Each event is staged in a
+/// fixed stack buffer so the `Vec` pays one capacity check per event,
+/// not one per field.
+pub fn encode_event(buf: &mut Vec<u8>, event: &Event) {
+    let mut tmp = [0u8; 25];
+    let len = match *event {
         Event::CreateRoot { node, size, slots } => {
-            buf.push(TAG_CREATE_ROOT);
-            buf.extend_from_slice(&node.0.to_le_bytes());
-            buf.extend_from_slice(&(size.get() as u32).to_le_bytes());
-            buf.extend_from_slice(&slots.to_le_bytes());
+            tmp[0] = TAG_CREATE_ROOT;
+            tmp[1..9].copy_from_slice(&node.0.to_le_bytes());
+            tmp[9..13].copy_from_slice(&(size.get() as u32).to_le_bytes());
+            tmp[13..15].copy_from_slice(&slots.to_le_bytes());
+            15
         }
         Event::CreateChild {
             node,
@@ -49,38 +54,47 @@ pub(crate) fn encode_event(buf: &mut Vec<u8>, event: &Event) {
             size,
             slots,
         } => {
-            buf.push(TAG_CREATE_CHILD);
-            buf.extend_from_slice(&node.0.to_le_bytes());
-            buf.extend_from_slice(&parent.0.to_le_bytes());
-            buf.extend_from_slice(&parent_slot.to_le_bytes());
-            buf.extend_from_slice(&(size.get() as u32).to_le_bytes());
-            buf.extend_from_slice(&slots.to_le_bytes());
+            tmp[0] = TAG_CREATE_CHILD;
+            tmp[1..9].copy_from_slice(&node.0.to_le_bytes());
+            tmp[9..17].copy_from_slice(&parent.0.to_le_bytes());
+            tmp[17..19].copy_from_slice(&parent_slot.to_le_bytes());
+            tmp[19..23].copy_from_slice(&(size.get() as u32).to_le_bytes());
+            tmp[23..25].copy_from_slice(&slots.to_le_bytes());
+            25
         }
         Event::WritePointer { owner, slot, new } => {
-            buf.push(TAG_WRITE_POINTER);
-            buf.extend_from_slice(&owner.0.to_le_bytes());
-            buf.extend_from_slice(&slot.to_le_bytes());
+            tmp[0] = TAG_WRITE_POINTER;
+            tmp[1..9].copy_from_slice(&owner.0.to_le_bytes());
+            tmp[9..11].copy_from_slice(&slot.to_le_bytes());
             match new {
                 Some(t) => {
-                    buf.push(1);
-                    buf.extend_from_slice(&t.0.to_le_bytes());
+                    tmp[11] = 1;
+                    tmp[12..20].copy_from_slice(&t.0.to_le_bytes());
+                    20
                 }
-                None => buf.push(0),
+                None => {
+                    tmp[11] = 0;
+                    12
+                }
             }
         }
         Event::AddSlot { owner } => {
-            buf.push(TAG_ADD_SLOT);
-            buf.extend_from_slice(&owner.0.to_le_bytes());
+            tmp[0] = TAG_ADD_SLOT;
+            tmp[1..9].copy_from_slice(&owner.0.to_le_bytes());
+            9
         }
         Event::Visit { node } => {
-            buf.push(TAG_VISIT);
-            buf.extend_from_slice(&node.0.to_le_bytes());
+            tmp[0] = TAG_VISIT;
+            tmp[1..9].copy_from_slice(&node.0.to_le_bytes());
+            9
         }
         Event::DataWrite { node } => {
-            buf.push(TAG_DATA_WRITE);
-            buf.extend_from_slice(&node.0.to_le_bytes());
+            tmp[0] = TAG_DATA_WRITE;
+            tmp[1..9].copy_from_slice(&node.0.to_le_bytes());
+            9
         }
-    }
+    };
+    buf.extend_from_slice(&tmp[..len]);
 }
 
 #[inline]
@@ -117,8 +131,9 @@ fn take_u16(buf: &[u8], pos: &mut usize) -> Result<u16> {
 /// Decodes the event starting at `pos` in a PGCT body slice, advancing
 /// `pos` past it. Returns `Ok(None)` at a clean end of the slice; a partial
 /// event or unknown tag is a [`PgcError::TraceFormat`] error. The inverse
-/// of [`encode_event`], shared by [`crate::encoded::TraceCursor`].
-pub(crate) fn decode_event(buf: &[u8], pos: &mut usize) -> Result<Option<Event>> {
+/// of [`encode_event`], shared by [`crate::encoded::TraceCursor`] and the
+/// durable change-log reader in `pgc-durable`.
+pub fn decode_event(buf: &[u8], pos: &mut usize) -> Result<Option<Event>> {
     let Some(&tag) = buf.get(*pos) else {
         return Ok(None);
     };

@@ -89,3 +89,17 @@ shards:
 ingest:
     cargo test -q --test shard_equivalence
     cargo run --release -p pgc-bench --bin perf_report
+
+# Crash-recovery smoke: a clean durable run recovered with a pinned
+# digest, then a mid-run kill (no final snapshot, buffered log tail
+# dropped) recovered from whatever reached disk. Exercises the same
+# tooling the CI smoke job runs; scratch dirs live under target/ and are
+# removed afterwards.
+recover:
+    rm -rf target/recover-smoke
+    cargo build --release -p pgc-bench --bin recover_tool
+    d=$(./target/release/recover_tool run target/recover-smoke/clean updated-pointer 1 | awk '/^run:/ {print $NF}'); \
+        ./target/release/recover_tool recover target/recover-smoke/clean --expect $d
+    ./target/release/recover_tool crash target/recover-smoke/killed 5000 most-garbage 2
+    ./target/release/recover_tool recover target/recover-smoke/killed
+    rm -rf target/recover-smoke

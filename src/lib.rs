@@ -31,10 +31,16 @@
 //! * [`sim`] — the trace-driven simulator, metrics, multi-seed experiment
 //!   runner, and the experiment definitions that regenerate every table and
 //!   figure in the paper.
+//! * [`durable`] — the storage backend: per-partition snapshot files at
+//!   collection safepoints, an append-only change log of input events, and
+//!   the checksummed run manifest, all behind
+//!   [`durable::DurabilityConfig`]; [`sim::durable::recover`] replays a
+//!   data directory back into a bit-identical run.
 //! * [`server`] — the sharded multi-tenant runtime: a deterministic router
 //!   hashing client streams onto shard worker threads, one self-contained
-//!   [`sim::Shard`] per session, and cross-shard references as weak
-//!   remset traffic over the barrier event bus.
+//!   [`sim::Shard`] per session, cross-shard references as weak remset
+//!   traffic over the barrier event bus, and per-stream durable data
+//!   directories via [`server::ServerConfig::with_data_dir`].
 //!
 //! ## Quickstart
 //!
@@ -58,7 +64,7 @@
 //! use pgc::prelude::*;
 //!
 //! let cmp = Experiment::new()
-//!     .telemetry(TelemetryLevel::Metrics)
+//!     .with_telemetry(TelemetryLevel::Metrics)
 //!     .compare(&PolicyKind::PAPER, &[1, 2, 3], RunConfig::paper)
 //!     .unwrap();
 //! println!("{}", report::format_table2(&cmp));
@@ -69,6 +75,7 @@
 
 pub use pgc_buffer as buffer;
 pub use pgc_core as core;
+pub use pgc_durable as durable;
 pub use pgc_odb as odb;
 pub use pgc_server as server;
 pub use pgc_sim as sim;
@@ -79,7 +86,8 @@ pub use pgc_workload as workload;
 
 /// The common vocabulary, importable in one line: configuration and units,
 /// the policy enum, the simulation and experiment builders, their outcome
-/// types, telemetry, the shared-trace cache, and the table renderers.
+/// types, telemetry, durability and recovery, the shared-trace cache, and
+/// the table renderers.
 ///
 /// ```
 /// use pgc::prelude::*;
@@ -89,12 +97,13 @@ pub use pgc_workload as workload;
 /// ```
 pub mod prelude {
     pub use pgc_core::{PolicyKind, Trigger};
-    pub use pgc_server::{FleetOutcome, Server, ServerConfig, StreamId};
+    pub use pgc_durable::{DurabilityConfig, DurabilityMode};
+    pub use pgc_server::{FleetOutcome, Server, ServerConfig, StreamHandle, StreamId};
     pub use pgc_sim::report;
     pub use pgc_sim::{
-        run_race, run_race_with_telemetry, Comparison, Experiment, PolicyRow, RaceOutcome,
-        RunConfig, RunOutcome, RunTelemetry, RunTotals, Shard, Simulation, SimulationBuilder,
-        Summary,
+        outcome_digest, recover, run_race, run_race_with_telemetry, Comparison, Experiment,
+        PolicyRow, RaceOutcome, RecoveredRun, RunConfig, RunOutcome, RunTelemetry, RunTotals,
+        Shard, Simulation, SimulationBuilder, Summary,
     };
     pub use pgc_telemetry::{TelemetryLevel, TelemetrySnapshot};
     pub use pgc_types::{Bytes, DbConfig, PlacementPolicy};

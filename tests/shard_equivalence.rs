@@ -119,6 +119,9 @@ fn run_fleet(
             let end = (at + BATCH).min(events[i].len());
             match mode {
                 SubmitMode::Compat => {
+                    // The deprecated borrowed-slice wrapper stays pinned
+                    // bit-identical until it is removed outright.
+                    #[allow(deprecated)]
                     server.submit(*stream, &events[i][at..end]).expect("submit");
                 }
                 SubmitMode::Owned => {
@@ -297,7 +300,7 @@ fn coalesced_tiny_batches_match_one_big_batch() {
         .with_telemetry(TelemetryLevel::Full)
         .with_inbox_capacity(2);
 
-    let mut interleaved = Server::start(tiny);
+    let mut interleaved = Server::start(tiny.clone());
     interleaved.open_stream(stream, cfg.clone()).expect("open");
     for (j, segment) in segments.into_iter().enumerate() {
         let at = j * CHUNK;

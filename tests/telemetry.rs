@@ -4,8 +4,8 @@
 //! must change *nothing* about the simulated world: same `RunTotals`, same
 //! victim sequence, for every policy and seed. These tests pin that
 //! invariant end to end through the `pgc` facade, round-trip the JSONL
-//! export, and check that the deprecated pre-builder entry points remain
-//! exact shims over the builder.
+//! export, and check that the builder's three event sources (synthetic,
+//! recorded slice, shared encoded trace) agree exactly.
 
 use pgc::core::PolicyKind;
 use pgc::sim::{Experiment, RunConfig, Simulation};
@@ -114,7 +114,7 @@ fn experiment_tap_matches_untapped_rows() {
         .compare(&policies, &seeds, make)
         .expect("plain comparison");
     let tapped = Experiment::new()
-        .telemetry(TelemetryLevel::Full)
+        .with_telemetry(TelemetryLevel::Full)
         .compare(&policies, &seeds, make)
         .expect("tapped comparison");
     assert!(plain.telemetry.is_empty());
@@ -131,54 +131,34 @@ fn experiment_tap_matches_untapped_rows() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_entry_points_are_exact_shims() {
+fn builder_sources_are_exact_equivalents() {
     let cfg = RunConfig::small()
         .with_policy(PolicyKind::UpdatedPointer)
         .with_seed(3);
 
-    // Simulation::run == builder with a synthetic source.
-    let old = Simulation::run(&cfg).expect("old run");
-    let new = Simulation::builder(&cfg).run().expect("builder run");
-    assert_eq!(old.totals, new.totals);
-    assert_eq!(old.collections, new.collections);
+    // Synthetic source (the default).
+    let synthetic = Simulation::builder(&cfg).run().expect("synthetic run");
 
-    // Simulation::run_trace == builder with an event-slice source.
+    // Event-slice source.
     let events: Vec<pgc::workload::Event> =
         pgc::workload::SyntheticWorkload::new(cfg.workload.clone())
             .expect("params")
             .collect();
-    let old = Simulation::run_trace(&cfg, &events).expect("old trace run");
-    let new = Simulation::builder(&cfg)
+    let sliced = Simulation::builder(&cfg)
         .events(&events)
         .run()
-        .expect("builder trace run");
-    assert_eq!(old.totals, new.totals);
-    assert_eq!(old.collections, new.collections);
+        .expect("event-slice run");
+    assert_eq!(synthetic.totals, sliced.totals);
+    assert_eq!(synthetic.collections, sliced.collections);
 
-    // Simulation::run_encoded == builder with an encoded-trace source.
+    // Shared encoded-trace source.
     let trace = pgc::workload::EncodedTrace::record(cfg.workload.clone()).expect("record");
-    let old = Simulation::run_encoded(&cfg, &trace).expect("old encoded run");
-    let new = Simulation::builder(&cfg)
+    let encoded = Simulation::builder(&cfg)
         .trace(&trace)
         .run()
-        .expect("builder encoded run");
-    assert_eq!(old.totals, new.totals);
-    assert_eq!(old.collections, new.collections);
-
-    // compare_policies == Experiment::new().compare.
-    let policies = [PolicyKind::UpdatedPointer, PolicyKind::MostGarbage];
-    let make = |policy, seed| RunConfig::small().with_policy(policy).with_seed(seed);
-    let old = pgc::sim::compare_policies(&policies, &[1, 2], make).expect("old comparison");
-    let new = Experiment::new()
-        .compare(&policies, &[1, 2], make)
-        .expect("builder comparison");
-    assert_eq!(old.rows.len(), new.rows.len());
-    for (a, b) in old.rows.iter().zip(&new.rows) {
-        assert_eq!(a.policy, b.policy);
-        assert_eq!(a.total_ios, b.total_ios);
-        assert_eq!(a.collections, b.collections);
-    }
+        .expect("encoded run");
+    assert_eq!(synthetic.totals, encoded.totals);
+    assert_eq!(synthetic.collections, encoded.collections);
 }
 
 #[test]
